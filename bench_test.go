@@ -1,0 +1,523 @@
+package prima
+
+// One testing.B benchmark per paper artifact (tables and figures) plus the
+// ablations; `go test -bench=. -benchmem` regenerates every series. The
+// narrative sweep variants with I/O accounting live in cmd/primabench;
+// EXPERIMENTS.md records both.
+
+import (
+	"fmt"
+	"testing"
+
+	"prima/internal/access"
+	"prima/internal/access/atom"
+	"prima/internal/access/mdindex"
+	"prima/internal/baseline"
+	"prima/internal/catalog"
+	"prima/internal/workload/brepgen"
+	"prima/internal/workload/mapgen"
+	"prima/internal/workload/vlsigen"
+)
+
+func benchScene(b *testing.B, n int, ldl string) *DB {
+	b.Helper()
+	db, err := Open(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	if _, err := db.Exec(brepgen.SchemaDDL); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := brepgen.BuildScene(db.Engine(), n); err != nil {
+		b.Fatal(err)
+	}
+	if ldl != "" {
+		if _, err := db.Exec(ldl); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+// BenchmarkFig21_Modeling measures record counts of the three modeling
+// approaches (the benchmark reports records-per-object as metrics).
+func BenchmarkFig21_Modeling(b *testing.B) {
+	for _, model := range []struct {
+		name string
+		fn   func(int) (baseline.Metrics, error)
+	}{
+		{"hierarchic", baseline.Hierarchical},
+		{"network", baseline.Network},
+		{"mad", baseline.MAD},
+	} {
+		b.Run(model.name, func(b *testing.B) {
+			var m baseline.Metrics
+			var err error
+			for i := 0; i < b.N; i++ {
+				m, err = model.fn(2)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(m.Records)/2, "records/object")
+			b.ReportMetric(float64(m.MovePointWrites), "move-writes")
+		})
+	}
+}
+
+// BenchmarkFig22_Associations measures connect+auto-back-reference for the
+// three relationship types of Fig. 2.2.
+func BenchmarkFig22_Associations(b *testing.B) {
+	for _, kind := range []struct{ name, attr string }{
+		{"1to1", "one"}, {"1toN", "many"}, {"NtoM", "links"},
+	} {
+		b.Run(kind.name, func(b *testing.B) {
+			sys, err := access.Open(access.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+			at, _ := catalog.NewAtomType("a", []catalog.Attribute{
+				{Name: "id", Type: catalog.SpecIdent()},
+				{Name: "one", Type: catalog.SpecRef("b", "one")},
+				{Name: "many", Type: catalog.SpecSetOf(catalog.SpecRef("b", "owner"), 0, -1)},
+				{Name: "links", Type: catalog.SpecSetOf(catalog.SpecRef("b", "links"), 0, -1)},
+			}, nil)
+			bt, _ := catalog.NewAtomType("b", []catalog.Attribute{
+				{Name: "id", Type: catalog.SpecIdent()},
+				{Name: "one", Type: catalog.SpecRef("a", "one")},
+				{Name: "owner", Type: catalog.SpecRef("a", "many")},
+				{Name: "links", Type: catalog.SpecSetOf(catalog.SpecRef("a", "links"), 0, -1)},
+			}, nil)
+			sys.Schema().AddAtomType(at)
+			sys.Schema().AddAtomType(bt)
+			if err := sys.Schema().ResolveAssociations(); err != nil {
+				b.Fatal(err)
+			}
+			as := make([]LogicalAddr, b.N)
+			bs := make([]LogicalAddr, b.N)
+			for i := 0; i < b.N; i++ {
+				as[i], _ = sys.Insert("a", nil)
+				bs[i], _ = sys.Insert("b", nil)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sys.Connect(as[i], kind.attr, bs[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig23_DDLCompile parses and installs the Fig. 2.3 schema.
+func BenchmarkFig23_DDLCompile(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db, err := Open(Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Exec(brepgen.SchemaDDL); err != nil {
+			b.Fatal(err)
+		}
+		db.Close()
+	}
+}
+
+// BenchmarkTable21a: vertical access to network molecules, by root access.
+func BenchmarkTable21a(b *testing.B) {
+	for _, tc := range []struct{ name, ldl string }{
+		{"atomscan", ""},
+		{"accesspath", `CREATE ACCESS PATH bno ON brep (brep_no) USING BTREE`},
+		{"cluster", `CREATE ATOM_CLUSTER cl ON brep-face-edge-point`},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			db := benchScene(b, 50, tc.ldl)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := fmt.Sprintf(`SELECT ALL FROM brep-face-edge-point WHERE brep_no = %d`, i%50+1)
+				res, err := db.ExecOne(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Molecules) != 1 {
+					b.Fatal("lost molecule")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable21b: recursive molecules over growing assemblies.
+func BenchmarkTable21b(b *testing.B) {
+	for _, depth := range []int{2, 4, 6} {
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			db, err := Open(Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			if _, err := db.Exec(brepgen.SchemaDDL); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := brepgen.BuildAssembly(db.Engine(), 4711, depth, 2); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.ExecOne(`SELECT ALL FROM piece_list WHERE piece_list(0).solid_no = 4711`); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable21c: horizontal access with projection and EMPTY predicate.
+func BenchmarkTable21c(b *testing.B) {
+	db, err := Open(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(brepgen.SchemaDDL); err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := brepgen.BuildAssembly(db.Engine(), 1000, 6, 2); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.ExecOne(`SELECT solid_no, description FROM solid WHERE sub = EMPTY`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable21d: branching FROM, quantifier, qualified projection.
+func BenchmarkTable21d(b *testing.B) {
+	db := benchScene(b, 20, "")
+	q := `
+	  SELECT edge, (point,
+	         face := SELECT face_id, square_dim FROM face WHERE square_dim > 10.0)
+	  FROM brep-edge-(face, point)
+	  WHERE brep_no = 7 AND EXISTS_AT_LEAST (2) edge: edge.length > 1.0`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.ExecOne(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig31_LayerOps measures one operation at each layer interface.
+func BenchmarkFig31_LayerOps(b *testing.B) {
+	db := benchScene(b, 20, "")
+	sys := db.System()
+	addrs, _ := sys.ScanAddrs("edge")
+
+	b.Run("access_atom_get", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Get(addrs[i%len(addrs)], nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("data_molecule_query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := fmt.Sprintf(`SELECT ALL FROM brep-face-edge-point WHERE brep_no = %d`, i%20+1)
+			if _, err := db.ExecOne(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig32_ClusterVsNoCluster: molecule construction with and without
+// the atom cluster (the I/O-count version runs in cmd/primabench).
+func BenchmarkFig32_ClusterVsNoCluster(b *testing.B) {
+	for _, tc := range []struct{ name, ldl string }{
+		{"no_cluster", ""},
+		{"cluster", `CREATE ATOM_CLUSTER cl ON brep-face-edge-point`},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			db := benchScene(b, 50, tc.ldl)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := fmt.Sprintf(`SELECT ALL FROM brep-face-edge-point WHERE brep_no = %d`, i%50+1)
+				if _, err := db.ExecOne(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSortScanModes (A2): sorted reads with and without a sort order.
+func BenchmarkSortScanModes(b *testing.B) {
+	setup := func(b *testing.B, ldl bool) *DB {
+		db, err := Open(Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { db.Close() })
+		if _, err := db.Exec(brepgen.SchemaDDL); err != nil {
+			b.Fatal(err)
+		}
+		sys := db.System()
+		for i := 0; i < 2000; i++ {
+			if _, err := sys.Insert("solid", map[string]atom.Value{
+				"solid_no": atom.Int(int64((i * 7919) % 100000)),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if ldl {
+			if err := sys.CreateSortOrder(&catalog.SortOrderDef{Name: "so", AtomType: "solid", Attrs: []string{"solid_no"}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return db
+	}
+	b.Run("explicit_sort", func(b *testing.B) {
+		db := setup(b, false)
+		sys := db.System()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			if err := sys.SortedTypeScan("solid", []string{"solid_no"}, false, nil, func(*access.Atom) bool { n++; return true }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sort_order", func(b *testing.B) {
+		db := setup(b, true)
+		sys := db.System()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			if err := sys.SortScan("so", nil, nil, nil, func(*access.Atom) bool { n++; return true }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPartitionProjection (A3): projected reads with and without a
+// covering partition.
+func BenchmarkPartitionProjection(b *testing.B) {
+	for _, part := range []bool{false, true} {
+		name := "primary"
+		if part {
+			name = "partition"
+		}
+		b.Run(name, func(b *testing.B) {
+			db, err := Open(Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			if _, err := db.Exec(brepgen.SchemaDDL); err != nil {
+				b.Fatal(err)
+			}
+			sys := db.System()
+			var addrs []LogicalAddr
+			wide := make([]byte, 400)
+			for i := range wide {
+				wide[i] = 'x'
+			}
+			for i := 0; i < 1000; i++ {
+				a, err := sys.Insert("solid", map[string]atom.Value{
+					"solid_no":    atom.Int(int64(i)),
+					"description": atom.Str(string(wide)),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				addrs = append(addrs, a)
+			}
+			if part {
+				if err := sys.CreatePartition(&catalog.PartitionDef{Name: "p", AtomType: "solid", Attrs: []string{"solid_no"}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.Get(addrs[i%len(addrs)], []string{"solid_no"}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDeferredUpdate (A4): update cost with redundancy under deferred
+// propagation, against propagation drains.
+func BenchmarkDeferredUpdate(b *testing.B) {
+	db, err := Open(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(brepgen.SchemaDDL); err != nil {
+		b.Fatal(err)
+	}
+	sys := db.System()
+	var addrs []LogicalAddr
+	for i := 0; i < 1000; i++ {
+		a, err := sys.Insert("solid", map[string]atom.Value{"solid_no": atom.Int(int64(i))})
+		if err != nil {
+			b.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	if err := sys.CreateSortOrder(&catalog.SortOrderDef{Name: "so", AtomType: "solid", Attrs: []string{"solid_no"}}); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.CreatePartition(&catalog.PartitionDef{Name: "p", AtomType: "solid", Attrs: []string{"description"}}); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("update_deferred", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := sys.Update(addrs[i%len(addrs)], map[string]atom.Value{"description": atom.Str(fmt.Sprintf("v%d", i))}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("propagate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			if err := sys.Update(addrs[i%len(addrs)], map[string]atom.Value{"description": atom.Str(fmt.Sprintf("w%d", i))}); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if err := sys.PropagateDeferred(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSemanticParallelism (A5): worker sweep over a molecule-set query
+// (speedup requires multiple CPUs; see EXPERIMENTS.md).
+func BenchmarkSemanticParallelism(b *testing.B) {
+	db := benchScene(b, 32, `CREATE ATOM_CLUSTER cl ON brep-face-edge-point`)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mols, err := db.QueryParallel(`SELECT ALL FROM brep-face-edge-point`, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(mols) != 32 {
+					b.Fatal("lost molecules")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNestedTxThroughput (A7): inserts under autocommit, commit, abort.
+func BenchmarkNestedTxThroughput(b *testing.B) {
+	db, err := Open(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(brepgen.SchemaDDL); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("autocommit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.ExecOne(fmt.Sprintf(`INSERT INTO solid (solid_no) VALUES (%d)`, i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tx_commit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tx := db.Begin()
+			if _, err := tx.Exec(fmt.Sprintf(`INSERT INTO solid (solid_no) VALUES (%d)`, 1000000+i)); err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tx_abort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tx := db.Begin()
+			if _, err := tx.Exec(fmt.Sprintf(`INSERT INTO solid (solid_no) VALUES (%d)`, 2000000+i)); err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Abort(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkVLSITraversal exercises symmetric n:m traversal on a netlist.
+func BenchmarkVLSITraversal(b *testing.B) {
+	db, err := Open(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(vlsigen.SchemaDDL); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := vlsigen.Build(db.Engine(), 100, 4, 30, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cell_to_net", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := fmt.Sprintf(`SELECT ALL FROM cell-pin-net WHERE name = 'u%d'`, i%100)
+			if _, err := db.ExecOne(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("net_to_cell", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := fmt.Sprintf(`SELECT ALL FROM net-pin-cell WHERE signal = 'sig%d'`, i%30)
+			if _, err := db.ExecOne(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGISRegionQuery exercises the grid access path.
+func BenchmarkGISRegionQuery(b *testing.B) {
+	db, err := Open(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(mapgen.SchemaDDL); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := mapgen.Build(db.Engine(), 2, 5, 100, 7); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE ACCESS PATH xy ON site (x, y) USING GRID`); err != nil {
+		b.Fatal(err)
+	}
+	lo, hi := atom.Real(25), atom.Real(75)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := db.System().AccessPathScan("xy",
+			[]mdindex.Range{{Start: &lo, Stop: &hi}, {Start: &lo, Stop: &hi}},
+			func([]atom.Value, LogicalAddr) bool { n++; return true })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

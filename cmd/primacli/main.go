@@ -1,0 +1,101 @@
+// Command primacli is an interactive MQL shell for a PRIMA database.
+//
+// Usage:
+//
+//	primacli [-dir path] [-e "statements"] [-max-molecules n]
+//
+// Without -e it reads statements from stdin (terminated by ';'), executes
+// them, and prints results. With -dir the database persists; otherwise it is
+// in-memory for the session.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"prima"
+)
+
+func main() {
+	dir := flag.String("dir", "", "database directory (empty = in-memory)")
+	exec := flag.String("e", "", "execute these statements and exit")
+	maxMol := flag.Int("max-molecules", 20, "molecules printed per SELECT")
+	flag.Parse()
+
+	db, err := prima.Open(prima.Config{Dir: *dir})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "primacli:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	if *exec != "" {
+		if err := run(db, *exec, *maxMol); err != nil {
+			fmt.Fprintln(os.Stderr, "primacli:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("PRIMA — Molecule Query Language shell (end statements with ';', Ctrl-D to quit)")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "mql> "
+	for {
+		fmt.Print(prompt)
+		if !sc.Scan() {
+			break
+		}
+		line := sc.Text()
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			prompt = "...> "
+			continue
+		}
+		src := buf.String()
+		buf.Reset()
+		prompt = "mql> "
+		if err := run(db, src, *maxMol); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+}
+
+func run(db *prima.DB, src string, maxMol int) error {
+	results, err := db.Exec(src)
+	for _, r := range results {
+		printResult(r, maxMol)
+	}
+	return err
+}
+
+func printResult(r *prima.Result, maxMol int) {
+	switch r.Kind {
+	case "molecules":
+		fmt.Printf("%d molecule(s)\n", len(r.Molecules))
+		for i, m := range r.Molecules {
+			if i >= maxMol {
+				fmt.Printf("... %d more\n", len(r.Molecules)-maxMol)
+				break
+			}
+			fmt.Print(m)
+		}
+	case "inserted":
+		ids := make([]string, len(r.Inserted))
+		for i, a := range r.Inserted {
+			ids[i] = a.String()
+		}
+		fmt.Printf("inserted %s\n", strings.Join(ids, ", "))
+	case "count":
+		fmt.Println(r.Message)
+	default:
+		if r.Message != "" {
+			fmt.Println(r.Message)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Command primad serves a PRIMA database over TCP for workstation coupling
+// (checkout/checkin through the set-oriented MAD interface).
+//
+// Usage:
+//
+//	primad [-addr host:port] [-dir path] [-init script.mql]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"prima"
+	"prima/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7487", "listen address")
+	dir := flag.String("dir", "", "database directory (empty = in-memory)")
+	initScript := flag.String("init", "", "MQL script to execute at startup")
+	flag.Parse()
+
+	db, err := prima.Open(prima.Config{Dir: *dir})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "primad:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	if *initScript != "" {
+		src, err := os.ReadFile(*initScript)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "primad:", err)
+			os.Exit(1)
+		}
+		if _, err := db.Exec(string(src)); err != nil {
+			fmt.Fprintln(os.Stderr, "primad: init:", err)
+			os.Exit(1)
+		}
+	}
+
+	srv, err := wire.Serve(db, *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "primad:", err)
+		os.Exit(1)
+	}
+	fmt.Println("primad listening on", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("primad: shutting down")
+	srv.Close()
+}

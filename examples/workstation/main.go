@@ -1,0 +1,77 @@
+// Workstation: the workstation–host coupling of §4. A PRIMA server hosts
+// the database; the client checks whole molecules out into a local object
+// buffer with one round trip, works on them locally, and checks the
+// modifications back in at commit time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prima"
+	"prima/internal/wire"
+	"prima/internal/workload/brepgen"
+)
+
+func main() {
+	// Host side.
+	db, err := prima.Open(prima.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(brepgen.SchemaDDL); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := brepgen.BuildScene(db.Engine(), 3); err != nil {
+		log.Fatal(err)
+	}
+	srv, err := wire.Serve(db, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Println("PRIMA server on", srv.Addr())
+
+	// Workstation side.
+	client, err := wire.Dial(srv.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Checkout: the whole brep molecule in ONE round trip.
+	mols, err := client.Checkout(`SELECT ALL FROM brep-face-edge-point WHERE brep_no = 2`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checked out %d molecule(s), %d atoms, in %d round trip(s)\n",
+		len(mols), len(mols[0].Atoms), client.RoundTrips())
+
+	// Local engineering work: scale every face, without any communication.
+	staged := 0
+	for _, a := range mols[0].Atoms {
+		if a.Type != "face" {
+			continue
+		}
+		client.StageModify("face", a.Addr, "square_dim", "42.0")
+		staged++
+	}
+	fmt.Printf("staged %d local modification(s); round trips still %d\n",
+		staged, client.RoundTrips())
+
+	// Checkin: one batch, one round trip.
+	resp, err := client.Checkin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkin applied %d modification(s); total round trips %d\n",
+		resp.Count, client.RoundTrips())
+
+	// Verify on the host.
+	res, err := db.ExecOne(`SELECT ALL FROM face WHERE square_dim = 42.0`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("host sees %d modified face(s)\n", len(res.Molecules))
+}

@@ -1,0 +1,353 @@
+package addr
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogicalAddrParts(t *testing.T) {
+	a := New(7, 123456)
+	if a.Type() != 7 || a.Seq() != 123456 {
+		t.Fatalf("parts = (%d,%d), want (7,123456)", a.Type(), a.Seq())
+	}
+	if a.IsZero() {
+		t.Fatal("non-zero address reported zero")
+	}
+	var z LogicalAddr
+	if !z.IsZero() {
+		t.Fatal("zero address not reported zero")
+	}
+	if a.String() != "@7.123456" {
+		t.Fatalf("String = %q", a.String())
+	}
+	// 48-bit sequence wraps cleanly.
+	big := New(1, 1<<48|5)
+	if big.Seq() != 5 || big.Type() != 1 {
+		t.Fatalf("overflowed seq leaked into type: %v", big)
+	}
+}
+
+func TestNewAddrMonotonic(t *testing.T) {
+	d := NewDirectory()
+	prev := uint64(0)
+	for i := 0; i < 100; i++ {
+		a := d.NewAddr(3)
+		if a.Seq() <= prev {
+			t.Fatalf("sequence not monotonic: %d after %d", a.Seq(), prev)
+		}
+		prev = a.Seq()
+	}
+	if d.Count(3) != 100 {
+		t.Fatalf("Count = %d, want 100", d.Count(3))
+	}
+	if d.Count(4) != 0 {
+		t.Fatalf("Count of empty type = %d", d.Count(4))
+	}
+}
+
+func TestRegisterLookupUnregister(t *testing.T) {
+	d := NewDirectory()
+	a := d.NewAddr(1)
+
+	refs, err := d.Lookup(a)
+	if err != nil || len(refs) != 0 {
+		t.Fatalf("fresh Lookup = %v, %v", refs, err)
+	}
+
+	primary := RecordRef{Struct: 0, Kind: KindPrimary, Where: RID{Page: 5, Slot: 2}, Valid: true}
+	sortRec := RecordRef{Struct: 9, Kind: KindSortOrder, Where: RID{Page: 7, Slot: 0}, Valid: true}
+	if err := d.Register(a, primary); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := d.Register(a, sortRec); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := d.Register(a, primary); !errors.Is(err, ErrDupStruct) {
+		t.Fatalf("duplicate Register = %v, want ErrDupStruct", err)
+	}
+
+	refs, err = d.Lookup(a)
+	if err != nil || len(refs) != 2 {
+		t.Fatalf("Lookup = %v, %v", refs, err)
+	}
+	got, ok := d.LookupStruct(a, 9)
+	if !ok || got.Where != (RID{Page: 7, Slot: 0}) {
+		t.Fatalf("LookupStruct = %+v, %v", got, ok)
+	}
+
+	if err := d.Unregister(a, 9); err != nil {
+		t.Fatalf("Unregister: %v", err)
+	}
+	if _, ok := d.LookupStruct(a, 9); ok {
+		t.Fatal("reference survives Unregister")
+	}
+	// Unregister of an absent struct is a no-op.
+	if err := d.Unregister(a, 9); err != nil {
+		t.Fatalf("idempotent Unregister: %v", err)
+	}
+
+	if _, err := d.Lookup(New(1, 9999)); !errors.Is(err, ErrUnknownAddr) {
+		t.Fatalf("Lookup unknown = %v, want ErrUnknownAddr", err)
+	}
+}
+
+func TestUpdateAndValidity(t *testing.T) {
+	d := NewDirectory()
+	a := d.NewAddr(1)
+	for i, k := range []StructKind{KindPrimary, KindSortOrder, KindPartition} {
+		ref := RecordRef{Struct: StructID(i), Kind: k, Where: RID{Page: uint32(i)}, Valid: true}
+		if err := d.Register(a, ref); err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+	}
+
+	if err := d.Update(a, 1, RID{Page: 77, Slot: 3}); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	got, _ := d.LookupStruct(a, 1)
+	if got.Where != (RID{Page: 77, Slot: 3}) {
+		t.Fatalf("after Update: %+v", got)
+	}
+	if err := d.Update(a, 42, RID{}); !errors.Is(err, ErrUnknownAddr) {
+		t.Fatalf("Update missing struct = %v", err)
+	}
+
+	// Deferred-update protocol: one structure stays valid, others go stale.
+	stale, err := d.InvalidateOthers(a, 0)
+	if err != nil {
+		t.Fatalf("InvalidateOthers: %v", err)
+	}
+	if len(stale) != 2 {
+		t.Fatalf("stale = %d refs, want 2", len(stale))
+	}
+	refs, _ := d.Lookup(a)
+	for _, r := range refs {
+		wantValid := r.Struct == 0
+		if r.Valid != wantValid {
+			t.Fatalf("struct %d valid=%v, want %v", r.Struct, r.Valid, wantValid)
+		}
+	}
+	// Second invalidation returns nothing new.
+	stale, _ = d.InvalidateOthers(a, 0)
+	if len(stale) != 0 {
+		t.Fatalf("repeat InvalidateOthers = %d refs, want 0", len(stale))
+	}
+
+	// Propagation marks them valid again.
+	if err := d.SetValid(a, 1, true); err != nil {
+		t.Fatalf("SetValid: %v", err)
+	}
+	got, _ = d.LookupStruct(a, 1)
+	if !got.Valid {
+		t.Fatal("SetValid did not stick")
+	}
+}
+
+func TestReleaseAndScan(t *testing.T) {
+	d := NewDirectory()
+	var addrs []LogicalAddr
+	for i := 0; i < 10; i++ {
+		a := d.NewAddr(2)
+		if err := d.Register(a, RecordRef{Struct: 0, Kind: KindPrimary, Valid: true}); err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+		addrs = append(addrs, a)
+	}
+
+	refs, err := d.Release(addrs[4])
+	if err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if len(refs) != 1 {
+		t.Fatalf("Release returned %d refs, want 1", len(refs))
+	}
+	if d.Exists(addrs[4]) {
+		t.Fatal("released address still exists")
+	}
+	if _, err := d.Release(addrs[4]); !errors.Is(err, ErrUnknownAddr) {
+		t.Fatalf("double Release = %v, want ErrUnknownAddr", err)
+	}
+	if d.Count(2) != 9 {
+		t.Fatalf("Count = %d, want 9", d.Count(2))
+	}
+
+	// Scan visits survivors in ascending sequence order.
+	var seen []LogicalAddr
+	d.Scan(2, func(a LogicalAddr, refs []RecordRef) bool {
+		seen = append(seen, a)
+		return true
+	})
+	if len(seen) != 9 {
+		t.Fatalf("Scan visited %d, want 9", len(seen))
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i].Seq() <= seen[i-1].Seq() {
+			t.Fatal("Scan out of order")
+		}
+	}
+	for _, a := range seen {
+		if a == addrs[4] {
+			t.Fatal("Scan visited released address")
+		}
+	}
+
+	// Early stop.
+	n := 0
+	d.Scan(2, func(LogicalAddr, []RecordRef) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Scan ignored early stop: %d", n)
+	}
+
+	// Scan of unknown type is empty.
+	d.Scan(99, func(LogicalAddr, []RecordRef) bool {
+		t.Fatal("scan of unknown type visited something")
+		return false
+	})
+}
+
+func TestTypes(t *testing.T) {
+	d := NewDirectory()
+	d.NewAddr(5)
+	d.NewAddr(2)
+	a := d.NewAddr(9)
+	if _, err := d.Release(a); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	got := d.Types()
+	if len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Fatalf("Types = %v, want [2 5]", got)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	d := NewDirectory()
+	var addrs []LogicalAddr
+	for i := 0; i < 20; i++ {
+		a := d.NewAddr(TypeID(1 + i%3))
+		addrs = append(addrs, a)
+		d.Register(a, RecordRef{Struct: 0, Kind: KindPrimary, Where: RID{Page: uint32(i), Slot: uint16(i)}, Valid: true})
+		if i%2 == 0 {
+			d.Register(a, RecordRef{Struct: 5, Kind: KindCluster, Where: RID{Page: 100 + uint32(i)}, Valid: i%4 == 0})
+		}
+	}
+	d.Release(addrs[3])
+
+	snap := d.Snapshot()
+	d2, err := LoadSnapshot(snap)
+	if err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+	for i, a := range addrs {
+		if i == 3 {
+			if d2.Exists(a) {
+				t.Fatal("released address resurrected by snapshot")
+			}
+			continue
+		}
+		want, _ := d.Lookup(a)
+		got, err := d2.Lookup(a)
+		if err != nil {
+			t.Fatalf("Lookup %v: %v", a, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d refs, want %d", a, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("%v ref %d = %+v, want %+v", a, j, got[j], want[j])
+			}
+		}
+	}
+	// Sequence counters continue after the snapshot (no address reuse).
+	n := d2.NewAddr(1)
+	if d.Exists(n) {
+		t.Fatal("restored directory reused a live sequence number")
+	}
+
+	// Corrupted snapshots are rejected.
+	if _, err := LoadSnapshot(snap[:len(snap)/2]); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	if _, err := LoadSnapshot([]byte{1, 2, 3, 4, 5, 6, 7, 8}); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+}
+
+// Property: the directory behaves like a map of addr -> ref-set under random
+// register/unregister/release sequences, and snapshots preserve it exactly.
+func TestDirectoryQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDirectory()
+		model := map[LogicalAddr]map[StructID]RecordRef{}
+		var live []LogicalAddr
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(4) {
+			case 0: // new atom
+				a := d.NewAddr(TypeID(rng.Intn(4)))
+				model[a] = map[StructID]RecordRef{}
+				live = append(live, a)
+			case 1: // register
+				if len(live) == 0 {
+					continue
+				}
+				a := live[rng.Intn(len(live))]
+				s := StructID(rng.Intn(5))
+				ref := RecordRef{Struct: s, Kind: StructKind(rng.Intn(4)), Where: RID{Page: rng.Uint32() % 1000, Slot: uint16(rng.Intn(100))}, Valid: rng.Intn(2) == 0}
+				err := d.Register(a, ref)
+				if _, dup := model[a][s]; dup {
+					if !errors.Is(err, ErrDupStruct) {
+						return false
+					}
+				} else if err != nil {
+					return false
+				} else {
+					model[a][s] = ref
+				}
+			case 2: // unregister
+				if len(live) == 0 {
+					continue
+				}
+				a := live[rng.Intn(len(live))]
+				s := StructID(rng.Intn(5))
+				if err := d.Unregister(a, s); err != nil {
+					return false
+				}
+				delete(model[a], s)
+			case 3: // release
+				if len(live) == 0 {
+					continue
+				}
+				i := rng.Intn(len(live))
+				a := live[i]
+				if _, err := d.Release(a); err != nil {
+					return false
+				}
+				delete(model, a)
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		// Snapshot round-trip then compare against the model.
+		d2, err := LoadSnapshot(d.Snapshot())
+		if err != nil {
+			return false
+		}
+		for a, refs := range model {
+			got, err := d2.Lookup(a)
+			if err != nil || len(got) != len(refs) {
+				return false
+			}
+			for _, r := range got {
+				if refs[r.Struct] != r {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,189 @@
+package atom
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"prima/internal/access/addr"
+)
+
+// Binary encoding. Every value is (kind:1, payload); containers carry an
+// element count. Atoms (attribute vectors) are encoded as
+// (attrCount:2, values...) and attribute subsets — the partitions of §3.2 —
+// as (pairCount:2, (attrIdx:2, value)...). All integers big-endian.
+
+// Errors returned by the codec.
+var (
+	ErrTruncated = errors.New("atom: truncated encoding")
+	ErrBadKind   = errors.New("atom: unknown value kind")
+)
+
+// AppendValue encodes v onto buf and returns the extended slice.
+func AppendValue(buf []byte, v Value) []byte {
+	buf = append(buf, byte(v.K))
+	switch v.K {
+	case KindNull:
+	case KindInt:
+		buf = binary.BigEndian.AppendUint64(buf, uint64(v.I))
+	case KindReal:
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v.F))
+	case KindBool:
+		if v.I != 0 {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	case KindString:
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(v.S)))
+		buf = append(buf, v.S...)
+	case KindIdent, KindRef:
+		buf = binary.BigEndian.AppendUint64(buf, uint64(v.A))
+	case KindRecord, KindArray, KindSet, KindList:
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(v.E)))
+		for _, e := range v.E {
+			buf = AppendValue(buf, e)
+		}
+	}
+	return buf
+}
+
+// DecodeValue decodes one value from data, returning it and the remaining
+// bytes.
+func DecodeValue(data []byte) (Value, []byte, error) {
+	if len(data) < 1 {
+		return Value{}, nil, ErrTruncated
+	}
+	k := Kind(data[0])
+	data = data[1:]
+	switch k {
+	case KindNull:
+		return Value{}, data, nil
+	case KindInt:
+		if len(data) < 8 {
+			return Value{}, nil, ErrTruncated
+		}
+		return Value{K: k, I: int64(binary.BigEndian.Uint64(data))}, data[8:], nil
+	case KindReal:
+		if len(data) < 8 {
+			return Value{}, nil, ErrTruncated
+		}
+		return Value{K: k, F: math.Float64frombits(binary.BigEndian.Uint64(data))}, data[8:], nil
+	case KindBool:
+		if len(data) < 1 {
+			return Value{}, nil, ErrTruncated
+		}
+		return Value{K: k, I: int64(data[0] & 1)}, data[1:], nil
+	case KindString:
+		if len(data) < 4 {
+			return Value{}, nil, ErrTruncated
+		}
+		n := int(binary.BigEndian.Uint32(data))
+		data = data[4:]
+		if len(data) < n {
+			return Value{}, nil, ErrTruncated
+		}
+		return Value{K: k, S: string(data[:n])}, data[n:], nil
+	case KindIdent, KindRef:
+		if len(data) < 8 {
+			return Value{}, nil, ErrTruncated
+		}
+		return Value{K: k, A: addr.LogicalAddr(binary.BigEndian.Uint64(data))}, data[8:], nil
+	case KindRecord, KindArray, KindSet, KindList:
+		if len(data) < 4 {
+			return Value{}, nil, ErrTruncated
+		}
+		n := int(binary.BigEndian.Uint32(data))
+		data = data[4:]
+		v := Value{K: k}
+		if n > 0 {
+			v.E = make([]Value, 0, n)
+		}
+		for i := 0; i < n; i++ {
+			var e Value
+			var err error
+			e, data, err = DecodeValue(data)
+			if err != nil {
+				return Value{}, nil, err
+			}
+			v.E = append(v.E, e)
+		}
+		return v, data, nil
+	default:
+		return Value{}, nil, fmt.Errorf("%w: %d", ErrBadKind, k)
+	}
+}
+
+// EncodeAtom serializes a full attribute vector.
+func EncodeAtom(values []Value) []byte {
+	buf := make([]byte, 0, 16+16*len(values))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(values)))
+	for _, v := range values {
+		buf = AppendValue(buf, v)
+	}
+	return buf
+}
+
+// DecodeAtom deserializes a full attribute vector.
+func DecodeAtom(data []byte) ([]Value, error) {
+	if len(data) < 2 {
+		return nil, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(data))
+	data = data[2:]
+	values := make([]Value, n)
+	var err error
+	for i := 0; i < n; i++ {
+		values[i], data, err = DecodeValue(data)
+		if err != nil {
+			return nil, fmt.Errorf("atom: attribute %d: %w", i, err)
+		}
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("atom: %d trailing bytes", len(data))
+	}
+	return values, nil
+}
+
+// EncodeProjection serializes the chosen attributes (by index) of an atom.
+// This is the physical format of partition records, which hold "separate
+// storage of attribute combinations" (§3.2).
+func EncodeProjection(indices []int, values []Value) []byte {
+	buf := make([]byte, 0, 16+16*len(indices))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(indices)))
+	for _, idx := range indices {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(idx))
+		buf = AppendValue(buf, values[idx])
+	}
+	return buf
+}
+
+// DecodeProjection deserializes a partition record into (attrIndex, value)
+// pairs.
+func DecodeProjection(data []byte) (map[int]Value, error) {
+	if len(data) < 2 {
+		return nil, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(data))
+	data = data[2:]
+	out := make(map[int]Value, n)
+	for i := 0; i < n; i++ {
+		if len(data) < 2 {
+			return nil, ErrTruncated
+		}
+		idx := int(binary.BigEndian.Uint16(data))
+		data = data[2:]
+		var v Value
+		var err error
+		v, data, err = DecodeValue(data)
+		if err != nil {
+			return nil, fmt.Errorf("atom: projection pair %d: %w", i, err)
+		}
+		out[idx] = v
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("atom: %d trailing bytes", len(data))
+	}
+	return out, nil
+}

@@ -1,0 +1,408 @@
+package btree
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"prima/internal/access/addr"
+	"prima/internal/access/atom"
+	"prima/internal/storage/buffer"
+	"prima/internal/storage/device"
+	"prima/internal/storage/segment"
+)
+
+func newTree(t testing.TB, blockSize int) *BTree {
+	t.Helper()
+	dev, err := device.NewMem(blockSize)
+	if err != nil {
+		t.Fatalf("NewMem: %v", err)
+	}
+	seg, err := segment.Create(dev, 1, 65536)
+	if err != nil {
+		t.Fatalf("Create segment: %v", err)
+	}
+	pool := buffer.NewPool(buffer.NewSizeAwareLRU(1 << 20))
+	tr, err := Create(seg, pool)
+	if err != nil {
+		t.Fatalf("Create tree: %v", err)
+	}
+	return tr
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr := newTree(t, device.B1K)
+	for i := 0; i < 10; i++ {
+		if err := tr.Insert(atom.Int(int64(i)), addr.New(1, uint64(i+1))); err != nil {
+			t.Fatalf("Insert %d: %v", i, err)
+		}
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", tr.Len())
+	}
+	for i := 0; i < 10; i++ {
+		got, err := tr.Search(atom.Int(int64(i)))
+		if err != nil {
+			t.Fatalf("Search %d: %v", i, err)
+		}
+		if len(got) != 1 || got[0] != addr.New(1, uint64(i+1)) {
+			t.Fatalf("Search %d = %v", i, got)
+		}
+	}
+	if got, _ := tr.Search(atom.Int(99)); len(got) != 0 {
+		t.Fatalf("Search absent = %v", got)
+	}
+}
+
+func TestDuplicateKeysDistinctAddrs(t *testing.T) {
+	tr := newTree(t, device.B1K)
+	key := atom.Str("dup")
+	for i := 1; i <= 5; i++ {
+		if err := tr.Insert(key, addr.New(1, uint64(i))); err != nil {
+			t.Fatalf("Insert dup %d: %v", i, err)
+		}
+	}
+	// Exact duplicate (key, addr) rejected.
+	if err := tr.Insert(key, addr.New(1, 3)); !errors.Is(err, ErrDupEntry) {
+		t.Fatalf("duplicate entry = %v, want ErrDupEntry", err)
+	}
+	got, err := tr.Search(key)
+	if err != nil || len(got) != 5 {
+		t.Fatalf("Search = %v (%v), want 5 addrs", got, err)
+	}
+	// Delete one duplicate; others remain.
+	if err := tr.Delete(key, addr.New(1, 3)); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	got, _ = tr.Search(key)
+	if len(got) != 4 {
+		t.Fatalf("after delete: %d addrs, want 4", len(got))
+	}
+	if err := tr.Delete(key, addr.New(1, 3)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete = %v, want ErrNotFound", err)
+	}
+}
+
+func TestSplitsAndHeight(t *testing.T) {
+	tr := newTree(t, device.B512) // small pages force splits early
+	const n = 2000
+	perm := rand.New(rand.NewSource(42)).Perm(n)
+	for _, i := range perm {
+		if err := tr.Insert(atom.Int(int64(i)), addr.New(1, uint64(i+1))); err != nil {
+			t.Fatalf("Insert %d: %v", i, err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	h, err := tr.Height()
+	if err != nil {
+		t.Fatalf("Height: %v", err)
+	}
+	if h < 3 {
+		t.Fatalf("height = %d; expected a deep tree on 512-byte pages", h)
+	}
+	// All keys present, in order.
+	var keys []int64
+	err = tr.Scan(nil, nil, false, func(k atom.Value, a addr.LogicalAddr) bool {
+		keys = append(keys, k.I)
+		return true
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(keys) != n {
+		t.Fatalf("scan saw %d keys, want %d", len(keys), n)
+	}
+	for i := range keys {
+		if keys[i] != int64(i) {
+			t.Fatalf("keys[%d] = %d, out of order", i, keys[i])
+		}
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr := newTree(t, device.B512)
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(atom.Int(int64(i*2)), addr.New(1, uint64(i+1))); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	start, stop := atom.Int(10), atom.Int(20)
+
+	var asc []int64
+	if err := tr.Scan(&start, &stop, false, func(k atom.Value, _ addr.LogicalAddr) bool {
+		asc = append(asc, k.I)
+		return true
+	}); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	want := []int64{10, 12, 14, 16, 18, 20}
+	if len(asc) != len(want) {
+		t.Fatalf("asc = %v, want %v", asc, want)
+	}
+	for i := range want {
+		if asc[i] != want[i] {
+			t.Fatalf("asc = %v, want %v", asc, want)
+		}
+	}
+
+	var desc []int64
+	if err := tr.Scan(&start, &stop, true, func(k atom.Value, _ addr.LogicalAddr) bool {
+		desc = append(desc, k.I)
+		return true
+	}); err != nil {
+		t.Fatalf("Scan desc: %v", err)
+	}
+	if len(desc) != len(want) {
+		t.Fatalf("desc = %v", desc)
+	}
+	for i := range want {
+		if desc[i] != want[len(want)-1-i] {
+			t.Fatalf("desc = %v", desc)
+		}
+	}
+
+	// Open-ended scans.
+	n := 0
+	tr.Scan(&stop, nil, false, func(atom.Value, addr.LogicalAddr) bool { n++; return true })
+	if n != 90 {
+		t.Fatalf("open-stop scan = %d, want 90", n)
+	}
+	n = 0
+	tr.Scan(nil, &start, true, func(atom.Value, addr.LogicalAddr) bool { n++; return true })
+	if n != 6 {
+		t.Fatalf("open-start desc scan = %d, want 6", n)
+	}
+
+	// Early termination.
+	n = 0
+	tr.Scan(nil, nil, false, func(atom.Value, addr.LogicalAddr) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop = %d", n)
+	}
+}
+
+func TestDeleteMany(t *testing.T) {
+	tr := newTree(t, device.B512)
+	const n = 800
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(atom.Int(int64(i)), addr.New(1, uint64(i+1))); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	// Delete every other key.
+	for i := 0; i < n; i += 2 {
+		if err := tr.Delete(atom.Int(int64(i)), addr.New(1, uint64(i+1))); err != nil {
+			t.Fatalf("Delete %d: %v", i, err)
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n/2)
+	}
+	var keys []int64
+	tr.Scan(nil, nil, false, func(k atom.Value, _ addr.LogicalAddr) bool {
+		keys = append(keys, k.I)
+		return true
+	})
+	if len(keys) != n/2 {
+		t.Fatalf("scan after deletes = %d keys", len(keys))
+	}
+	for i, k := range keys {
+		if k != int64(2*i+1) {
+			t.Fatalf("keys[%d] = %d, want %d", i, k, 2*i+1)
+		}
+	}
+}
+
+func TestMixedKeyKinds(t *testing.T) {
+	tr := newTree(t, device.B1K)
+	keys := []atom.Value{
+		atom.Int(5), atom.Real(2.5), atom.Str("alpha"), atom.Str("beta"),
+		atom.Real(-1), atom.Int(1000000),
+	}
+	for i, k := range keys {
+		if err := tr.Insert(k, addr.New(2, uint64(i+1))); err != nil {
+			t.Fatalf("Insert %v: %v", k, err)
+		}
+	}
+	var got []atom.Value
+	tr.Scan(nil, nil, false, func(k atom.Value, _ addr.LogicalAddr) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(keys) {
+		t.Fatalf("scan = %d keys", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if atom.Compare(got[i-1], got[i]) > 0 {
+			t.Fatalf("scan out of order at %d: %v > %v", i, got[i-1], got[i])
+		}
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	dev, _ := device.NewMem(device.B1K)
+	seg, err := segment.Create(dev, 1, 65536)
+	if err != nil {
+		t.Fatalf("segment: %v", err)
+	}
+	pool := buffer.NewPool(buffer.NewSizeAwareLRU(1 << 20))
+	tr, err := Create(seg, pool)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := tr.Insert(atom.Int(int64(i)), addr.New(1, uint64(i+1))); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+
+	pool2 := buffer.NewPool(buffer.NewSizeAwareLRU(1 << 20))
+	tr2, err := Open(seg, pool2, tr.MetaPage())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if tr2.Len() != 500 {
+		t.Fatalf("reopened Len = %d", tr2.Len())
+	}
+	got, err := tr2.Search(atom.Int(250))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("reopened Search = %v, %v", got, err)
+	}
+
+	// Opening a non-meta page fails.
+	if _, err := Open(seg, pool2, tr.MetaPage()+1); err == nil {
+		t.Fatal("Open of non-meta page accepted")
+	}
+}
+
+func TestKeyTooLarge(t *testing.T) {
+	tr := newTree(t, device.B512)
+	big := atom.Str(string(make([]byte, 400)))
+	if err := tr.Insert(big, addr.New(1, 1)); !errors.Is(err, ErrKeyTooLarge) {
+		t.Fatalf("huge key = %v, want ErrKeyTooLarge", err)
+	}
+}
+
+// Property: the tree agrees with a sorted reference model under random
+// insert/delete, for both scan directions.
+func TestBTreeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := newTree(t, device.B512)
+		type ent struct {
+			k int64
+			a addr.LogicalAddr
+		}
+		model := map[ent]bool{}
+		for op := 0; op < 400; op++ {
+			k := int64(rng.Intn(50)) // small domain forces duplicates
+			a := addr.New(1, uint64(rng.Intn(20)+1))
+			e := ent{k, a}
+			if rng.Intn(3) > 0 {
+				err := tr.Insert(atom.Int(k), a)
+				if model[e] {
+					if !errors.Is(err, ErrDupEntry) {
+						return false
+					}
+				} else if err != nil {
+					return false
+				} else {
+					model[e] = true
+				}
+			} else {
+				err := tr.Delete(atom.Int(k), a)
+				if model[e] {
+					if err != nil {
+						return false
+					}
+					delete(model, e)
+				} else if !errors.Is(err, ErrNotFound) {
+					return false
+				}
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		var want []ent
+		for e := range model {
+			want = append(want, e)
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].k != want[j].k {
+				return want[i].k < want[j].k
+			}
+			return want[i].a < want[j].a
+		})
+		var got []ent
+		if err := tr.Scan(nil, nil, false, func(k atom.Value, a addr.LogicalAddr) bool {
+			got = append(got, ent{k.I, a})
+			return true
+		}); err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		// Descending scan is the exact reverse.
+		var rev []ent
+		if err := tr.Scan(nil, nil, true, func(k atom.Value, a addr.LogicalAddr) bool {
+			rev = append(rev, ent{k.I, a})
+			return true
+		}); err != nil {
+			return false
+		}
+		if len(rev) != len(want) {
+			return false
+		}
+		for i := range want {
+			if rev[i] != want[len(want)-1-i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	tr := newTree(b, device.B4K)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(atom.Int(int64(i)), addr.New(1, uint64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBTreeSearch(b *testing.B) {
+	tr := newTree(b, device.B4K)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(atom.Int(int64(i)), addr.New(1, uint64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Search(atom.Int(int64(i % n))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,397 @@
+// Package mdindex implements the multi-dimensional access path structures
+// of §3.2: "Since we offer multi-dimensional access path structures ...
+// with n keys, navigation has much more degrees of freedom. Therefore,
+// start/stop conditions and directions may be specified individually for
+// every key involved in the scan."
+//
+// The implementation is a grid file: linear scales per dimension partition
+// the key space into cells, and buckets split along cycling dimensions as
+// they overflow. Region (box) queries prune whole buckets through the
+// scales. Unlike the page-based B*-tree, the grid keeps its directory in
+// memory and persists via snapshots at checkpoint time — a documented
+// simplification (see DESIGN.md): the experiments exercise search shape, not
+// grid paging.
+package mdindex
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"prima/internal/access/addr"
+	"prima/internal/access/atom"
+)
+
+// Errors returned by the grid.
+var (
+	ErrDims     = errors.New("mdindex: wrong number of key dimensions")
+	ErrNotFound = errors.New("mdindex: entry not found")
+	ErrDup      = errors.New("mdindex: duplicate entry")
+)
+
+// Entry is a key vector plus the atom it indexes.
+type Entry struct {
+	Keys []atom.Value
+	Addr addr.LogicalAddr
+}
+
+// bucket holds entries of one grid region.
+type bucket struct {
+	entries []Entry
+}
+
+// Grid is a k-dimensional grid file. It is safe for concurrent use.
+type Grid struct {
+	mu       sync.RWMutex
+	dims     int
+	capacity int // bucket capacity before splitting
+	// scales[d] holds ascending split points of dimension d; cell i of
+	// dimension d covers [scales[d][i-1], scales[d][i]) with open ends.
+	scales [][]atom.Value
+	// directory maps cell coordinates to buckets; multiple cells may share
+	// one bucket (grid-file twin cells are merged implicitly by pointer).
+	directory map[string]*bucket
+	size      int
+	splitNext int // round-robin split dimension
+}
+
+// New creates a grid over dims dimensions. bucketCap tunes splitting
+// (default 64 when <= 0).
+func New(dims, bucketCap int) *Grid {
+	if bucketCap <= 0 {
+		bucketCap = 64
+	}
+	return &Grid{
+		dims:      dims,
+		capacity:  bucketCap,
+		scales:    make([][]atom.Value, dims),
+		directory: make(map[string]*bucket),
+	}
+}
+
+// Dims returns the dimensionality.
+func (g *Grid) Dims() int { return g.dims }
+
+// Len returns the number of entries.
+func (g *Grid) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.size
+}
+
+// cellOf returns the coordinates of the cell containing keys.
+func (g *Grid) cellOf(keys []atom.Value) []int {
+	cell := make([]int, g.dims)
+	for d, s := range g.scales {
+		// First split point strictly greater than the key = cell index.
+		cell[d] = sort.Search(len(s), func(i int) bool {
+			return atom.Compare(keys[d], s[i]) < 0
+		})
+	}
+	return cell
+}
+
+func cellKey(cell []int) string {
+	b := make([]byte, 0, len(cell)*3)
+	for _, c := range cell {
+		b = append(b, byte(c>>16), byte(c>>8), byte(c))
+	}
+	return string(b)
+}
+
+func (g *Grid) bucketFor(cell []int) *bucket {
+	k := cellKey(cell)
+	b, ok := g.directory[k]
+	if !ok {
+		b = &bucket{}
+		g.directory[k] = b
+	}
+	return b
+}
+
+// Insert adds an entry. Exact duplicates (same keys and addr) are rejected.
+func (g *Grid) Insert(keys []atom.Value, a addr.LogicalAddr) error {
+	if len(keys) != g.dims {
+		return fmt.Errorf("%w: got %d, want %d", ErrDims, len(keys), g.dims)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	cell := g.cellOf(keys)
+	b := g.bucketFor(cell)
+	for _, e := range b.entries {
+		if e.Addr == a && keysEqual(e.Keys, keys) {
+			return fmt.Errorf("%w: %v %v", ErrDup, keys, a)
+		}
+	}
+	cp := make([]atom.Value, len(keys))
+	for i, k := range keys {
+		cp[i] = k.Clone()
+	}
+	b.entries = append(b.entries, Entry{Keys: cp, Addr: a})
+	g.size++
+	if len(b.entries) > g.capacity {
+		g.split(cell, b)
+	}
+	return nil
+}
+
+func keysEqual(a, b []atom.Value) bool {
+	for i := range a {
+		if atom.Compare(a[i], b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// split refines a scale along the round-robin dimension at the median of
+// the overflowing bucket and redistributes affected buckets.
+func (g *Grid) split(cell []int, b *bucket) {
+	// Choose a dimension where the bucket actually has distinct values.
+	for attempts := 0; attempts < g.dims; attempts++ {
+		d := g.splitNext
+		g.splitNext = (g.splitNext + 1) % g.dims
+
+		vals := make([]atom.Value, len(b.entries))
+		for i, e := range b.entries {
+			vals[i] = e.Keys[d]
+		}
+		sort.Slice(vals, func(i, j int) bool { return atom.Compare(vals[i], vals[j]) < 0 })
+		median := vals[len(vals)/2]
+		if atom.Compare(vals[0], median) == 0 && atom.Compare(vals[len(vals)-1], median) == 0 {
+			continue // all equal in this dimension; try the next
+		}
+		// Insert the split point into the scale and rebuild the directory:
+		// every cell index >= position shifts by one along d.
+		s := g.scales[d]
+		pos := sort.Search(len(s), func(i int) bool {
+			return atom.Compare(median, s[i]) <= 0
+		})
+		if pos < len(s) && atom.Compare(s[pos], median) == 0 {
+			continue // split point already exists
+		}
+		ns := make([]atom.Value, 0, len(s)+1)
+		ns = append(ns, s[:pos]...)
+		ns = append(ns, median.Clone())
+		ns = append(ns, s[pos:]...)
+		g.scales[d] = ns
+		g.rebuild()
+		return
+	}
+	// All dimensions degenerate: allow oversized bucket.
+}
+
+// rebuild redistributes every entry after a scale change. Grid files
+// normally shift directory slices in place; rebuilding keeps the code small
+// at O(n) per split, which is fine at the scales the experiments use.
+func (g *Grid) rebuild() {
+	old := g.directory
+	g.directory = make(map[string]*bucket, len(old)*2)
+	for _, b := range old {
+		for _, e := range b.entries {
+			nb := g.bucketFor(g.cellOf(e.Keys))
+			nb.entries = append(nb.entries, e)
+		}
+	}
+}
+
+// Delete removes the entry with exactly these keys and addr.
+func (g *Grid) Delete(keys []atom.Value, a addr.LogicalAddr) error {
+	if len(keys) != g.dims {
+		return fmt.Errorf("%w: got %d, want %d", ErrDims, len(keys), g.dims)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b := g.bucketFor(g.cellOf(keys))
+	for i, e := range b.entries {
+		if e.Addr == a && keysEqual(e.Keys, keys) {
+			b.entries = append(b.entries[:i], b.entries[i+1:]...)
+			g.size--
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %v %v", ErrNotFound, keys, a)
+}
+
+// Range bounds one dimension of a region query. Nil bounds are open.
+type Range struct {
+	Start *atom.Value // inclusive lower bound
+	Stop  *atom.Value // inclusive upper bound
+	Desc  bool        // scan direction for this key in the result order
+}
+
+// contains reports whether v lies in the range.
+func (r Range) contains(v atom.Value) bool {
+	if r.Start != nil && atom.Compare(v, *r.Start) < 0 {
+		return false
+	}
+	if r.Stop != nil && atom.Compare(v, *r.Stop) > 0 {
+		return false
+	}
+	return true
+}
+
+// Search returns the addresses of entries matching all keys exactly.
+func (g *Grid) Search(keys []atom.Value) ([]addr.LogicalAddr, error) {
+	if len(keys) != g.dims {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrDims, len(keys), g.dims)
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []addr.LogicalAddr
+	k := cellKey(g.cellOf(keys))
+	if b, ok := g.directory[k]; ok {
+		for _, e := range b.entries {
+			if keysEqual(e.Keys, keys) {
+				out = append(out, e.Addr)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Scan iterates entries inside the region box in the order given by the
+// ranges: results sort by dimension 0 first (direction per Desc), then
+// dimension 1, and so on — "the user determines the selection path for
+// elements in an n-dimensional space". ranges must have one Range per
+// dimension. fn returning false stops the scan.
+func (g *Grid) Scan(ranges []Range, fn func(e Entry) bool) error {
+	if len(ranges) != g.dims {
+		return fmt.Errorf("%w: got %d ranges, want %d", ErrDims, len(ranges), g.dims)
+	}
+	g.mu.RLock()
+	// Collect matching entries from buckets that intersect the box.
+	var hits []Entry
+	for key, b := range g.directory {
+		if !g.cellIntersects(key, ranges) {
+			continue
+		}
+		for _, e := range b.entries {
+			ok := true
+			for d, r := range ranges {
+				if !r.contains(e.Keys[d]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				hits = append(hits, e)
+			}
+		}
+	}
+	g.mu.RUnlock()
+
+	sort.Slice(hits, func(i, j int) bool {
+		for d := range ranges {
+			c := atom.Compare(hits[i].Keys[d], hits[j].Keys[d])
+			if ranges[d].Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return hits[i].Addr < hits[j].Addr
+	})
+	for _, e := range hits {
+		if !fn(e) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// cellIntersects prunes cells wholly outside the query box using the scales.
+func (g *Grid) cellIntersects(key string, ranges []Range) bool {
+	for d := 0; d < g.dims; d++ {
+		c := int(key[d*3])<<16 | int(key[d*3+1])<<8 | int(key[d*3+2])
+		s := g.scales[d]
+		// Cell c of dimension d covers [s[c-1], s[c]).
+		if r := ranges[d]; r.Start != nil && c < len(s) {
+			if atom.Compare(s[c], *r.Start) <= 0 {
+				return false // cell entirely below start
+			}
+		}
+		if r := ranges[d]; r.Stop != nil && c > 0 {
+			if atom.Compare(s[c-1], *r.Stop) > 0 {
+				return false // cell entirely above stop
+			}
+		}
+	}
+	return true
+}
+
+// Buckets returns the number of live buckets, for diagnostics.
+func (g *Grid) Buckets() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.directory)
+}
+
+// Entries returns a copy of all entries (diagnostics/persistence).
+func (g *Grid) Entries() []Entry {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]Entry, 0, g.size)
+	for _, b := range g.directory {
+		out = append(out, b.entries...)
+	}
+	return out
+}
+
+// Snapshot serializes the grid's entries. Scales and buckets are rebuilt on
+// load by reinsertion.
+func (g *Grid) Snapshot() []byte {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	buf := []byte{byte(g.dims), byte(g.capacity >> 8), byte(g.capacity)}
+	var cnt [4]byte
+	put32 := func(v uint32) {
+		cnt[0], cnt[1], cnt[2], cnt[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+		buf = append(buf, cnt[:]...)
+	}
+	put32(uint32(g.size))
+	for _, b := range g.directory {
+		for _, e := range b.entries {
+			for _, k := range e.Keys {
+				buf = atom.AppendValue(buf, k)
+			}
+			put32(uint32(e.Addr >> 32))
+			put32(uint32(e.Addr))
+		}
+	}
+	return buf
+}
+
+// Load rebuilds a grid from Snapshot output.
+func Load(data []byte) (*Grid, error) {
+	if len(data) < 7 {
+		return nil, fmt.Errorf("mdindex: truncated snapshot")
+	}
+	dims := int(data[0])
+	capacity := int(data[1])<<8 | int(data[2])
+	n := int(data[3])<<24 | int(data[4])<<16 | int(data[5])<<8 | int(data[6])
+	data = data[7:]
+	g := New(dims, capacity)
+	for i := 0; i < n; i++ {
+		keys := make([]atom.Value, dims)
+		var err error
+		for d := 0; d < dims; d++ {
+			keys[d], data, err = atom.DecodeValue(data)
+			if err != nil {
+				return nil, fmt.Errorf("mdindex: snapshot entry %d: %w", i, err)
+			}
+		}
+		if len(data) < 8 {
+			return nil, fmt.Errorf("mdindex: truncated snapshot addr")
+		}
+		hi := uint64(data[0])<<24 | uint64(data[1])<<16 | uint64(data[2])<<8 | uint64(data[3])
+		lo := uint64(data[4])<<24 | uint64(data[5])<<16 | uint64(data[6])<<8 | uint64(data[7])
+		data = data[8:]
+		if err := g.Insert(keys, addr.LogicalAddr(hi<<32|lo)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

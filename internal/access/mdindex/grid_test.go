@@ -1,0 +1,307 @@
+package mdindex
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prima/internal/access/addr"
+	"prima/internal/access/atom"
+)
+
+func keys2(x, y float64) []atom.Value { return []atom.Value{atom.Real(x), atom.Real(y)} }
+
+func TestInsertSearchDelete(t *testing.T) {
+	g := New(2, 4)
+	a1 := addr.New(1, 1)
+	if err := g.Insert(keys2(1, 2), a1); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := g.Insert(keys2(1, 2), a1); !errors.Is(err, ErrDup) {
+		t.Fatalf("duplicate = %v, want ErrDup", err)
+	}
+	// Same keys, different atom: allowed.
+	a2 := addr.New(1, 2)
+	if err := g.Insert(keys2(1, 2), a2); err != nil {
+		t.Fatalf("Insert same keys new addr: %v", err)
+	}
+	got, err := g.Search(keys2(1, 2))
+	if err != nil || len(got) != 2 {
+		t.Fatalf("Search = %v, %v", got, err)
+	}
+	if err := g.Delete(keys2(1, 2), a1); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := g.Delete(keys2(1, 2), a1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete = %v, want ErrNotFound", err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+	// Dimension mismatch.
+	if err := g.Insert([]atom.Value{atom.Real(1)}, a1); !errors.Is(err, ErrDims) {
+		t.Fatalf("bad dims = %v, want ErrDims", err)
+	}
+}
+
+func TestSplittingKeepsAllEntries(t *testing.T) {
+	g := New(2, 4) // tiny buckets force many splits
+	rng := rand.New(rand.NewSource(7))
+	type ent struct {
+		x, y float64
+		a    addr.LogicalAddr
+	}
+	var all []ent
+	for i := 0; i < 500; i++ {
+		e := ent{rng.Float64() * 100, rng.Float64() * 100, addr.New(1, uint64(i+1))}
+		all = append(all, e)
+		if err := g.Insert(keys2(e.x, e.y), e.a); err != nil {
+			t.Fatalf("Insert %d: %v", i, err)
+		}
+	}
+	if g.Len() != 500 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if g.Buckets() < 10 {
+		t.Fatalf("only %d buckets after 500 inserts with capacity 4", g.Buckets())
+	}
+	for _, e := range all {
+		got, err := g.Search(keys2(e.x, e.y))
+		if err != nil {
+			t.Fatalf("Search: %v", err)
+		}
+		found := false
+		for _, a := range got {
+			if a == e.a {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("entry %v lost after splits", e.a)
+		}
+	}
+}
+
+func TestRegionScanMatchesBruteForce(t *testing.T) {
+	g := New(2, 8)
+	rng := rand.New(rand.NewSource(11))
+	type pt struct{ x, y float64 }
+	pts := make(map[addr.LogicalAddr]pt)
+	for i := 0; i < 300; i++ {
+		p := pt{rng.Float64() * 10, rng.Float64() * 10}
+		a := addr.New(1, uint64(i+1))
+		pts[a] = p
+		if err := g.Insert(keys2(p.x, p.y), a); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	lo, hi := atom.Real(2.5), atom.Real(7.5)
+	ranges := []Range{
+		{Start: &lo, Stop: &hi},
+		{Start: &lo, Stop: &hi},
+	}
+	got := map[addr.LogicalAddr]bool{}
+	err := g.Scan(ranges, func(e Entry) bool {
+		got[e.Addr] = true
+		return true
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	for a, p := range pts {
+		want := p.x >= 2.5 && p.x <= 7.5 && p.y >= 2.5 && p.y <= 7.5
+		if got[a] != want {
+			t.Fatalf("addr %v: scan=%v, brute=%v (point %+v)", a, got[a], want, p)
+		}
+	}
+}
+
+func TestScanOrderPerKeyDirections(t *testing.T) {
+	g := New(2, 4)
+	n := 0
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 4; y++ {
+			n++
+			if err := g.Insert([]atom.Value{atom.Int(int64(x)), atom.Int(int64(y))}, addr.New(1, uint64(n))); err != nil {
+				t.Fatalf("Insert: %v", err)
+			}
+		}
+	}
+	// x ascending, y descending.
+	var seq [][2]int64
+	err := g.Scan([]Range{{}, {Desc: true}}, func(e Entry) bool {
+		seq = append(seq, [2]int64{e.Keys[0].I, e.Keys[1].I})
+		return true
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(seq) != 16 {
+		t.Fatalf("scan saw %d entries", len(seq))
+	}
+	for i := 1; i < len(seq); i++ {
+		a, b := seq[i-1], seq[i]
+		if a[0] > b[0] || (a[0] == b[0] && a[1] < b[1]) {
+			t.Fatalf("order violated at %d: %v then %v (want x asc, y desc)", i, a, b)
+		}
+	}
+	// Early stop.
+	cnt := 0
+	g.Scan([]Range{{}, {}}, func(Entry) bool { cnt++; return false })
+	if cnt != 1 {
+		t.Fatalf("early stop ignored: %d", cnt)
+	}
+}
+
+func TestMixedKindKeys(t *testing.T) {
+	g := New(2, 4)
+	if err := g.Insert([]atom.Value{atom.Str("alpha"), atom.Int(1)}, addr.New(1, 1)); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := g.Insert([]atom.Value{atom.Str("beta"), atom.Int(2)}, addr.New(1, 2)); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	lo := atom.Str("b")
+	var hit int
+	g.Scan([]Range{{Start: &lo}, {}}, func(e Entry) bool { hit++; return true })
+	if hit != 1 {
+		t.Fatalf("string range scan = %d hits, want 1", hit)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	g := New(3, 4)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		keys := []atom.Value{
+			atom.Real(rng.Float64()),
+			atom.Int(int64(rng.Intn(100))),
+			atom.Str(string(rune('a' + rng.Intn(26)))),
+		}
+		if err := g.Insert(keys, addr.New(2, uint64(i+1))); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	g2, err := Load(g.Snapshot())
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if g2.Len() != g.Len() || g2.Dims() != 3 {
+		t.Fatalf("reloaded: len=%d dims=%d", g2.Len(), g2.Dims())
+	}
+	for _, e := range g.Entries() {
+		got, err := g2.Search(e.Keys)
+		if err != nil {
+			t.Fatalf("Search: %v", err)
+		}
+		ok := false
+		for _, a := range got {
+			if a == e.Addr {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("entry %v lost in snapshot", e.Addr)
+		}
+	}
+	if _, err := Load([]byte{1, 2}); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}
+
+// Property: grid region scans agree with brute force over random data and
+// random boxes.
+func TestGridQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New(2, 4)
+		type ent struct {
+			x, y int64
+			a    addr.LogicalAddr
+		}
+		var all []ent
+		for i := 0; i < 150; i++ {
+			e := ent{int64(rng.Intn(20)), int64(rng.Intn(20)), addr.New(1, uint64(i+1))}
+			all = append(all, e)
+			if err := g.Insert([]atom.Value{atom.Int(e.x), atom.Int(e.y)}, e.a); err != nil {
+				return false
+			}
+		}
+		// Delete a random subset.
+		live := map[addr.LogicalAddr]ent{}
+		for _, e := range all {
+			live[e.a] = e
+		}
+		for i := 0; i < 30; i++ {
+			e := all[rng.Intn(len(all))]
+			if _, ok := live[e.a]; !ok {
+				continue
+			}
+			if err := g.Delete([]atom.Value{atom.Int(e.x), atom.Int(e.y)}, e.a); err != nil {
+				return false
+			}
+			delete(live, e.a)
+		}
+		// Random box.
+		x0, x1 := int64(rng.Intn(20)), int64(rng.Intn(20))
+		if x0 > x1 {
+			x0, x1 = x1, x0
+		}
+		y0, y1 := int64(rng.Intn(20)), int64(rng.Intn(20))
+		if y0 > y1 {
+			y0, y1 = y1, y0
+		}
+		lox, hix := atom.Int(x0), atom.Int(x1)
+		loy, hiy := atom.Int(y0), atom.Int(y1)
+		got := map[addr.LogicalAddr]bool{}
+		err := g.Scan([]Range{{Start: &lox, Stop: &hix}, {Start: &loy, Stop: &hiy}}, func(e Entry) bool {
+			got[e.Addr] = true
+			return true
+		})
+		if err != nil {
+			return false
+		}
+		for a, e := range live {
+			want := e.x >= x0 && e.x <= x1 && e.y >= y0 && e.y <= y1
+			if got[a] != want {
+				return false
+			}
+		}
+		return len(got) <= len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGridInsert(b *testing.B) {
+	g := New(2, 64)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := g.Insert(keys2(rng.Float64(), rng.Float64()), addr.New(1, uint64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGridRegionScan(b *testing.B) {
+	g := New(2, 64)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		if err := g.Insert(keys2(rng.Float64(), rng.Float64()), addr.New(1, uint64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	lo, hi := atom.Real(0.4), atom.Real(0.6)
+	ranges := []Range{{Start: &lo, Stop: &hi}, {Start: &lo, Stop: &hi}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := g.Scan(ranges, func(Entry) bool { n++; return true }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,437 @@
+// Package record implements containers of physical records.
+//
+// "To manage redundancy in the access system, physical records are
+// introduced as byte strings of variable length. They are stored
+// consecutively in 'containers' offered by the storage system." (§3.2)
+//
+// A Container owns one segment and stores records in slotted pages fixed
+// through the buffer pool. Records that exceed a page's capacity spill into
+// a page sequence (the storage system's container for long objects); the
+// slotted page then holds a small stub pointing at the sequence, so callers
+// see one uniform variable-length record abstraction.
+package record
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"prima/internal/access/addr"
+	"prima/internal/storage/buffer"
+	"prima/internal/storage/page"
+	"prima/internal/storage/pageseq"
+	"prima/internal/storage/segment"
+)
+
+// Record stubs: every stored byte string is prefixed with a flag byte.
+const (
+	flagInline  = 0x00 // record bytes follow inline
+	flagSpilled = 0x01 // followed by the uint32 header page of a page sequence
+)
+
+// Errors returned by containers.
+var (
+	ErrNotFound = errors.New("record: no record at this address")
+)
+
+// Container stores variable-length physical records in one segment.
+// It is safe for concurrent use.
+type Container struct {
+	seg  *segment.Segment
+	pool *buffer.Pool
+
+	mu    sync.Mutex
+	pages []uint32       // data pages in scan order
+	fsi   map[uint32]int // free-space inventory (approximate, in-memory)
+	count int            // live records
+	// hint is the index into pages where the last insert succeeded;
+	// first-fit resumes there so a long prefix of full pages is not
+	// rescanned on every insert.
+	hint int
+}
+
+// New opens a container over seg, registering it with the pool and
+// rebuilding the free-space inventory from the existing data pages.
+func New(seg *segment.Segment, pool *buffer.Pool) (*Container, error) {
+	pool.Register(seg)
+	c := &Container{seg: seg, pool: pool, fsi: make(map[uint32]int)}
+
+	var firstErr error
+	seg.ForAllocated(func(no uint32) bool {
+		h, err := pool.Fix(segment.PageID{Seg: seg.ID(), No: no})
+		if err != nil {
+			firstErr = fmt.Errorf("record: open page %d: %w", no, err)
+			return false
+		}
+		pg := h.Page()
+		if pg.Type() == page.TypeData {
+			c.pages = append(c.pages, no)
+			c.fsi[no] = pg.FreeSpace()
+			c.count += pg.Records()
+		}
+		h.Release()
+		return true
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return c, nil
+}
+
+// Segment returns the container's segment.
+func (c *Container) Segment() *segment.Segment { return c.seg }
+
+// Count returns the number of live records.
+func (c *Container) Count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// Pages returns the number of data pages in use.
+func (c *Container) Pages() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pages)
+}
+
+// stubLimit returns the maximum stored size for inline records; larger
+// records spill to a page sequence.
+func (c *Container) stubLimit() int {
+	// Capacity of an empty page minus the flag byte, conservatively halved
+	// so a page can hold at least two records.
+	return (c.seg.PageSize() - page.HeaderSize - 8) / 2
+}
+
+// Insert stores rec and returns its record address.
+func (c *Container) Insert(rec []byte) (addr.RID, error) {
+	if len(rec)+1 > c.stubLimit() {
+		return c.insertSpilled(rec)
+	}
+	stored := make([]byte, 0, len(rec)+1)
+	stored = append(stored, flagInline)
+	stored = append(stored, rec...)
+	return c.insertStored(stored)
+}
+
+func (c *Container) insertSpilled(rec []byte) (addr.RID, error) {
+	seq, err := pageseq.Create(c.seg, rec)
+	if err != nil {
+		return addr.RID{}, fmt.Errorf("record: spill: %w", err)
+	}
+	var stub [5]byte
+	stub[0] = flagSpilled
+	binary.BigEndian.PutUint32(stub[1:], seq.HeaderPage())
+	rid, err := c.insertStored(stub[:])
+	if err != nil {
+		_ = seq.Delete()
+		return addr.RID{}, err
+	}
+	return rid, nil
+}
+
+// insertStored places an already-prefixed byte string into a page with room.
+func (c *Container) insertStored(stored []byte) (addr.RID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	// First fit over the FSI starting at the last successful page; the
+	// inventory is approximate so failures just update it and move on.
+	if c.hint >= len(c.pages) {
+		c.hint = 0
+	}
+	for i := 0; i < len(c.pages); i++ {
+		idx := (c.hint + i) % len(c.pages)
+		no := c.pages[idx]
+		if c.fsi[no] < len(stored) {
+			continue
+		}
+		rid, ok, err := c.tryInsertLocked(no, stored)
+		if err != nil {
+			return addr.RID{}, err
+		}
+		if ok {
+			c.hint = idx
+			return rid, nil
+		}
+	}
+	// No page fits: allocate a new one.
+	no, err := c.seg.AllocatePage()
+	if err != nil {
+		return addr.RID{}, fmt.Errorf("record: allocate page: %w", err)
+	}
+	h, err := c.pool.FixNew(segment.PageID{Seg: c.seg.ID(), No: no})
+	if err != nil {
+		return addr.RID{}, err
+	}
+	pg := h.Page()
+	pg.Init(page.TypeData, uint32(c.seg.ID()), no)
+	slot, err := pg.Insert(stored)
+	if err != nil {
+		h.Release()
+		return addr.RID{}, fmt.Errorf("record: insert into fresh page: %w", err)
+	}
+	h.MarkDirty()
+	c.fsi[no] = pg.FreeSpace()
+	h.Release()
+	c.pages = append(c.pages, no)
+	c.hint = len(c.pages) - 1
+	c.count++
+	return addr.RID{Page: no, Slot: uint16(slot)}, nil
+}
+
+func (c *Container) tryInsertLocked(no uint32, stored []byte) (addr.RID, bool, error) {
+	h, err := c.pool.Fix(segment.PageID{Seg: c.seg.ID(), No: no})
+	if err != nil {
+		return addr.RID{}, false, err
+	}
+	pg := h.Page()
+	slot, err := pg.Insert(stored)
+	if errors.Is(err, page.ErrNoSpace) {
+		c.fsi[no] = pg.FreeSpace()
+		h.Release()
+		return addr.RID{}, false, nil
+	}
+	if err != nil {
+		h.Release()
+		return addr.RID{}, false, fmt.Errorf("record: insert: %w", err)
+	}
+	h.MarkDirty()
+	c.fsi[no] = pg.FreeSpace()
+	h.Release()
+	c.count++
+	return addr.RID{Page: no, Slot: uint16(slot)}, true, nil
+}
+
+// Read returns a copy of the record at rid.
+func (c *Container) Read(rid addr.RID) ([]byte, error) {
+	h, err := c.pool.Fix(segment.PageID{Seg: c.seg.ID(), No: rid.Page})
+	if err != nil {
+		return nil, fmt.Errorf("record: read %v: %w", rid, err)
+	}
+	stored, err := h.Page().Read(int(rid.Slot))
+	if err != nil {
+		h.Release()
+		return nil, fmt.Errorf("%w: %v (%v)", ErrNotFound, rid, err)
+	}
+	out, spillPage, err := c.decodeStored(stored)
+	h.Release()
+	if err != nil {
+		return nil, err
+	}
+	if spillPage != 0 {
+		seq, err := pageseq.Open(c.seg, spillPage)
+		if err != nil {
+			return nil, fmt.Errorf("record: open spill of %v: %w", rid, err)
+		}
+		return seq.ReadAll()
+	}
+	return out, nil
+}
+
+// decodeStored interprets a stored byte string. For inline records it
+// returns a copy; for spilled ones the sequence header page.
+func (c *Container) decodeStored(stored []byte) ([]byte, uint32, error) {
+	if len(stored) < 1 {
+		return nil, 0, fmt.Errorf("record: empty stored record")
+	}
+	switch stored[0] {
+	case flagInline:
+		out := make([]byte, len(stored)-1)
+		copy(out, stored[1:])
+		return out, 0, nil
+	case flagSpilled:
+		if len(stored) != 5 {
+			return nil, 0, fmt.Errorf("record: bad spill stub length %d", len(stored))
+		}
+		return nil, binary.BigEndian.Uint32(stored[1:]), nil
+	default:
+		return nil, 0, fmt.Errorf("record: bad record flag %#x", stored[0])
+	}
+}
+
+// Update replaces the record at rid. The record may move; the (possibly
+// new) address is returned and the caller must update the directory.
+func (c *Container) Update(rid addr.RID, rec []byte) (addr.RID, error) {
+	// Resolve the current stub first to free any old spill.
+	h, err := c.pool.Fix(segment.PageID{Seg: c.seg.ID(), No: rid.Page})
+	if err != nil {
+		return addr.RID{}, fmt.Errorf("record: update %v: %w", rid, err)
+	}
+	pg := h.Page()
+	stored, err := pg.Read(int(rid.Slot))
+	if err != nil {
+		h.Release()
+		return addr.RID{}, fmt.Errorf("%w: %v (%v)", ErrNotFound, rid, err)
+	}
+	_, oldSpill, err := c.decodeStored(stored)
+	if err != nil {
+		h.Release()
+		return addr.RID{}, err
+	}
+
+	if len(rec)+1 <= c.stubLimit() {
+		newStored := make([]byte, 0, len(rec)+1)
+		newStored = append(newStored, flagInline)
+		newStored = append(newStored, rec...)
+		if err := pg.Update(int(rid.Slot), newStored); err == nil {
+			h.MarkDirty()
+			c.mu.Lock()
+			c.fsi[rid.Page] = pg.FreeSpace()
+			c.mu.Unlock()
+			h.Release()
+			c.freeSpill(oldSpill)
+			return rid, nil
+		} else if !errors.Is(err, page.ErrNoSpace) {
+			h.Release()
+			return addr.RID{}, fmt.Errorf("record: update in place: %w", err)
+		}
+		// Page cannot hold the new version: move the record.
+		h.Release()
+		if err := c.Delete(rid); err != nil {
+			return addr.RID{}, err
+		}
+		return c.Insert(rec)
+	}
+
+	// New version spills.
+	h.Release()
+	if oldSpill != 0 {
+		// Rewrite the existing sequence; the stub may need updating if the
+		// sequence moved.
+		seq, err := pageseq.Open(c.seg, oldSpill)
+		if err != nil {
+			return addr.RID{}, fmt.Errorf("record: open spill: %w", err)
+		}
+		ns, err := seq.Rewrite(rec)
+		if err != nil {
+			return addr.RID{}, fmt.Errorf("record: rewrite spill: %w", err)
+		}
+		if ns.HeaderPage() != oldSpill {
+			if err := c.pointStubAt(rid, ns.HeaderPage()); err != nil {
+				return addr.RID{}, err
+			}
+		}
+		return rid, nil
+	}
+	// Inline -> spilled transition.
+	seq, err := pageseq.Create(c.seg, rec)
+	if err != nil {
+		return addr.RID{}, fmt.Errorf("record: spill: %w", err)
+	}
+	if err := c.pointStubAt(rid, seq.HeaderPage()); err != nil {
+		_ = seq.Delete()
+		return addr.RID{}, err
+	}
+	return rid, nil
+}
+
+func (c *Container) pointStubAt(rid addr.RID, headerPage uint32) error {
+	h, err := c.pool.Fix(segment.PageID{Seg: c.seg.ID(), No: rid.Page})
+	if err != nil {
+		return err
+	}
+	defer h.Release()
+	var stub [5]byte
+	stub[0] = flagSpilled
+	binary.BigEndian.PutUint32(stub[1:], headerPage)
+	if err := h.Page().Update(int(rid.Slot), stub[:]); err != nil {
+		return fmt.Errorf("record: update spill stub: %w", err)
+	}
+	h.MarkDirty()
+	return nil
+}
+
+func (c *Container) freeSpill(headerPage uint32) {
+	if headerPage == 0 {
+		return
+	}
+	if seq, err := pageseq.Open(c.seg, headerPage); err == nil {
+		_ = seq.Delete()
+	}
+}
+
+// Delete removes the record at rid, freeing any spill pages.
+func (c *Container) Delete(rid addr.RID) error {
+	h, err := c.pool.Fix(segment.PageID{Seg: c.seg.ID(), No: rid.Page})
+	if err != nil {
+		return fmt.Errorf("record: delete %v: %w", rid, err)
+	}
+	pg := h.Page()
+	stored, err := pg.Read(int(rid.Slot))
+	if err != nil {
+		h.Release()
+		return fmt.Errorf("%w: %v (%v)", ErrNotFound, rid, err)
+	}
+	_, spill, err := c.decodeStored(stored)
+	if err != nil {
+		h.Release()
+		return err
+	}
+	if err := pg.Delete(int(rid.Slot)); err != nil {
+		h.Release()
+		return fmt.Errorf("record: delete: %w", err)
+	}
+	h.MarkDirty()
+	c.mu.Lock()
+	c.fsi[rid.Page] = pg.FreeSpace()
+	c.count--
+	c.mu.Unlock()
+	h.Release()
+	c.freeSpill(spill)
+	return nil
+}
+
+// Scan calls fn for every record in page/slot order. The record slice is
+// only valid during the call.
+func (c *Container) Scan(fn func(rid addr.RID, rec []byte) bool) error {
+	c.mu.Lock()
+	pages := make([]uint32, len(c.pages))
+	copy(pages, c.pages)
+	c.mu.Unlock()
+
+	for _, no := range pages {
+		h, err := c.pool.Fix(segment.PageID{Seg: c.seg.ID(), No: no})
+		if err != nil {
+			return fmt.Errorf("record: scan page %d: %w", no, err)
+		}
+		pg := h.Page()
+		type item struct {
+			slot  int
+			data  []byte
+			spill uint32
+		}
+		var items []item
+		var decodeErr error
+		pg.ForEach(func(slot int, stored []byte) bool {
+			data, spill, err := c.decodeStored(stored)
+			if err != nil {
+				decodeErr = err
+				return false
+			}
+			items = append(items, item{slot, data, spill})
+			return true
+		})
+		h.Release()
+		if decodeErr != nil {
+			return decodeErr
+		}
+		for _, it := range items {
+			data := it.data
+			if it.spill != 0 {
+				seq, err := pageseq.Open(c.seg, it.spill)
+				if err != nil {
+					return fmt.Errorf("record: scan spill: %w", err)
+				}
+				if data, err = seq.ReadAll(); err != nil {
+					return err
+				}
+			}
+			if !fn(addr.RID{Page: no, Slot: uint16(it.slot)}, data) {
+				return nil
+			}
+		}
+	}
+	return nil
+}

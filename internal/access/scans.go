@@ -1,0 +1,570 @@
+package access
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"prima/internal/access/addr"
+	"prima/internal/access/atom"
+	"prima/internal/access/mdindex"
+	"prima/internal/catalog"
+	"prima/internal/storage/pageseq"
+)
+
+// Scans (§3.2): "scans are introduced as a concept to control a dynamically
+// defined set of atoms, to hold a current position in such a set, and to
+// successively accept single atoms (NEXT/PRIOR) for further processing."
+// Five kinds are provided: atom-type scan, sort scan, access-path scan,
+// atom-cluster-type scan and atom-cluster scan.
+
+// Op is a comparison operator of a simple search argument.
+type Op uint8
+
+// SSA operators.
+const (
+	OpEQ Op = iota
+	OpNE
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+	OpEmpty    // repeating group is empty (MQL: attr = EMPTY)
+	OpNotEmpty // repeating group is non-empty
+)
+
+// Cond is one conjunct of a simple search argument.
+type Cond struct {
+	Attr  string
+	Op    Op
+	Value atom.Value
+}
+
+// SSA is a simple search argument: a conjunction of attribute comparisons
+// "decidable on each atom".
+type SSA []Cond
+
+// Eval decides the SSA on one atom.
+func (ssa SSA) Eval(at *Atom) (bool, error) {
+	for _, c := range ssa {
+		i, ok := at.Type.AttrIndex(c.Attr)
+		if !ok {
+			return false, fmt.Errorf("%w: %s.%s", catalog.ErrUnknownAttr, at.Type.Name, c.Attr)
+		}
+		v := at.Values[i]
+		switch c.Op {
+		case OpEmpty:
+			if v.Len() != 0 {
+				return false, nil
+			}
+			continue
+		case OpNotEmpty:
+			if v.Len() == 0 {
+				return false, nil
+			}
+			continue
+		}
+		if v.IsNull() || c.Value.IsNull() {
+			// NULL compares false against everything except NE.
+			if c.Op == OpNE && !(v.IsNull() && c.Value.IsNull()) {
+				continue
+			}
+			return false, nil
+		}
+		cmp := atom.Compare(v, c.Value)
+		ok = false
+		switch c.Op {
+		case OpEQ:
+			ok = cmp == 0
+		case OpNE:
+			ok = cmp != 0
+		case OpLT:
+			ok = cmp < 0
+		case OpLE:
+			ok = cmp <= 0
+		case OpGT:
+			ok = cmp > 0
+		case OpGE:
+			ok = cmp >= 0
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// attrsFor extends a projection with the attributes an SSA needs.
+func (ssa SSA) attrsFor(attrs []string) []string {
+	if attrs == nil {
+		return nil
+	}
+	out := append([]string(nil), attrs...)
+	for _, c := range ssa {
+		found := false
+		for _, a := range out {
+			if a == c.Attr {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, c.Attr)
+		}
+	}
+	return out
+}
+
+// AtomTypeScan successively reads all atoms of one atom type in
+// system-defined order, optionally restricted by a simple search argument
+// and projected to selected attributes — the RSS relation-scan analogue.
+func (s *System) AtomTypeScan(typeName string, ssa SSA, attrs []string, fn func(*Atom) bool) error {
+	t, err := s.typeOf(typeName)
+	if err != nil {
+		return err
+	}
+	fetch := ssa.attrsFor(attrs)
+	var scanErr error
+	s.dir.Scan(t.ID, func(a addr.LogicalAddr, _ []addr.RecordRef) bool {
+		at, err := s.Get(a, fetch)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		ok, err := ssa.Eval(at)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if !ok {
+			return true
+		}
+		return fn(at)
+	})
+	return scanErr
+}
+
+// ScanAddrs returns the logical addresses of all atoms of the type in
+// system-defined order. The data system uses it to drive pull-based
+// molecule cursors.
+func (s *System) ScanAddrs(typeName string) ([]addr.LogicalAddr, error) {
+	t, err := s.typeOf(typeName)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]addr.LogicalAddr, 0, s.dir.Count(t.ID))
+	s.dir.Scan(t.ID, func(a addr.LogicalAddr, _ []addr.RecordRef) bool {
+		out = append(out, a)
+		return true
+	})
+	return out, nil
+}
+
+// SortScan reads all atoms of one atom type in the user-defined order of a
+// sort order, restricted by an SSA and a start/stop condition on the sort
+// key. Stale redundant records transparently fall back to the primary copy.
+func (s *System) SortScan(sortOrderName string, ssa SSA, start, stop []atom.Value, fn func(*Atom) bool) error {
+	var so *sortOrderStruct
+	s.mu.RLock()
+	for _, cand := range s.sortOrders {
+		if cand.def.Name == sortOrderName {
+			so = cand
+			break
+		}
+	}
+	s.mu.RUnlock()
+	if so == nil {
+		return fmt.Errorf("%w: sort order %s", ErrUnknownStruct, sortOrderName)
+	}
+	t, err := s.typeOf(so.def.AtomType)
+	if err != nil {
+		return err
+	}
+
+	var startKey, stopKey *atom.Value
+	if start != nil {
+		k := atom.List(start...)
+		startKey = &k
+	}
+	if stop != nil {
+		k := atom.List(stop...)
+		stopKey = &k
+	}
+
+	var scanErr error
+	err = so.tree.Scan(startKey, stopKey, so.desc, func(_ atom.Value, a addr.LogicalAddr) bool {
+		at, err := s.readSortRecord(so, t, a)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		ok, err := ssa.Eval(at)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if !ok {
+			return true
+		}
+		return fn(at)
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	return err
+}
+
+// readSortRecord reads an atom through its sort-order copy when valid, or
+// through the primary otherwise.
+func (s *System) readSortRecord(so *sortOrderStruct, t *catalog.AtomType, a addr.LogicalAddr) (*Atom, error) {
+	ref, ok := s.dir.LookupStruct(a, so.def.ID)
+	if ok && ref.Valid {
+		data, err := so.container.Read(ref.Where)
+		if err == nil {
+			values, err := atom.DecodeAtom(data)
+			if err == nil {
+				return &Atom{Type: t, Addr: a, Values: values}, nil
+			}
+		}
+	}
+	return s.Get(a, nil)
+}
+
+// SortedTypeScan is the fallback when no sort order exists: it performs the
+// sort explicitly ("creating a temporary sort order") over the attributes.
+// It exists mainly as the baseline of experiment A2.
+func (s *System) SortedTypeScan(typeName string, attrs []string, desc bool, ssa SSA, fn func(*Atom) bool) error {
+	t, err := s.typeOf(typeName)
+	if err != nil {
+		return err
+	}
+	idxs := make([]int, 0, len(attrs))
+	for _, a := range attrs {
+		i, ok := t.AttrIndex(a)
+		if !ok {
+			return fmt.Errorf("%w: %s.%s", catalog.ErrUnknownAttr, typeName, a)
+		}
+		idxs = append(idxs, i)
+	}
+	var all []*Atom
+	if err := s.AtomTypeScan(typeName, ssa, nil, func(at *Atom) bool {
+		all = append(all, at)
+		return true
+	}); err != nil {
+		return err
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		for _, idx := range idxs {
+			c := atom.Compare(all[i].Values[idx], all[j].Values[idx])
+			if desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	for _, at := range all {
+		if !fn(at) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// AccessPathScan scans an access path with start/stop conditions and
+// directions per key ("the user - the data system - determines the
+// selection path for elements in an n-dimensional space"). fn receives the
+// key vector and the atom address.
+func (s *System) AccessPathScan(name string, ranges []mdindex.Range, fn func(keys []atom.Value, a addr.LogicalAddr) bool) error {
+	s.mu.RLock()
+	ap := s.accessPaths[name]
+	s.mu.RUnlock()
+	if ap == nil {
+		return fmt.Errorf("%w: access path %s", ErrUnknownStruct, name)
+	}
+	if len(ranges) != len(ap.attrIdxs) {
+		return fmt.Errorf("access: access path %s has %d keys, got %d ranges", name, len(ap.attrIdxs), len(ranges))
+	}
+	if ap.tree != nil {
+		r := ranges[0]
+		return ap.tree.Scan(r.Start, r.Stop, r.Desc, func(k atom.Value, a addr.LogicalAddr) bool {
+			return fn([]atom.Value{k}, a)
+		})
+	}
+	return ap.grid.Scan(ranges, func(e mdindex.Entry) bool {
+		return fn(e.Keys, e.Addr)
+	})
+}
+
+// AccessPathSearch returns the addresses matching the exact key vector.
+func (s *System) AccessPathSearch(name string, keys []atom.Value) ([]addr.LogicalAddr, error) {
+	s.mu.RLock()
+	ap := s.accessPaths[name]
+	s.mu.RUnlock()
+	if ap == nil {
+		return nil, fmt.Errorf("%w: access path %s", ErrUnknownStruct, name)
+	}
+	if ap.tree != nil {
+		if len(keys) != 1 {
+			return nil, fmt.Errorf("access: access path %s takes 1 key, got %d", name, len(keys))
+		}
+		return ap.tree.Search(keys[0])
+	}
+	return ap.grid.Search(keys)
+}
+
+// ClusterOccurrence is one materialized atom cluster: the characteristic
+// atom's reference lists plus the member atoms, decoded.
+type ClusterOccurrence struct {
+	Root   addr.LogicalAddr
+	Atoms  []*Atom
+	byAddr map[addr.LogicalAddr]*Atom
+	byType map[string][]*Atom
+}
+
+// Atom returns the member with the given address.
+func (o *ClusterOccurrence) Atom(a addr.LogicalAddr) (*Atom, bool) {
+	at, ok := o.byAddr[a]
+	return at, ok
+}
+
+// OfType returns the members of one atom type, in cluster order.
+func (o *ClusterOccurrence) OfType(typeName string) []*Atom {
+	return o.byType[typeName]
+}
+
+// ClusterRoots returns the characteristic (root) atoms of a cluster type in
+// system-defined order.
+func (s *System) ClusterRoots(clusterName string) ([]addr.LogicalAddr, error) {
+	cl, err := s.clusterByName(clusterName)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	roots := make([]addr.LogicalAddr, 0, len(cl.occurrences))
+	for r := range cl.occurrences {
+		roots = append(roots, r)
+	}
+	s.mu.RUnlock()
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	return roots, nil
+}
+
+// readOccurrence loads (rebuilding first if stale) the occurrence rooted at
+// root. Reading the whole cluster costs one chained I/O when the sequence
+// is contiguous — the Fig. 3.2 claim the benchmarks measure.
+func (s *System) readOccurrence(cl *clusterStruct, root addr.LogicalAddr) (*ClusterOccurrence, error) {
+	s.mu.RLock()
+	header, ok := cl.occurrences[root]
+	seq := cl.seqs[root]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: no cluster occurrence rooted at %v", ErrNoAtom, root)
+	}
+	if seq == nil || seq.HeaderPage() != header {
+		var err error
+		if seq, err = pageseq.Open(cl.seg, header); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		cl.seqs[root] = seq
+		s.mu.Unlock()
+	}
+	payload, err := seq.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	addrs, offs, lens, err := parseClusterTable(payload)
+	if err != nil {
+		return nil, err
+	}
+
+	// Staleness check: any invalid or missing member ref forces a rebuild
+	// (lazy deferred-update propagation).
+	stale := false
+	for _, a := range addrs {
+		if !s.dir.Exists(a) {
+			stale = true
+			break
+		}
+		ref, ok := s.dir.LookupStruct(a, cl.def.ID)
+		if !ok || !ref.Valid || ref.Where.Page != header {
+			stale = true
+			break
+		}
+	}
+	if stale {
+		if err := s.buildClusterOccurrence(cl, root); err != nil {
+			return nil, err
+		}
+		s.mu.RLock()
+		header = cl.occurrences[root]
+		s.mu.RUnlock()
+		if seq, err = pageseq.Open(cl.seg, header); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		cl.seqs[root] = seq
+		s.mu.Unlock()
+		if payload, err = seq.ReadAll(); err != nil {
+			return nil, err
+		}
+		if addrs, offs, lens, err = parseClusterTable(payload); err != nil {
+			return nil, err
+		}
+	}
+
+	occ := &ClusterOccurrence{
+		Root:   root,
+		byAddr: make(map[addr.LogicalAddr]*Atom, len(addrs)),
+		byType: make(map[string][]*Atom),
+	}
+	for i, a := range addrs {
+		t, err := s.typeByID(a.Type())
+		if err != nil {
+			return nil, err
+		}
+		values, err := atom.DecodeAtom(payload[offs[i] : offs[i]+lens[i]])
+		if err != nil {
+			return nil, err
+		}
+		at := &Atom{Type: t, Addr: a, Values: values}
+		occ.Atoms = append(occ.Atoms, at)
+		occ.byAddr[a] = at
+		occ.byType[t.Name] = append(occ.byType[t.Name], at)
+	}
+	return occ, nil
+}
+
+// ClusterOccurrenceOf loads the materialized occurrence of the named
+// cluster type rooted at root (the data system assembles molecules from it
+// instead of issuing per-atom reads).
+func (s *System) ClusterOccurrenceOf(clusterName string, root addr.LogicalAddr) (*ClusterOccurrence, error) {
+	cl, err := s.clusterByName(clusterName)
+	if err != nil {
+		return nil, err
+	}
+	return s.readOccurrence(cl, root)
+}
+
+// ClusterTypeScan reads all characteristic atoms of an atom-cluster type in
+// system-defined order. The SSA must be decidable in one pass through a
+// single atom cluster; it is evaluated against the root atom.
+func (s *System) ClusterTypeScan(clusterName string, ssa SSA, fn func(*ClusterOccurrence) bool) error {
+	cl, err := s.clusterByName(clusterName)
+	if err != nil {
+		return err
+	}
+	roots, err := s.ClusterRoots(clusterName)
+	if err != nil {
+		return err
+	}
+	for _, root := range roots {
+		occ, err := s.readOccurrence(cl, root)
+		if err != nil {
+			return err
+		}
+		rootAtom, ok := occ.Atom(root)
+		if !ok {
+			return fmt.Errorf("access: cluster %s occurrence %v lacks its root", clusterName, root)
+		}
+		match, err := ssa.Eval(rootAtom)
+		if err != nil {
+			return err
+		}
+		if !match {
+			continue
+		}
+		if !fn(occ) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ClusterScan reads all atoms of a certain atom type within one single atom
+// cluster in system-defined order, possibly restricted by an SSA.
+func (s *System) ClusterScan(clusterName string, root addr.LogicalAddr, memberType string, ssa SSA, fn func(*Atom) bool) error {
+	cl, err := s.clusterByName(clusterName)
+	if err != nil {
+		return err
+	}
+	occ, err := s.readOccurrence(cl, root)
+	if err != nil {
+		return err
+	}
+	for _, at := range occ.OfType(memberType) {
+		ok, err := ssa.Eval(at)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if !fn(at) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ClusterReadAtom reads one member atom directly through the cluster's
+// relative addressing structure without materializing the whole occurrence
+// ("faster access to single atoms of the atom cluster", §3.3).
+func (s *System) ClusterReadAtom(clusterName string, a addr.LogicalAddr) (*Atom, error) {
+	cl, err := s.clusterByName(clusterName)
+	if err != nil {
+		return nil, err
+	}
+	ref, ok := s.dir.LookupStruct(a, cl.def.ID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %v is not clustered in %s", ErrNoAtom, a, clusterName)
+	}
+	if !ref.Valid {
+		return s.Get(a, nil) // stale: read through the primary
+	}
+	seq, err := pageseq.Open(cl.seg, ref.Where.Page)
+	if err != nil {
+		return nil, err
+	}
+	// Read just the table head, then the member's byte range.
+	var head [4]byte
+	if _, err := seq.ReadAt(head[:], 0); err != nil {
+		return nil, err
+	}
+	n := int(uint32(head[0])<<24 | uint32(head[1])<<16 | uint32(head[2])<<8 | uint32(head[3]))
+	if int(ref.Where.Slot) >= n {
+		return nil, fmt.Errorf("access: cluster slot %d out of range %d", ref.Where.Slot, n)
+	}
+	var ent [16]byte
+	if _, err := seq.ReadAt(ent[:], int64(4+int(ref.Where.Slot)*16)); err != nil {
+		return nil, err
+	}
+	off := uint32(ent[8])<<24 | uint32(ent[9])<<16 | uint32(ent[10])<<8 | uint32(ent[11])
+	length := uint32(ent[12])<<24 | uint32(ent[13])<<16 | uint32(ent[14])<<8 | uint32(ent[15])
+	buf := make([]byte, length)
+	if _, err := seq.ReadAt(buf, int64(off)); err != nil {
+		return nil, err
+	}
+	values, err := atom.DecodeAtom(buf)
+	if err != nil {
+		return nil, err
+	}
+	t, err := s.typeByID(a.Type())
+	if err != nil {
+		return nil, err
+	}
+	return &Atom{Type: t, Addr: a, Values: values}, nil
+}
+
+// HasCluster reports whether a cluster with the given name exists.
+func (s *System) HasCluster(name string) bool {
+	_, err := s.clusterByName(name)
+	return err == nil
+}
+
+// ErrStopScan may be returned by callers through panic-free early exits in
+// helper loops; exported for symmetry with other sentinel errors.
+var ErrStopScan = errors.New("access: scan stopped")

@@ -1,0 +1,594 @@
+// Package access implements PRIMA's access system (§3.2): an atom-oriented
+// interface in the spirit of System R's RSS that offers direct access to
+// atoms and atom sets, enforces referential integrity over the symmetric
+// reference attributes, and maintains the redundant, LDL-declared tuning
+// structures — access paths, sort orders, partitions and atom clusters —
+// transparently below the data model interface.
+package access
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"prima/internal/access/addr"
+	"prima/internal/access/btree"
+	"prima/internal/access/mdindex"
+	"prima/internal/access/record"
+	"prima/internal/catalog"
+	"prima/internal/storage/buffer"
+	"prima/internal/storage/device"
+	"prima/internal/storage/pageseq"
+	"prima/internal/storage/segment"
+)
+
+// Errors returned by the access system.
+var (
+	ErrNoAtom        = errors.New("access: atom does not exist")
+	ErrBadRef        = errors.New("access: reference to missing or wrongly typed atom")
+	ErrReadOnlyAttr  = errors.New("access: IDENTIFIER attributes cannot be modified")
+	ErrUnknownStruct = errors.New("access: unknown storage structure")
+)
+
+// Config tunes a System.
+type Config struct {
+	// Dir is the database directory; empty means fully in-memory.
+	Dir string
+	// PageSize for primary containers (default 8K). Must be one of the
+	// five file-manager block sizes.
+	PageSize int
+	// BufferBytes is the buffer pool budget (default 4 MiB).
+	BufferBytes int64
+	// Policy selects the replacement policy: "size-aware-lru" (default),
+	// "partitioned-lru" or "classic-lru".
+	Policy string
+}
+
+func (c *Config) fill() error {
+	if c.PageSize == 0 {
+		c.PageSize = device.B8K
+	}
+	if !device.ValidBlockSize(c.PageSize) {
+		return device.ErrBadBlockSize
+	}
+	if c.BufferBytes == 0 {
+		c.BufferBytes = 4 << 20
+	}
+	if c.Policy == "" {
+		c.Policy = "size-aware-lru"
+	}
+	return nil
+}
+
+func (c *Config) makePolicy() (buffer.Policy, error) {
+	switch c.Policy {
+	case "size-aware-lru":
+		return buffer.NewSizeAwareLRU(c.BufferBytes), nil
+	case "partitioned-lru":
+		shares := make(map[int]int64, len(device.BlockSizes))
+		per := c.BufferBytes / int64(len(device.BlockSizes))
+		for _, s := range device.BlockSizes {
+			shares[s] = per
+		}
+		return buffer.NewPartitionedLRU(shares), nil
+	case "classic-lru":
+		n := int(c.BufferBytes / int64(c.PageSize))
+		if n < 4 {
+			n = 4
+		}
+		return buffer.NewClassicLRU(n), nil
+	default:
+		return nil, fmt.Errorf("access: unknown buffer policy %q", c.Policy)
+	}
+}
+
+// sortOrderStruct is a materialized sort order: a redundant copy of every
+// atom of the type, plus a B*-tree over the composite sort key locating the
+// copies in defined order.
+type sortOrderStruct struct {
+	def       *catalog.SortOrderDef
+	container *record.Container
+	tree      *btree.BTree
+	attrIdxs  []int
+	desc      bool
+}
+
+// partitionStruct is a vertical partition: records hold an attribute subset.
+type partitionStruct struct {
+	def       *catalog.PartitionDef
+	container *record.Container
+	attrIdxs  []int
+}
+
+// accessPathStruct is an access path: a B*-tree (one attribute) or grid
+// file (several attributes) mapping keys to logical addresses.
+type accessPathStruct struct {
+	def      *catalog.AccessPathDef
+	attrIdxs []int
+	tree     *btree.BTree  // Method == BTREE
+	grid     *mdindex.Grid // Method == GRID
+}
+
+// clusterStruct manages the occurrences of one atom-cluster type: one page
+// sequence per characteristic atom (Fig. 3.2).
+type clusterStruct struct {
+	def *catalog.ClusterDef
+	seg *segment.Segment
+	// occurrences maps the cluster's root (characteristic) atom to the
+	// header page of its page sequence.
+	occurrences map[addr.LogicalAddr]uint32
+	// seqs caches opened sequences (their header pages are hot during
+	// cluster scans); invalidated on rebuild.
+	seqs map[addr.LogicalAddr]*pageseq.Sequence
+}
+
+// System is the access system instance for one database.
+type System struct {
+	cfg    Config
+	schema *catalog.Schema
+	files  *device.Manager
+	pool   *buffer.Pool
+	dir    *addr.Directory
+
+	mu          sync.RWMutex
+	nextSegID   segment.ID
+	segments    []*segment.Segment
+	primaries   map[addr.TypeID]*record.Container
+	primarySegs map[addr.TypeID]segment.ID
+	sortOrders  map[addr.StructID]*sortOrderStruct
+	partitions  map[addr.StructID]*partitionStruct
+	accessPaths map[string]*accessPathStruct
+	clusters    map[addr.StructID]*clusterStruct
+
+	deferq *deferQueue
+}
+
+// Open creates or opens the access system for a database directory. When
+// cfg.Dir is non-empty and contains a manifest, existing state is loaded.
+func Open(cfg Config) (*System, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	policy, err := cfg.makePolicy()
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:         cfg,
+		files:       device.NewManager(cfg.Dir),
+		pool:        buffer.NewPool(policy),
+		nextSegID:   1,
+		primaries:   make(map[addr.TypeID]*record.Container),
+		primarySegs: make(map[addr.TypeID]segment.ID),
+		sortOrders:  make(map[addr.StructID]*sortOrderStruct),
+		partitions:  make(map[addr.StructID]*partitionStruct),
+		accessPaths: make(map[string]*accessPathStruct),
+		clusters:    make(map[addr.StructID]*clusterStruct),
+		deferq:      newDeferQueue(),
+	}
+	if cfg.Dir != "" {
+		if _, err := os.Stat(filepath.Join(cfg.Dir, "manifest.json")); err == nil {
+			if err := s.load(); err != nil {
+				return nil, err
+			}
+			return s, nil
+		}
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("access: create dir: %w", err)
+		}
+	}
+	s.schema = catalog.NewSchema()
+	s.dir = addr.NewDirectory()
+	return s, nil
+}
+
+// Schema exposes the catalog.
+func (s *System) Schema() *catalog.Schema { return s.schema }
+
+// Directory exposes the addressing structure (read-mostly use by upper
+// layers and tests).
+func (s *System) Directory() *addr.Directory { return s.dir }
+
+// Pool exposes the buffer pool (statistics for experiments).
+func (s *System) Pool() *buffer.Pool { return s.pool }
+
+// Files exposes the file manager (I/O statistics for experiments).
+func (s *System) Files() *device.Manager { return s.files }
+
+// newSegment creates a fresh segment with the given page size.
+func (s *System) newSegment(name string, pageSize int, maxPages uint32) (*segment.Segment, error) {
+	s.mu.Lock()
+	id := s.nextSegID
+	s.nextSegID++
+	s.mu.Unlock()
+	dev, err := s.files.Open(fmt.Sprintf("%s_%d.seg", name, id), pageSize)
+	if err != nil {
+		return nil, err
+	}
+	seg, err := segment.Create(dev, id, maxPages)
+	if err != nil {
+		return nil, err
+	}
+	s.pool.Register(seg)
+	s.mu.Lock()
+	s.segments = append(s.segments, seg)
+	s.mu.Unlock()
+	return seg, nil
+}
+
+// primary returns (creating on demand) the primary container of a type.
+func (s *System) primary(t *catalog.AtomType) (*record.Container, error) {
+	s.mu.RLock()
+	c, ok := s.primaries[t.ID]
+	s.mu.RUnlock()
+	if ok {
+		return c, nil
+	}
+	seg, err := s.newSegment("primary_"+t.Name, s.cfg.PageSize, 0)
+	if err != nil {
+		return nil, err
+	}
+	c, err = record.New(seg, s.pool)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if exist, ok := s.primaries[t.ID]; ok {
+		s.mu.Unlock()
+		return exist, nil
+	}
+	s.primaries[t.ID] = c
+	s.primarySegs[t.ID] = seg.ID()
+	s.mu.Unlock()
+	return c, nil
+}
+
+// typeOf resolves and validates an atom type by name.
+func (s *System) typeOf(name string) (*catalog.AtomType, error) {
+	t, ok := s.schema.AtomType(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", catalog.ErrUnknownType, name)
+	}
+	return t, nil
+}
+
+// typeByID resolves an atom type by TypeID.
+func (s *System) typeByID(id addr.TypeID) (*catalog.AtomType, error) {
+	t, ok := s.schema.AtomTypeByID(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: type id %d", catalog.ErrUnknownType, id)
+	}
+	return t, nil
+}
+
+// Count returns the number of live atoms of the named type (catalog
+// statistics for the optimizer).
+func (s *System) Count(typeName string) int {
+	t, ok := s.schema.AtomType(typeName)
+	if !ok {
+		return 0
+	}
+	return s.dir.Count(t.ID)
+}
+
+// --- persistence -------------------------------------------------------------
+
+// manifest is the JSON document tying together all on-disk state.
+type manifest struct {
+	NextSegID   segment.ID                    `json:"nextSegID"`
+	PageSize    int                           `json:"pageSize"`
+	Primaries   map[string]segment.ID         `json:"primaries"`   // type name -> segment
+	SortOrders  map[string]sortOrderManifest  `json:"sortOrders"`  // name -> location
+	Partitions  map[string]segment.ID         `json:"partitions"`  // name -> segment
+	AccessPaths map[string]accessPathManifest `json:"accessPaths"` // name -> location
+	Clusters    map[string]clusterManifest    `json:"clusters"`    // name -> location
+}
+
+type sortOrderManifest struct {
+	ContainerSeg segment.ID `json:"containerSeg"`
+	TreeSeg      segment.ID `json:"treeSeg"`
+	TreeMeta     uint32     `json:"treeMeta"`
+}
+
+type accessPathManifest struct {
+	TreeSeg  segment.ID `json:"treeSeg,omitempty"`
+	TreeMeta uint32     `json:"treeMeta,omitempty"`
+	GridFile string     `json:"gridFile,omitempty"`
+}
+
+type clusterManifest struct {
+	Seg         segment.ID        `json:"seg"`
+	Occurrences map[string]uint32 `json:"occurrences"` // "%d" addr -> header page
+}
+
+// Checkpoint flushes all state to the database directory (no-op in-memory).
+// The directory and grid snapshots are written atomically enough for the
+// single-user prototype; crash recovery is future work (§4), matching the
+// paper's own scope.
+func (s *System) Checkpoint() error {
+	if err := s.PropagateDeferred(); err != nil {
+		return err
+	}
+	if err := s.pool.FlushAll(); err != nil {
+		return err
+	}
+	s.mu.RLock()
+	segs := append([]*segment.Segment(nil), s.segments...)
+	s.mu.RUnlock()
+	for _, seg := range segs {
+		if err := seg.Sync(); err != nil {
+			return err
+		}
+	}
+	if s.cfg.Dir == "" {
+		return nil
+	}
+	schemaData, err := s.schema.Save()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(s.cfg.Dir, "schema.json"), schemaData, 0o644); err != nil {
+		return fmt.Errorf("access: write schema: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(s.cfg.Dir, "directory.snap"), s.dir.Snapshot(), 0o644); err != nil {
+		return fmt.Errorf("access: write directory: %w", err)
+	}
+
+	s.mu.RLock()
+	m := manifest{
+		NextSegID:   s.nextSegID,
+		PageSize:    s.cfg.PageSize,
+		Primaries:   map[string]segment.ID{},
+		SortOrders:  map[string]sortOrderManifest{},
+		Partitions:  map[string]segment.ID{},
+		AccessPaths: map[string]accessPathManifest{},
+		Clusters:    map[string]clusterManifest{},
+	}
+	for tid, segID := range s.primarySegs {
+		if t, ok := s.schema.AtomTypeByID(tid); ok {
+			m.Primaries[t.Name] = segID
+		}
+	}
+	for _, so := range s.sortOrders {
+		m.SortOrders[so.def.Name] = sortOrderManifest{
+			ContainerSeg: so.container.Segment().ID(),
+			TreeSeg:      so.tree.Segment().ID(),
+			TreeMeta:     so.tree.MetaPage(),
+		}
+	}
+	for _, p := range s.partitions {
+		m.Partitions[p.def.Name] = p.container.Segment().ID()
+	}
+	for name, ap := range s.accessPaths {
+		am := accessPathManifest{}
+		if ap.tree != nil {
+			am.TreeSeg = ap.tree.Segment().ID()
+			am.TreeMeta = ap.tree.MetaPage()
+		} else {
+			am.GridFile = "grid_" + name + ".snap"
+			if err := os.WriteFile(filepath.Join(s.cfg.Dir, am.GridFile), ap.grid.Snapshot(), 0o644); err != nil {
+				s.mu.RUnlock()
+				return fmt.Errorf("access: write grid: %w", err)
+			}
+		}
+		m.AccessPaths[name] = am
+	}
+	for _, cl := range s.clusters {
+		cm := clusterManifest{Seg: cl.seg.ID(), Occurrences: map[string]uint32{}}
+		for a, hp := range cl.occurrences {
+			cm.Occurrences[fmt.Sprintf("%d", uint64(a))] = hp
+		}
+		m.Clusters[cl.def.Name] = cm
+	}
+	s.mu.RUnlock()
+
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(s.cfg.Dir, "manifest.json"), data, 0o644); err != nil {
+		return fmt.Errorf("access: write manifest: %w", err)
+	}
+	return s.files.Sync()
+}
+
+// load restores state from the database directory.
+func (s *System) load() error {
+	dir := s.cfg.Dir
+	schemaData, err := os.ReadFile(filepath.Join(dir, "schema.json"))
+	if err != nil {
+		return fmt.Errorf("access: read schema: %w", err)
+	}
+	if s.schema, err = catalog.Load(schemaData); err != nil {
+		return err
+	}
+	dirData, err := os.ReadFile(filepath.Join(dir, "directory.snap"))
+	if err != nil {
+		return fmt.Errorf("access: read directory: %w", err)
+	}
+	if s.dir, err = addr.LoadSnapshot(dirData); err != nil {
+		return err
+	}
+	manData, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return fmt.Errorf("access: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(manData, &m); err != nil {
+		return fmt.Errorf("access: parse manifest: %w", err)
+	}
+	s.nextSegID = m.NextSegID
+	s.cfg.PageSize = m.PageSize
+
+	openSeg := func(id segment.ID, name string, pageSize int) (*segment.Segment, error) {
+		dev, err := s.files.Open(fmt.Sprintf("%s_%d.seg", name, id), pageSize)
+		if err != nil {
+			return nil, err
+		}
+		seg, err := segment.Open(dev, id)
+		if err != nil {
+			return nil, err
+		}
+		s.pool.Register(seg)
+		s.segments = append(s.segments, seg)
+		return seg, nil
+	}
+
+	for typeName, segID := range m.Primaries {
+		t, ok := s.schema.AtomType(typeName)
+		if !ok {
+			return fmt.Errorf("access: manifest names unknown type %s", typeName)
+		}
+		seg, err := openSeg(segID, "primary_"+typeName, s.cfg.PageSize)
+		if err != nil {
+			return err
+		}
+		c, err := record.New(seg, s.pool)
+		if err != nil {
+			return err
+		}
+		s.primaries[t.ID] = c
+		s.primarySegs[t.ID] = segID
+	}
+	for name, sm := range m.SortOrders {
+		def, ok := s.findSortOrderDef(name)
+		if !ok {
+			return fmt.Errorf("access: manifest names unknown sort order %s", name)
+		}
+		cseg, err := openSeg(sm.ContainerSeg, "sortorder_"+name, s.cfg.PageSize)
+		if err != nil {
+			return err
+		}
+		cont, err := record.New(cseg, s.pool)
+		if err != nil {
+			return err
+		}
+		tseg, err := openSeg(sm.TreeSeg, "sorttree_"+name, device.B4K)
+		if err != nil {
+			return err
+		}
+		tree, err := btree.Open(tseg, s.pool, sm.TreeMeta)
+		if err != nil {
+			return err
+		}
+		so, err := s.bindSortOrder(def, cont, tree)
+		if err != nil {
+			return err
+		}
+		s.sortOrders[def.ID] = so
+	}
+	for name, segID := range m.Partitions {
+		def, ok := s.findPartitionDef(name)
+		if !ok {
+			return fmt.Errorf("access: manifest names unknown partition %s", name)
+		}
+		seg, err := openSeg(segID, "partition_"+name, device.B4K)
+		if err != nil {
+			return err
+		}
+		cont, err := record.New(seg, s.pool)
+		if err != nil {
+			return err
+		}
+		p, err := s.bindPartition(def, cont)
+		if err != nil {
+			return err
+		}
+		s.partitions[def.ID] = p
+	}
+	for name, am := range m.AccessPaths {
+		def, ok := s.schema.AccessPath(name)
+		if !ok {
+			return fmt.Errorf("access: manifest names unknown access path %s", name)
+		}
+		ap, err := s.bindAccessPath(def)
+		if err != nil {
+			return err
+		}
+		if am.GridFile != "" {
+			data, err := os.ReadFile(filepath.Join(dir, am.GridFile))
+			if err != nil {
+				return fmt.Errorf("access: read grid: %w", err)
+			}
+			if ap.grid, err = mdindex.Load(data); err != nil {
+				return err
+			}
+		} else {
+			tseg, err := openSeg(am.TreeSeg, "appath_"+name, device.B4K)
+			if err != nil {
+				return err
+			}
+			if ap.tree, err = btree.Open(tseg, s.pool, am.TreeMeta); err != nil {
+				return err
+			}
+		}
+		s.accessPaths[name] = ap
+	}
+	for name, cm := range m.Clusters {
+		def, ok := s.findClusterDef(name)
+		if !ok {
+			return fmt.Errorf("access: manifest names unknown cluster %s", name)
+		}
+		seg, err := openSeg(cm.Seg, "cluster_"+name, s.cfg.PageSize)
+		if err != nil {
+			return err
+		}
+		cl := &clusterStruct{def: def, seg: seg, occurrences: map[addr.LogicalAddr]uint32{}, seqs: map[addr.LogicalAddr]*pageseq.Sequence{}}
+		for k, hp := range cm.Occurrences {
+			var u uint64
+			if _, err := fmt.Sscanf(k, "%d", &u); err != nil {
+				return fmt.Errorf("access: bad cluster occurrence key %q", k)
+			}
+			cl.occurrences[addr.LogicalAddr(u)] = hp
+		}
+		s.clusters[def.ID] = cl
+	}
+	return nil
+}
+
+func (s *System) findSortOrderDef(name string) (*catalog.SortOrderDef, bool) {
+	for _, t := range s.schema.AtomTypes() {
+		for _, d := range s.schema.SortOrdersFor(t.Name) {
+			if d.Name == name {
+				return d, true
+			}
+		}
+	}
+	return nil, false
+}
+
+func (s *System) findPartitionDef(name string) (*catalog.PartitionDef, bool) {
+	for _, t := range s.schema.AtomTypes() {
+		for _, d := range s.schema.PartitionsFor(t.Name) {
+			if d.Name == name {
+				return d, true
+			}
+		}
+	}
+	return nil, false
+}
+
+func (s *System) findClusterDef(name string) (*catalog.ClusterDef, bool) {
+	for _, d := range s.schema.Clusters() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// Close checkpoints and releases all resources.
+func (s *System) Close() error {
+	if err := s.Checkpoint(); err != nil {
+		s.files.Close()
+		return err
+	}
+	if err := s.pool.Close(); err != nil {
+		s.files.Close()
+		return err
+	}
+	return s.files.Close()
+}

@@ -1,0 +1,111 @@
+// Package baseline implements the two modeling approaches PRIMA is compared
+// against in Fig. 2.1: the hierarchical approach (IMS-style, "a substantial
+// portion of redundancy is introduced: there are several independent
+// representations for every edge and every point"), and the network approach
+// ("avoids redundancy, but at the cost of introducing a number of 'relation
+// records' that represent n:m relationships"). The MAD numbers come from the
+// real system; the baselines store equivalently encoded records in the same
+// record containers so sizes and update costs are measured, not estimated.
+package baseline
+
+import (
+	"fmt"
+
+	"prima/internal/access/addr"
+	"prima/internal/access/atom"
+	"prima/internal/access/record"
+	"prima/internal/storage/buffer"
+	"prima/internal/storage/device"
+	"prima/internal/storage/segment"
+)
+
+// Metrics reports what one modeling approach costs for the same set of BREP
+// objects.
+type Metrics struct {
+	Model   string
+	Records int // stored records (atoms / segments / relation records)
+	Bytes   int // encoded record bytes
+	// PointCopies is how many stored representations one geometric point
+	// has (1 = non-redundant).
+	PointCopies int
+	// MovePointWrites is how many records must be rewritten to move one
+	// point (the update problem of redundant hierarchies).
+	MovePointWrites int
+	// InverseTraversal reports whether point→face navigation is possible
+	// without a full scan ("looking from points to all corresponding edges
+	// and faces is not possible in the hierarchical example").
+	InverseTraversal bool
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("%-12s records=%5d bytes=%7d pointCopies=%d movePointWrites=%d inverseTraversal=%v",
+		m.Model, m.Records, m.Bytes, m.PointCopies, m.MovePointWrites, m.InverseTraversal)
+}
+
+// cube topology constants (see brepgen): 6 faces, 12 edges, 8 points;
+// every face has 4 border edges and 4 corner points; every edge bounds 2
+// faces and joins 2 points; every point touches 3 faces and 3 edges.
+const (
+	faces         = 6
+	edges         = 12
+	points        = 8
+	edgesPerFace  = 4
+	pointsPerEdge = 2
+	facesPerEdge  = 2
+	edgesPerPoint = 3
+)
+
+// newContainer builds a scratch container for measurement.
+func newContainer() (*record.Container, error) {
+	dev, err := device.NewMem(device.B8K)
+	if err != nil {
+		return nil, err
+	}
+	seg, err := segment.Create(dev, 1, 65536)
+	if err != nil {
+		return nil, err
+	}
+	pool := buffer.NewPool(buffer.NewSizeAwareLRU(8 << 20))
+	return record.New(seg, pool)
+}
+
+// encode helpers producing realistic record images.
+func pointRec(id int) []byte {
+	return atom.EncodeAtom([]atom.Value{
+		atom.Ident(atomAddr(id)),
+		atom.Record(atom.Real(float64(id)), atom.Real(float64(id)*2), atom.Real(float64(id)*3)),
+	})
+}
+
+func edgeRec(id int, pointIDs ...int) []byte {
+	refs := make([]atom.Value, len(pointIDs))
+	for i, p := range pointIDs {
+		refs[i] = atom.Ref(atomAddr(p))
+	}
+	return atom.EncodeAtom([]atom.Value{
+		atom.Ident(atomAddr(id)),
+		atom.Real(1.0),
+		{K: atom.KindSet, E: refs},
+	})
+}
+
+func faceRec(id int, childIDs ...int) []byte {
+	refs := make([]atom.Value, len(childIDs))
+	for i, c := range childIDs {
+		refs[i] = atom.Ref(atomAddr(c))
+	}
+	return atom.EncodeAtom([]atom.Value{
+		atom.Ident(atomAddr(id)),
+		atom.Real(1.0),
+		{K: atom.KindSet, E: refs},
+	})
+}
+
+func linkRec(a, b int) []byte {
+	return atom.EncodeAtom([]atom.Value{
+		atom.Ref(atomAddr(a)),
+		atom.Ref(atomAddr(b)),
+	})
+}
+
+func atomAddr(id int) addr.LogicalAddr { return addr.New(1, uint64(id)) }

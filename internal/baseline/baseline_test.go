@@ -1,0 +1,57 @@
+package baseline
+
+import "testing"
+
+// TestFig21Shape verifies the qualitative claims of Fig. 2.1: the
+// hierarchical model is redundant (more records, more bytes, multi-record
+// point updates, no inverse traversal); the network model avoids redundancy
+// but pays relation records; MAD is non-redundant AND link-free.
+func TestFig21Shape(t *testing.T) {
+	ms, err := Compare(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, nw, mad := ms[0], ms[1], ms[2]
+
+	// Hierarchical: duplicated edges and points.
+	if h.PointCopies <= 1 {
+		t.Fatalf("hierarchical point copies = %d, want > 1", h.PointCopies)
+	}
+	if h.MovePointWrites <= 1 {
+		t.Fatalf("hierarchical move cost = %d, want > 1", h.MovePointWrites)
+	}
+	if h.InverseTraversal {
+		t.Fatal("hierarchical model claims inverse traversal")
+	}
+	// 4 cubes: 4 * (1 + 6 + 24 + 48) = 316 records.
+	if h.Records != 4*(1+6+24+48) {
+		t.Fatalf("hierarchical records = %d", h.Records)
+	}
+
+	// Network: non-redundant entities plus relation records.
+	if nw.PointCopies != 1 || nw.MovePointWrites != 1 {
+		t.Fatalf("network redundancy: %+v", nw)
+	}
+	wantEntities := 4 * (1 + 6 + 12 + 8)
+	wantLinks := 4 * (6 + 24 + 24)
+	if nw.Records != wantEntities+wantLinks {
+		t.Fatalf("network records = %d, want %d", nw.Records, wantEntities+wantLinks)
+	}
+
+	// MAD: entity records only, no duplicates, no links.
+	if mad.Records != wantEntities {
+		t.Fatalf("mad records = %d, want %d", mad.Records, wantEntities)
+	}
+	if mad.PointCopies != 1 || !mad.InverseTraversal {
+		t.Fatalf("mad metrics: %+v", mad)
+	}
+	// Record-count ordering: MAD < network (links) and MAD < hierarchical
+	// (duplicates).
+	if !(mad.Records < nw.Records && mad.Records < h.Records) {
+		t.Fatalf("record ordering violated: h=%d nw=%d mad=%d", h.Records, nw.Records, mad.Records)
+	}
+	// The hierarchical model stores strictly more bytes than MAD.
+	if h.Bytes <= mad.Bytes {
+		t.Fatalf("bytes: hierarchical %d <= mad %d", h.Bytes, mad.Bytes)
+	}
+}

@@ -1,0 +1,176 @@
+package baseline
+
+import (
+	"fmt"
+
+	"prima/internal/access"
+	"prima/internal/access/atom"
+	"prima/internal/core"
+	"prima/internal/workload/brepgen"
+)
+
+// Hierarchical measures the IMS-style modeling of n cubes: a strict
+// brep→face→edge→point hierarchy in which shared edges and points are
+// duplicated under every parent ("several independent representations for
+// every edge and every point").
+func Hierarchical(n int) (Metrics, error) {
+	c, err := newContainer()
+	if err != nil {
+		return Metrics{}, err
+	}
+	m := Metrics{Model: "hierarchic", PointCopies: edgesPerPoint, InverseTraversal: false}
+	id := 1
+	put := func(rec []byte) error {
+		if _, err := c.Insert(rec); err != nil {
+			return err
+		}
+		m.Records++
+		m.Bytes += len(rec)
+		return nil
+	}
+	for cube := 0; cube < n; cube++ {
+		// brep segment record (root).
+		if err := put(faceRec(id)); err != nil {
+			return m, err
+		}
+		id++
+		for f := 0; f < faces; f++ {
+			if err := put(faceRec(id)); err != nil {
+				return m, err
+			}
+			id++
+			for e := 0; e < edgesPerFace; e++ {
+				// Each face stores its own copy of its border edges.
+				if err := put(edgeRec(id)); err != nil {
+					return m, err
+				}
+				id++
+				for p := 0; p < pointsPerEdge; p++ {
+					// ... and each edge copy its own copies of the points.
+					if err := put(pointRec(id)); err != nil {
+						return m, err
+					}
+					id++
+				}
+			}
+		}
+	}
+	// Moving one point rewrites every duplicated representation: the point
+	// appears under each of its edges, and each such edge is duplicated
+	// under each of its faces.
+	m.MovePointWrites = edgesPerPoint * facesPerEdge
+	return m, nil
+}
+
+// Network measures the CODASYL-style modeling: every entity stored once,
+// plus one relation record per relationship instance.
+func Network(n int) (Metrics, error) {
+	c, err := newContainer()
+	if err != nil {
+		return Metrics{}, err
+	}
+	m := Metrics{Model: "network", PointCopies: 1, InverseTraversal: true, MovePointWrites: 1}
+	put := func(rec []byte) error {
+		if _, err := c.Insert(rec); err != nil {
+			return err
+		}
+		m.Records++
+		m.Bytes += len(rec)
+		return nil
+	}
+	id := 1
+	for cube := 0; cube < n; cube++ {
+		if err := put(faceRec(id)); err != nil { // brep
+			return m, err
+		}
+		id++
+		for i := 0; i < faces; i++ {
+			if err := put(faceRec(id)); err != nil {
+				return m, err
+			}
+			id++
+		}
+		for i := 0; i < edges; i++ {
+			if err := put(edgeRec(id)); err != nil {
+				return m, err
+			}
+			id++
+		}
+		for i := 0; i < points; i++ {
+			if err := put(pointRec(id)); err != nil {
+				return m, err
+			}
+			id++
+		}
+		// Relation records: brep-face, face-edge, edge-point.
+		links := faces + faces*edgesPerFace + edges*pointsPerEdge
+		for i := 0; i < links; i++ {
+			if err := put(linkRec(id, id+1)); err != nil {
+				return m, err
+			}
+		}
+	}
+	return m, nil
+}
+
+// MAD measures the real system: n cubes stored through the full PRIMA
+// stack, sizes read from the primary containers.
+func MAD(n int) (Metrics, error) {
+	sys, err := access.Open(access.Config{})
+	if err != nil {
+		return Metrics{}, err
+	}
+	defer sys.Close()
+	e := core.New(sys)
+	if err := brepgen.InstallSchema(e); err != nil {
+		return Metrics{}, err
+	}
+	if _, err := brepgen.BuildScene(e, n); err != nil {
+		return Metrics{}, err
+	}
+	m := Metrics{Model: "mad", PointCopies: 1, InverseTraversal: true, MovePointWrites: 1}
+	for _, tn := range []string{"brep", "face", "edge", "point"} {
+		if err := sys.AtomTypeScan(tn, nil, nil, func(at *access.Atom) bool {
+			m.Records++
+			return true
+		}); err != nil {
+			return m, err
+		}
+	}
+	// Byte size: encoded primary records.
+	for _, tn := range []string{"brep", "face", "edge", "point"} {
+		addrs, err := sys.ScanAddrs(tn)
+		if err != nil {
+			return m, err
+		}
+		for _, a := range addrs {
+			at, err := sys.Get(a, nil)
+			if err != nil {
+				return m, err
+			}
+			m.Bytes += len(encodeValues(at))
+		}
+	}
+	return m, nil
+}
+
+func encodeValues(at *access.Atom) []byte {
+	return atom.EncodeAtom(at.Values)
+}
+
+// Compare runs all three models for n cubes.
+func Compare(n int) ([]Metrics, error) {
+	h, err := Hierarchical(n)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: hierarchical: %w", err)
+	}
+	nw, err := Network(n)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: network: %w", err)
+	}
+	md, err := MAD(n)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: mad: %w", err)
+	}
+	return []Metrics{h, nw, md}, nil
+}

@@ -1,0 +1,107 @@
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"prima/internal/access/addr"
+)
+
+// schemaDoc is the on-disk JSON form of a schema.
+type schemaDoc struct {
+	AtomTypes    []*AtomType      `json:"atomTypes"`
+	MolTypes     []*MoleculeType  `json:"moleculeTypes,omitempty"`
+	AccessPaths  []*AccessPathDef `json:"accessPaths,omitempty"`
+	SortOrders   []*SortOrderDef  `json:"sortOrders,omitempty"`
+	Partitions   []*PartitionDef  `json:"partitions,omitempty"`
+	Clusters     []*ClusterDef    `json:"clusters,omitempty"`
+	NextTypeID   addr.TypeID      `json:"nextTypeID"`
+	NextStructID addr.StructID    `json:"nextStructID"`
+}
+
+// Save serializes the schema to JSON.
+func (s *Schema) Save() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	doc := schemaDoc{
+		NextTypeID:   s.nextTypeID,
+		NextStructID: s.nextStructID,
+	}
+	for _, t := range s.AtomTypesLockedOrder() {
+		doc.AtomTypes = append(doc.AtomTypes, t)
+	}
+	for _, m := range s.molTypes {
+		doc.MolTypes = append(doc.MolTypes, m)
+	}
+	for _, d := range s.accessPath {
+		doc.AccessPaths = append(doc.AccessPaths, d)
+	}
+	for _, d := range s.sortOrders {
+		doc.SortOrders = append(doc.SortOrders, d)
+	}
+	for _, d := range s.partitions {
+		doc.Partitions = append(doc.Partitions, d)
+	}
+	for _, d := range s.clusters {
+		doc.Clusters = append(doc.Clusters, d)
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// AtomTypesLockedOrder returns atom types ordered by TypeID; the caller must
+// hold at least a read lock (Save does).
+func (s *Schema) AtomTypesLockedOrder() []*AtomType {
+	out := make([]*AtomType, 0, len(s.atomTypes))
+	for id := addr.TypeID(1); id < s.nextTypeID; id++ {
+		if t, ok := s.byID[id]; ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Load reconstructs a schema from Save output.
+func Load(data []byte) (*Schema, error) {
+	var doc schemaDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("catalog: load schema: %w", err)
+	}
+	s := NewSchema()
+	for _, t := range doc.AtomTypes {
+		if err := t.build(); err != nil {
+			return nil, fmt.Errorf("catalog: load %s: %w", t.Name, err)
+		}
+		if _, dup := s.atomTypes[t.Name]; dup {
+			return nil, fmt.Errorf("%w: atom type %s", ErrDuplicate, t.Name)
+		}
+		s.atomTypes[t.Name] = t
+		s.byID[t.ID] = t
+	}
+	for _, m := range doc.MolTypes {
+		s.molTypes[m.Name] = m
+	}
+	for _, d := range doc.AccessPaths {
+		s.accessPath[d.Name] = d
+	}
+	for _, d := range doc.SortOrders {
+		s.sortOrders[d.Name] = d
+	}
+	for _, d := range doc.Partitions {
+		s.partitions[d.Name] = d
+	}
+	for _, d := range doc.Clusters {
+		s.clusters[d.Name] = d
+	}
+	s.nextTypeID = doc.NextTypeID
+	s.nextStructID = doc.NextStructID
+	if s.nextTypeID == 0 {
+		s.nextTypeID = 1
+	}
+	if s.nextStructID == 0 {
+		s.nextStructID = 1
+	}
+	if err := s.ResolveAssociations(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+
+	"prima/internal/access"
+	"prima/internal/access/addr"
+	"prima/internal/access/atom"
+	"prima/internal/catalog"
+)
+
+// atomSource supplies atoms during molecule assembly. The primary source
+// reads through the access system; the cluster source reads from a
+// materialized atom-cluster occurrence, falling back to the access system
+// for atoms outside the cluster.
+type atomSource interface {
+	get(a addr.LogicalAddr) (*access.Atom, error)
+}
+
+type primarySource struct{ sys *access.System }
+
+func (s primarySource) get(a addr.LogicalAddr) (*access.Atom, error) { return s.sys.Get(a, nil) }
+
+type clusterSource struct {
+	sys *access.System
+	occ *access.ClusterOccurrence
+}
+
+func (s clusterSource) get(a addr.LogicalAddr) (*access.Atom, error) {
+	if at, ok := s.occ.Atom(a); ok {
+		return at, nil
+	}
+	return s.sys.Get(a, nil)
+}
+
+// Roots enumerates the molecule roots the plan will materialize, in the
+// order of the chosen access.
+func (p *Plan) Roots() ([]addr.LogicalAddr, error) {
+	sys := p.engine.sys
+	switch p.AccessKind {
+	case "accesspath":
+		return sys.AccessPathSearch(p.PathName, []atom.Value{p.PathKey})
+	case "cluster":
+		return sys.ClusterRoots(p.Cluster)
+	default:
+		return sys.ScanAddrs(p.Root.Name)
+	}
+}
+
+// AssembleRoot materializes, restricts, and projects the molecule rooted at
+// a. It returns (nil, nil) when the root or molecule fails qualification.
+func (p *Plan) AssembleRoot(a addr.LogicalAddr) (*Molecule, error) {
+	sys := p.engine.sys
+	var src atomSource = primarySource{sys}
+
+	// Root SSA (pushed-down restriction) decides before assembly.
+	if len(p.RootSSA) > 0 {
+		rootAtom, err := src.get(a)
+		if err != nil {
+			return nil, err
+		}
+		ok, err := p.RootSSA.Eval(rootAtom)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, nil
+		}
+	}
+
+	if p.AccessKind == "cluster" {
+		occ, err := sys.ClusterOccurrenceOf(p.Cluster, a)
+		if err != nil {
+			return nil, err
+		}
+		src = clusterSource{sys: sys, occ: occ}
+	}
+
+	m, err := p.assemble(src, a)
+	if err != nil {
+		return nil, err
+	}
+	if p.Where != nil {
+		keep, err := p.engine.evalMolecule(p.Where, m)
+		if err != nil {
+			return nil, err
+		}
+		if !keep {
+			return nil, nil
+		}
+	}
+	if err := p.engine.applyProjection(p.Project, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// assemble performs the vertical access: starting from the root atom it
+// deduces the dependent component atoms along the molecule type's
+// associations, level by level for recursive edges, with cycle protection.
+func (p *Plan) assemble(src atomSource, root addr.LogicalAddr) (*Molecule, error) {
+	m := &Molecule{
+		Type:   p.Mol,
+		ByType: map[string][]*MAtom{},
+		atoms:  map[addr.LogicalAddr]*MAtom{},
+	}
+	var build func(node *catalog.MolNode, a addr.LogicalAddr, level int) (*MAtom, error)
+	build = func(node *catalog.MolNode, a addr.LogicalAddr, level int) (*MAtom, error) {
+		if existing, ok := m.atoms[a]; ok {
+			return existing, nil // shared component or recursion cycle
+		}
+		if level > p.MaxDepth {
+			return nil, fmt.Errorf("%w: recursion deeper than %d", ErrSemantic, p.MaxDepth)
+		}
+		at, err := src.get(a)
+		if err != nil {
+			return nil, err
+		}
+		ma := &MAtom{Atom: at, Node: node, Level: level}
+		m.atoms[a] = ma
+		m.ByType[at.Type.Name] = append(m.ByType[at.Type.Name], ma)
+
+		// Effective child edges: the node's children, plus the node itself
+		// once more when the edge into it recurses.
+		edges := node.Children
+		if node.Recursive {
+			edges = append(append([]*catalog.MolNode(nil), node.Children...), node)
+		}
+		ma.Children = make([][]*MAtom, len(edges))
+		for i, child := range edges {
+			idx, ok := at.Type.AttrIndex(child.Via)
+			if !ok {
+				return nil, fmt.Errorf("%w: %s.%s", catalog.ErrUnknownAttr, at.Type.Name, child.Via)
+			}
+			nextLevel := level
+			if child.Recursive || child == node {
+				nextLevel = level + 1
+			}
+			for _, target := range at.Values[idx].Refs() {
+				c, err := build(child, target, nextLevel)
+				if err != nil {
+					return nil, err
+				}
+				ma.Children[i] = append(ma.Children[i], c)
+			}
+		}
+		return ma, nil
+	}
+	rootMA, err := build(p.Mol.Root, root, 0)
+	if err != nil {
+		return nil, err
+	}
+	m.Root = rootMA
+	return m, nil
+}
+
+// Cursor delivers the qualified molecules of a plan one at a time — the
+// one-molecule-at-a-time interface of the molecule management (§3.1).
+type Cursor struct {
+	plan  *Plan
+	roots []addr.LogicalAddr
+	pos   int
+	done  bool
+}
+
+// Open prepares a cursor over the plan's molecules.
+func (p *Plan) Open() (*Cursor, error) {
+	roots, err := p.Roots()
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{plan: p, roots: roots}, nil
+}
+
+// Next returns the next qualified molecule, or (nil, nil) at the end.
+func (c *Cursor) Next() (*Molecule, error) {
+	if c.done {
+		return nil, nil
+	}
+	for c.pos < len(c.roots) {
+		a := c.roots[c.pos]
+		c.pos++
+		// Roots may have been deleted by concurrent DML between Open and
+		// Next; skip them.
+		if !c.plan.engine.sys.Directory().Exists(a) {
+			continue
+		}
+		m, err := c.plan.AssembleRoot(a)
+		if err != nil {
+			return nil, err
+		}
+		if m != nil {
+			return m, nil
+		}
+	}
+	c.done = true
+	return nil, nil
+}
+
+// Close releases the cursor.
+func (c *Cursor) Close() { c.done = true }
+
+// Collect drains the cursor.
+func (c *Cursor) Collect() ([]*Molecule, error) {
+	var out []*Molecule
+	for {
+		m, err := c.Next()
+		if err != nil {
+			return nil, err
+		}
+		if m == nil {
+			return out, nil
+		}
+		out = append(out, m)
+	}
+}

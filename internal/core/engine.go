@@ -1,0 +1,329 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"prima/internal/access"
+	"prima/internal/access/addr"
+	"prima/internal/access/atom"
+	"prima/internal/catalog"
+	"prima/internal/mql"
+)
+
+// Engine is the data system: it translates MQL statements into access
+// system call sequences and manages molecule materialization.
+type Engine struct {
+	sys      *access.System
+	maxDepth int
+
+	mu          sync.Mutex
+	schemaDirty bool // associations not yet re-validated after DDL
+}
+
+// New creates a data system over an access system instance.
+func New(sys *access.System) *Engine {
+	return &Engine{sys: sys, maxDepth: 64, schemaDirty: true}
+}
+
+// System exposes the underlying access system.
+func (e *Engine) System() *access.System { return e.sys }
+
+// SetMaxRecursionDepth bounds recursive molecule evaluation.
+func (e *Engine) SetMaxRecursionDepth(d int) { e.maxDepth = d }
+
+// ensureResolved re-validates association symmetry after DDL. DDL scripts
+// may declare mutually referencing types in any order (Fig. 2.3 does), so
+// resolution is deferred until the first statement that needs a consistent
+// schema.
+func (e *Engine) ensureResolved() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.schemaDirty {
+		return nil
+	}
+	if err := e.sys.Schema().ResolveAssociations(); err != nil {
+		return fmt.Errorf("%w: %v", ErrUnresolved, err)
+	}
+	e.schemaDirty = false
+	return nil
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	Kind      string // "molecules", "inserted", "count", "ok"
+	Molecules []*Molecule
+	Inserted  []addr.LogicalAddr
+	Count     int
+	Message   string
+}
+
+// ExecuteScript parses and executes a semicolon-separated MQL script,
+// returning one result per statement.
+func (e *Engine) ExecuteScript(src string) ([]*Result, error) {
+	stmts, err := mql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, 0, len(stmts))
+	for i, s := range stmts {
+		r, err := e.Execute(s)
+		if err != nil {
+			return out, fmt.Errorf("statement %d: %w", i+1, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Execute runs a single parsed statement.
+func (e *Engine) Execute(stmt mql.Stmt) (*Result, error) {
+	switch s := stmt.(type) {
+	case *mql.CreateAtomType:
+		at, err := mql.LowerAtomType(s)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.sys.Schema().AddAtomType(at); err != nil {
+			return nil, err
+		}
+		e.mu.Lock()
+		e.schemaDirty = true
+		e.mu.Unlock()
+		return &Result{Kind: "ok", Message: "atom type " + s.Name + " created"}, nil
+
+	case *mql.DefineMoleculeType:
+		if err := e.ensureResolved(); err != nil {
+			return nil, err
+		}
+		m, err := mql.LowerMolecule(e.sys.Schema(), s.Name, s.From)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.sys.Schema().DefineMoleculeType(m); err != nil {
+			return nil, err
+		}
+		return &Result{Kind: "ok", Message: "molecule type " + s.Name + " defined"}, nil
+
+	case *mql.Drop:
+		switch s.Kind {
+		case "ATOM_TYPE":
+			if err := e.sys.Schema().DropAtomType(s.Name); err != nil {
+				return nil, err
+			}
+		case "MOLECULE_TYPE":
+			if err := e.sys.Schema().DropMoleculeType(s.Name); err != nil {
+				return nil, err
+			}
+		default:
+			if err := e.sys.DropLDL(s.Name); err != nil {
+				return nil, err
+			}
+		}
+		return &Result{Kind: "ok", Message: s.Name + " dropped"}, nil
+
+	case *mql.CreateAccessPath:
+		if err := e.ensureResolved(); err != nil {
+			return nil, err
+		}
+		return okResult(e.sys.CreateAccessPath(&catalog.AccessPathDef{
+			Name: s.Name, AtomType: s.AtomType, Attrs: s.Attrs, Method: s.Using,
+		}), "access path "+s.Name+" created")
+
+	case *mql.CreateSortOrder:
+		if err := e.ensureResolved(); err != nil {
+			return nil, err
+		}
+		return okResult(e.sys.CreateSortOrder(&catalog.SortOrderDef{
+			Name: s.Name, AtomType: s.AtomType, Attrs: s.Attrs, Desc: s.Desc,
+		}), "sort order "+s.Name+" created")
+
+	case *mql.CreatePartition:
+		if err := e.ensureResolved(); err != nil {
+			return nil, err
+		}
+		return okResult(e.sys.CreatePartition(&catalog.PartitionDef{
+			Name: s.Name, AtomType: s.AtomType, Attrs: s.Attrs,
+		}), "partition "+s.Name+" created")
+
+	case *mql.CreateCluster:
+		if err := e.ensureResolved(); err != nil {
+			return nil, err
+		}
+		m, err := mql.LowerMolecule(e.sys.Schema(), "", s.From)
+		if err != nil {
+			return nil, err
+		}
+		return okResult(e.sys.CreateCluster(&catalog.ClusterDef{
+			Name: s.Name, Molecule: m,
+		}), "atom cluster "+s.Name+" created")
+
+	case *mql.Select:
+		plan, err := e.PlanSelect(s)
+		if err != nil {
+			return nil, err
+		}
+		cur, err := plan.Open()
+		if err != nil {
+			return nil, err
+		}
+		defer cur.Close()
+		mols, err := cur.Collect()
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Kind: "molecules", Molecules: mols, Count: len(mols)}, nil
+
+	case *mql.Insert:
+		return e.execInsert(s)
+
+	case *mql.Delete:
+		return e.execDelete(s)
+
+	case *mql.Modify:
+		return e.execModify(s)
+
+	case *mql.Connect:
+		return e.execConnect(s.From, s.To, s.Via, true)
+
+	case *mql.Disconnect:
+		return e.execConnect(s.From, s.To, s.Via, false)
+
+	case *mql.CheckIntegrity:
+		if err := e.ensureResolved(); err != nil {
+			return nil, err
+		}
+		if err := e.sys.CheckIntegrity(s.AtomType); err != nil {
+			return nil, err
+		}
+		return &Result{Kind: "ok", Message: "integrity ok"}, nil
+
+	case *mql.PropagateDeferred:
+		if err := e.sys.PropagateDeferred(); err != nil {
+			return nil, err
+		}
+		return &Result{Kind: "ok", Message: "deferred updates propagated"}, nil
+
+	default:
+		return nil, fmt.Errorf("%w: unsupported statement %T", ErrSemantic, stmt)
+	}
+}
+
+func okResult(err error, msg string) (*Result, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Kind: "ok", Message: msg}, nil
+}
+
+func (e *Engine) execInsert(s *mql.Insert) (*Result, error) {
+	if err := e.ensureResolved(); err != nil {
+		return nil, err
+	}
+	res := &Result{Kind: "inserted"}
+	for _, row := range s.Rows {
+		values := map[string]atom.Value{}
+		for i, attr := range s.Attrs {
+			v, err := mql.LitValue(row[i])
+			if err != nil {
+				return nil, err
+			}
+			values[attr] = v
+		}
+		a, err := e.sys.Insert(s.AtomType, values)
+		if err != nil {
+			return nil, err
+		}
+		res.Inserted = append(res.Inserted, a)
+	}
+	res.Count = len(res.Inserted)
+	return res, nil
+}
+
+// execDelete deletes all component atoms of every qualified molecule
+// ("removal of single components as well as of whole component sets,
+// thereby automatically disconnecting these parts").
+func (e *Engine) execDelete(s *mql.Delete) (*Result, error) {
+	plan, err := e.PlanSelect(&mql.Select{All: true, From: s.From, Where: s.Where})
+	if err != nil {
+		return nil, err
+	}
+	cur, err := plan.Open()
+	if err != nil {
+		return nil, err
+	}
+	mols, err := cur.Collect()
+	if err != nil {
+		return nil, err
+	}
+	deleted := map[addr.LogicalAddr]bool{}
+	for _, m := range mols {
+		for _, a := range m.SortedAddrs() {
+			if deleted[a] || !e.sys.Directory().Exists(a) {
+				continue
+			}
+			if err := e.sys.Delete(a); err != nil {
+				return nil, err
+			}
+			deleted[a] = true
+		}
+	}
+	return &Result{Kind: "count", Count: len(deleted), Message: fmt.Sprintf("%d atoms deleted", len(deleted))}, nil
+}
+
+func (e *Engine) execModify(s *mql.Modify) (*Result, error) {
+	plan, err := e.PlanSelect(&mql.Select{All: true, From: &mql.MolComponent{Name: s.AtomType}, Where: s.Where})
+	if err != nil {
+		return nil, err
+	}
+	changes := map[string]atom.Value{}
+	for _, as := range s.Set {
+		v, err := mql.LitValue(as.Value)
+		if err != nil {
+			return nil, err
+		}
+		changes[as.Attr] = v
+	}
+	cur, err := plan.Open()
+	if err != nil {
+		return nil, err
+	}
+	mols, err := cur.Collect()
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	for _, m := range mols {
+		if err := e.sys.Update(m.Root.Addr(), changes); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{Kind: "count", Count: n, Message: fmt.Sprintf("%d atoms modified", n)}, nil
+}
+
+func (e *Engine) execConnect(from, to mql.Expr, via string, connect bool) (*Result, error) {
+	if err := e.ensureResolved(); err != nil {
+		return nil, err
+	}
+	fv, err := mql.LitValue(from)
+	if err != nil {
+		return nil, err
+	}
+	tv, err := mql.LitValue(to)
+	if err != nil {
+		return nil, err
+	}
+	if fv.K != atom.KindRef || tv.K != atom.KindRef {
+		return nil, fmt.Errorf("%w: CONNECT requires address literals", ErrSemantic)
+	}
+	if connect {
+		err = e.sys.Connect(fv.A, via, tv.A)
+	} else {
+		err = e.sys.Disconnect(fv.A, via, tv.A)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Kind: "ok", Message: "done"}, nil
+}

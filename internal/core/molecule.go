@@ -1,0 +1,120 @@
+// Package core implements PRIMA's data system (§3.1): it maps the
+// molecule-oriented MAD interface onto the atom-oriented access system.
+// Query validation and modification, simplification, preparation, molecule
+// management with a one-molecule-at-a-time cursor interface, recursion, and
+// the DML all live here.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prima/internal/access"
+	"prima/internal/access/addr"
+	"prima/internal/access/atom"
+	"prima/internal/catalog"
+)
+
+// Molecule is one molecule occurrence: a tree of atoms assembled dynamically
+// along the associations named by its molecule type.
+type Molecule struct {
+	Type *catalog.MoleculeType
+	Root *MAtom
+	// ByType lists the molecule's atoms grouped by atom type name, in
+	// traversal order (the flat view used by projection and quantifiers).
+	ByType map[string][]*MAtom
+	// atoms dedupes by address: an atom belongs to a molecule at most once
+	// even when reachable over several lanes (shared components, recursion
+	// cycles). It takes the component role of its first reach.
+	atoms map[addr.LogicalAddr]*MAtom
+}
+
+// MAtom is one atom inside a molecule, bound to the component (node) of the
+// molecule type it instantiates.
+type MAtom struct {
+	Atom  *access.Atom
+	Node  *catalog.MolNode
+	Level int // recursion level (0 = root)
+	// Children holds the component atoms reached over each child edge of
+	// Node (parallel to Node.Children); recursive self-edges come last.
+	Children [][]*MAtom
+	// Projected marks atoms whose attributes were restricted by a
+	// projection; Hidden marks connector atoms retained only for molecule
+	// structure after projection.
+	Hidden bool
+}
+
+// Addr returns the atom's logical address.
+func (m *MAtom) Addr() addr.LogicalAddr { return m.Atom.Addr }
+
+// Size returns the number of atoms in the molecule.
+func (m *Molecule) Size() int {
+	n := 0
+	for _, atoms := range m.ByType {
+		n += len(atoms)
+	}
+	return n
+}
+
+// AtomsOf returns the molecule's atoms of one type.
+func (m *Molecule) AtomsOf(typeName string) []*MAtom { return m.ByType[typeName] }
+
+// MaxLevel returns the deepest recursion level present.
+func (m *Molecule) MaxLevel() int {
+	max := 0
+	for _, atoms := range m.ByType {
+		for _, a := range atoms {
+			if a.Level > max {
+				max = a.Level
+			}
+		}
+	}
+	return max
+}
+
+// String renders the molecule as an indented tree (CLI / example output).
+func (m *Molecule) String() string {
+	var sb strings.Builder
+	var walk func(ma *MAtom, depth int)
+	walk = func(ma *MAtom, depth int) {
+		indent := strings.Repeat("  ", depth)
+		if ma.Hidden {
+			fmt.Fprintf(&sb, "%s%s %s (connector)\n", indent, ma.Atom.Type.Name, ma.Atom.Addr)
+		} else {
+			fmt.Fprintf(&sb, "%s%s %s", indent, ma.Atom.Type.Name, ma.Atom.Addr)
+			var attrs []string
+			for i, attr := range ma.Atom.Type.Attrs {
+				v := ma.Atom.Values[i]
+				if v.IsNull() || attr.Type.IsRef() || attr.Type.Kind == atom.KindIdent {
+					continue
+				}
+				attrs = append(attrs, fmt.Sprintf("%s=%s", attr.Name, v))
+			}
+			if len(attrs) > 0 {
+				fmt.Fprintf(&sb, " {%s}", strings.Join(attrs, ", "))
+			}
+			sb.WriteByte('\n')
+		}
+		for _, group := range ma.Children {
+			for _, c := range group {
+				walk(c, depth+1)
+			}
+		}
+	}
+	walk(m.Root, 0)
+	return sb.String()
+}
+
+// SortedAddrs returns all atom addresses of the molecule in ascending
+// order (deterministic test output).
+func (m *Molecule) SortedAddrs() []addr.LogicalAddr {
+	var out []addr.LogicalAddr
+	for _, atoms := range m.ByType {
+		for _, a := range atoms {
+			out = append(out, a.Addr())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,507 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"prima/internal/access"
+	"prima/internal/access/atom"
+	"prima/internal/catalog"
+	"prima/internal/mql"
+)
+
+// Errors returned by planning and execution.
+var (
+	ErrSemantic   = errors.New("core: semantic error")
+	ErrUnresolved = errors.New("core: schema has unresolved associations")
+)
+
+// Plan is a prepared molecule query: the resolved (hierarchical) molecule
+// type, the chosen root access (atom-type scan, access-path scan or
+// atom-cluster-type scan), pushed-down restrictions, the residual predicate
+// and the projection. Plans are produced by the query validation /
+// simplification / preparation pipeline of §3.1.
+type Plan struct {
+	engine *Engine
+	Mol    *catalog.MoleculeType
+	Root   *catalog.AtomType
+
+	// Root access choice.
+	AccessKind string // "atomscan" | "accesspath" | "cluster"
+	PathName   string // access path to use
+	PathKey    atom.Value
+	Cluster    string // cluster type to use
+
+	RootSSA  access.SSA // pushed-down root restrictions
+	Where    mql.Expr   // residual molecule predicate (may be nil)
+	Project  *projection
+	MaxDepth int
+}
+
+// projection compiled from the SELECT list.
+type projection struct {
+	all bool
+	// perType maps atom type name -> projection spec for atoms of the type.
+	perType map[string]*typeProjection
+}
+
+type typeProjection struct {
+	whole bool
+	attrs []string // projected attributes (when !whole)
+	where mql.Expr // qualified projection predicate (may be nil)
+}
+
+// PlanSelect validates a SELECT statement against the schema and prepares
+// an executable plan.
+func (e *Engine) PlanSelect(sel *mql.Select) (*Plan, error) {
+	if err := e.ensureResolved(); err != nil {
+		return nil, err
+	}
+	// Query validation and modification: resolve predefined molecule
+	// types, normalize to a hierarchical molecule type.
+	mol, err := mql.LowerMolecule(e.sys.Schema(), "", sel.From)
+	if err != nil {
+		return nil, err
+	}
+	if sel.From.Name != mol.Root.AtomType {
+		// FROM named a predefined molecule type; remember its name for
+		// seed qualifications like piece_list(0).attr.
+		mol.Name = sel.From.Name
+	}
+	root, ok := e.sys.Schema().AtomType(mol.Root.AtomType)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", catalog.ErrUnknownType, mol.Root.AtomType)
+	}
+	p := &Plan{engine: e, Mol: mol, Root: root, AccessKind: "atomscan", MaxDepth: e.maxDepth}
+
+	// Validate and compile the projection.
+	proj, err := e.compileProjection(sel, mol)
+	if err != nil {
+		return nil, err
+	}
+	p.Project = proj
+
+	// Validate the predicate's attribute references.
+	if sel.Where != nil {
+		if err := e.checkExpr(sel.Where, mol); err != nil {
+			return nil, err
+		}
+		p.Where = sel.Where
+	}
+
+	// Query preparation: extract pushed-down root restrictions and choose
+	// the root access.
+	p.RootSSA = e.extractRootSSA(sel.Where, mol, root)
+	e.chooseRootAccess(p)
+	return p, nil
+}
+
+// compileProjection lowers the SELECT list.
+func (e *Engine) compileProjection(sel *mql.Select, mol *catalog.MoleculeType) (*projection, error) {
+	proj := &projection{perType: map[string]*typeProjection{}}
+	if sel.All {
+		proj.all = true
+		return proj, nil
+	}
+	molTypes := mol.AtomTypes()
+	hasType := func(name string) bool {
+		for _, t := range molTypes {
+			if t == name {
+				return true
+			}
+		}
+		return false
+	}
+	get := func(name string) *typeProjection {
+		tp := proj.perType[name]
+		if tp == nil {
+			tp = &typeProjection{}
+			proj.perType[name] = tp
+		}
+		return tp
+	}
+	for _, item := range sel.Items {
+		switch {
+		case item.Sub != nil:
+			// Qualified projection: qualifier := SELECT attrs FROM type WHERE ...
+			typeName := item.Sub.From.Name
+			if !hasType(typeName) {
+				return nil, fmt.Errorf("%w: qualified projection type %s not in molecule", ErrSemantic, typeName)
+			}
+			if item.Qualifier != typeName {
+				return nil, fmt.Errorf("%w: qualified projection %s := SELECT ... FROM %s must match", ErrSemantic, item.Qualifier, typeName)
+			}
+			tp := get(typeName)
+			if item.Sub.All {
+				tp.whole = true
+			} else {
+				for _, si := range item.Sub.Items {
+					if si.Sub != nil {
+						return nil, fmt.Errorf("%w: nested qualified projections are not supported", ErrSemantic)
+					}
+					if err := e.addProjectedAttr(tp, typeName, si.Name); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if item.Sub.Where != nil {
+				sub := &catalog.MoleculeType{Root: &catalog.MolNode{AtomType: typeName}}
+				if err := e.checkExpr(item.Sub.Where, sub); err != nil {
+					return nil, err
+				}
+				tp.where = item.Sub.Where
+			}
+		case item.Qualifier != "":
+			// type.attr
+			if !hasType(item.Qualifier) {
+				return nil, fmt.Errorf("%w: %s is not a component of the molecule", ErrSemantic, item.Qualifier)
+			}
+			if err := e.addProjectedAttr(get(item.Qualifier), item.Qualifier, item.Name); err != nil {
+				return nil, err
+			}
+		case hasType(item.Name):
+			// Whole component type.
+			get(item.Name).whole = true
+		default:
+			// Bare attribute: find its unique owning type in the molecule.
+			owner := ""
+			for _, tn := range molTypes {
+				t, _ := e.sys.Schema().AtomType(tn)
+				if _, ok := t.AttrIndex(item.Name); ok {
+					if owner != "" {
+						return nil, fmt.Errorf("%w: attribute %s is ambiguous (in %s and %s)", ErrSemantic, item.Name, owner, tn)
+					}
+					owner = tn
+				}
+			}
+			if owner == "" {
+				return nil, fmt.Errorf("%w: unknown attribute %s", ErrSemantic, item.Name)
+			}
+			if err := e.addProjectedAttr(get(owner), owner, item.Name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return proj, nil
+}
+
+func (e *Engine) addProjectedAttr(tp *typeProjection, typeName, attr string) error {
+	t, _ := e.sys.Schema().AtomType(typeName)
+	if _, ok := t.AttrIndex(attr); !ok {
+		return fmt.Errorf("%w: %s.%s", catalog.ErrUnknownAttr, typeName, attr)
+	}
+	tp.attrs = append(tp.attrs, attr)
+	return nil
+}
+
+// checkExpr validates every attribute reference of an expression against the
+// molecule type.
+func (e *Engine) checkExpr(x mql.Expr, mol *catalog.MoleculeType) error {
+	switch v := x.(type) {
+	case nil:
+		return nil
+	case *mql.Binary:
+		if err := e.checkExpr(v.L, mol); err != nil {
+			return err
+		}
+		return e.checkExpr(v.R, mol)
+	case *mql.Not:
+		return e.checkExpr(v.X, mol)
+	case *mql.Compare:
+		if err := e.checkExpr(v.L, mol); err != nil {
+			return err
+		}
+		return e.checkExpr(v.R, mol)
+	case *mql.Quant:
+		found := false
+		for _, tn := range mol.AtomTypes() {
+			if tn == v.Var {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%w: quantifier variable %s is not a component type", ErrSemantic, v.Var)
+		}
+		return e.checkExpr(v.Cond, mol)
+	case *mql.AttrRef:
+		_, err := e.resolveRefTarget(v, mol)
+		return err
+	case *mql.Lit, *mql.EmptyLit:
+		return nil
+	default:
+		return fmt.Errorf("%w: unsupported expression %T", ErrSemantic, x)
+	}
+}
+
+// refTarget describes a resolved attribute reference.
+type refTarget struct {
+	typeName string
+	attr     string   // first attribute
+	fields   []string // RECORD field path
+	level    int
+	hasLevel bool
+}
+
+// resolveRefTarget resolves an AttrRef's owning atom type within a molecule.
+func (e *Engine) resolveRefTarget(ref *mql.AttrRef, mol *catalog.MoleculeType) (refTarget, error) {
+	schema := e.sys.Schema()
+	molTypes := mol.AtomTypes()
+	out := refTarget{level: ref.Level, hasLevel: ref.HasLevel}
+
+	parts := ref.Parts
+	// molName(level).attr: the molecule name qualifies the ROOT type.
+	if ref.HasLevel {
+		if len(parts) < 2 {
+			return out, fmt.Errorf("%w: level reference needs an attribute", ErrSemantic)
+		}
+		if parts[0] != mol.Name && parts[0] != mol.Root.AtomType {
+			return out, fmt.Errorf("%w: %s(%d) does not name this molecule", ErrSemantic, parts[0], ref.Level)
+		}
+		out.typeName = mol.Root.AtomType
+		out.attr = parts[1]
+		out.fields = parts[2:]
+	} else if len(parts) >= 2 {
+		// type.attr (or attr.field when parts[0] is an attribute).
+		if _, ok := schema.AtomType(parts[0]); ok {
+			found := false
+			for _, tn := range molTypes {
+				if tn == parts[0] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return out, fmt.Errorf("%w: %s is not a component of the molecule", ErrSemantic, parts[0])
+			}
+			out.typeName = parts[0]
+			out.attr = parts[1]
+			out.fields = parts[2:]
+		} else {
+			// attr.field... on a unique owner.
+			owner, err := e.uniqueOwner(parts[0], molTypes)
+			if err != nil {
+				return out, err
+			}
+			out.typeName = owner
+			out.attr = parts[0]
+			out.fields = parts[1:]
+		}
+	} else {
+		owner, err := e.uniqueOwner(parts[0], molTypes)
+		if err != nil {
+			return out, err
+		}
+		out.typeName = owner
+		out.attr = parts[0]
+	}
+
+	t, _ := schema.AtomType(out.typeName)
+	if t == nil {
+		return out, fmt.Errorf("%w: %s", catalog.ErrUnknownType, out.typeName)
+	}
+	i, ok := t.AttrIndex(out.attr)
+	if !ok {
+		return out, fmt.Errorf("%w: %s.%s", catalog.ErrUnknownAttr, out.typeName, out.attr)
+	}
+	// Validate RECORD field path.
+	spec := t.Attrs[i].Type
+	for _, f := range out.fields {
+		if spec.Kind != atom.KindRecord {
+			return out, fmt.Errorf("%w: %s.%s is not a RECORD", ErrSemantic, out.typeName, out.attr)
+		}
+		found := -1
+		for j, rf := range spec.Fields {
+			if rf.Name == f {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return out, fmt.Errorf("%w: RECORD field %s", catalog.ErrUnknownAttr, f)
+		}
+		spec = spec.Fields[found].Type
+	}
+	return out, nil
+}
+
+// uniqueOwner finds the single molecule component type having the attribute.
+// Preference: the root type wins (so brep_no resolves to the root even if
+// another component also had it).
+func (e *Engine) uniqueOwner(attr string, molTypes []string) (string, error) {
+	schema := e.sys.Schema()
+	if len(molTypes) > 0 {
+		rt, _ := schema.AtomType(molTypes[0])
+		if rt != nil {
+			if _, ok := rt.AttrIndex(attr); ok {
+				return molTypes[0], nil
+			}
+		}
+	}
+	owner := ""
+	for _, tn := range molTypes[1:] {
+		t, _ := schema.AtomType(tn)
+		if t == nil {
+			continue
+		}
+		if _, ok := t.AttrIndex(attr); ok {
+			if owner != "" {
+				return "", fmt.Errorf("%w: attribute %s is ambiguous (%s, %s)", ErrSemantic, attr, owner, tn)
+			}
+			owner = tn
+		}
+	}
+	if owner == "" {
+		return "", fmt.Errorf("%w: unknown attribute %s", catalog.ErrUnknownAttr, attr)
+	}
+	return owner, nil
+}
+
+// extractRootSSA pulls conjuncts of the form <rootAttr> op <literal> out of
+// the WHERE clause — "qualifications 'pushed down' for efficiency reasons".
+// Level-0 references (seed qualification of recursive molecules) also
+// restrict the root.
+func (e *Engine) extractRootSSA(where mql.Expr, mol *catalog.MoleculeType, root *catalog.AtomType) access.SSA {
+	var ssa access.SSA
+	var walk func(x mql.Expr)
+	walk = func(x mql.Expr) {
+		switch v := x.(type) {
+		case *mql.Binary:
+			if v.Op == "AND" {
+				walk(v.L)
+				walk(v.R)
+			}
+		case *mql.Compare:
+			ref, refIsL := v.L.(*mql.AttrRef)
+			lit, litIsR := v.R.(*mql.Lit)
+			if !refIsL || !litIsR {
+				// literal op ref form: normalize.
+				if ref2, ok := v.R.(*mql.AttrRef); ok {
+					if lit2, ok := v.L.(*mql.Lit); ok {
+						ref, lit = ref2, lit2
+						// flip operator
+						switch v.Op {
+						case mql.CmpLT:
+							ssaAppend(&ssa, e, ref, mol, root, access.OpGT, lit.V)
+							return
+						case mql.CmpLE:
+							ssaAppend(&ssa, e, ref, mol, root, access.OpGE, lit.V)
+							return
+						case mql.CmpGT:
+							ssaAppend(&ssa, e, ref, mol, root, access.OpLT, lit.V)
+							return
+						case mql.CmpGE:
+							ssaAppend(&ssa, e, ref, mol, root, access.OpLE, lit.V)
+							return
+						case mql.CmpEQ:
+							ssaAppend(&ssa, e, ref, mol, root, access.OpEQ, lit.V)
+							return
+						case mql.CmpNE:
+							ssaAppend(&ssa, e, ref, mol, root, access.OpNE, lit.V)
+							return
+						}
+					}
+				}
+				// attr = EMPTY pushdown.
+				if refIsL {
+					if _, isEmpty := v.R.(*mql.EmptyLit); isEmpty {
+						tgt, err := e.resolveRefTarget(ref, mol)
+						if err == nil && tgt.typeName == root.Name && len(tgt.fields) == 0 {
+							switch v.Op {
+							case mql.CmpEQ:
+								ssa = append(ssa, access.Cond{Attr: tgt.attr, Op: access.OpEmpty})
+							case mql.CmpNE:
+								ssa = append(ssa, access.Cond{Attr: tgt.attr, Op: access.OpNotEmpty})
+							}
+						}
+					}
+				}
+				return
+			}
+			var op access.Op
+			switch v.Op {
+			case mql.CmpEQ:
+				op = access.OpEQ
+			case mql.CmpNE:
+				op = access.OpNE
+			case mql.CmpLT:
+				op = access.OpLT
+			case mql.CmpLE:
+				op = access.OpLE
+			case mql.CmpGT:
+				op = access.OpGT
+			case mql.CmpGE:
+				op = access.OpGE
+			}
+			ssaAppend(&ssa, e, ref, mol, root, op, lit.V)
+		}
+	}
+	walk(where)
+	return ssa
+}
+
+func ssaAppend(ssa *access.SSA, e *Engine, ref *mql.AttrRef, mol *catalog.MoleculeType, root *catalog.AtomType, op access.Op, v atom.Value) {
+	if v.IsNull() {
+		return // IS-NULL semantics are handled by the evaluator, not SSAs
+	}
+	tgt, err := e.resolveRefTarget(ref, mol)
+	if err != nil || tgt.typeName != root.Name || len(tgt.fields) != 0 {
+		return
+	}
+	if tgt.hasLevel && tgt.level != 0 {
+		return
+	}
+	*ssa = append(*ssa, access.Cond{Attr: tgt.attr, Op: op, Value: v})
+}
+
+// chooseRootAccess picks the cheapest root access: an access path for an
+// equality/range restriction on an indexed root attribute, else an atom
+// cluster materializing the molecule, else the atom-type scan. This is the
+// molecule-type-specific optimization of §3.1 ("aware of access methods,
+// sort orders, partitions of atom types, and physical clusters").
+func (e *Engine) chooseRootAccess(p *Plan) {
+	schema := e.sys.Schema()
+	// Access path on an EQ-restricted root attribute.
+	for _, c := range p.RootSSA {
+		if c.Op != access.OpEQ {
+			continue
+		}
+		for _, ap := range schema.AccessPathsFor(p.Root.Name) {
+			if ap.Method == "BTREE" && ap.Attrs[0] == c.Attr {
+				p.AccessKind = "accesspath"
+				p.PathName = ap.Name
+				p.PathKey = c.Value
+				return
+			}
+		}
+	}
+	// Atom cluster whose molecule covers this query's molecule structure.
+	for _, cl := range schema.ClustersForRoot(p.Root.Name) {
+		if covers(cl.Molecule.Root, p.Mol.Root) {
+			p.AccessKind = "cluster"
+			p.Cluster = cl.Name
+			return
+		}
+	}
+}
+
+// covers reports whether the cluster structure c contains the query
+// structure q (every edge of q exists in c).
+func covers(c, q *catalog.MolNode) bool {
+	if c.AtomType != q.AtomType {
+		return false
+	}
+	for _, qc := range q.Children {
+		ok := false
+		for _, cc := range c.Children {
+			if cc.AtomType == qc.AtomType && cc.Via == qc.Via && cc.Recursive == qc.Recursive && covers(cc, qc) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

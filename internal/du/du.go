@@ -1,0 +1,195 @@
+// Package du implements semantic decomposition (§4): "units of work
+// decomposed from a single user operation are said to allow for inherent
+// semantic parallelism when they do not conflict with each other at the
+// level of decomposition. Such decomposed units of work (DU's) may be
+// scheduled and executed concurrently by the DBMS."
+//
+// The multiprocessor PRIMA is simulated by goroutines: molecule-set
+// operations decompose into one unit per root-atom batch; a conflict
+// relation over the units' read/write sets gates concurrent execution.
+package du
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"prima/internal/access/addr"
+	"prima/internal/core"
+)
+
+// Unit is one decomposed unit of work.
+type Unit struct {
+	ID    int
+	Roots []addr.LogicalAddr
+	// Writes is the unit's write set (empty for retrieval units);
+	// conflicting units never run concurrently.
+	Writes map[addr.LogicalAddr]bool
+}
+
+// Conflicts reports whether two units' write sets overlap (write-write) —
+// the decomposition-level conflict notion of the paper. Read-only units
+// never conflict.
+func Conflicts(a, b *Unit) bool {
+	if len(a.Writes) == 0 || len(b.Writes) == 0 {
+		return false
+	}
+	small, large := a.Writes, b.Writes
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	for w := range small {
+		if large[w] {
+			return true
+		}
+	}
+	return false
+}
+
+// Scheduler executes units on a bounded worker pool, delaying units that
+// conflict with a running one.
+type Scheduler struct {
+	Workers int
+}
+
+// ErrNoUnits is returned when Run receives nothing to do.
+var ErrNoUnits = errors.New("du: no units")
+
+// Run executes every unit via exec. Conflicting units are serialized; the
+// first error cancels the remaining schedule and is returned.
+func (s Scheduler) Run(units []*Unit, exec func(*Unit) error) error {
+	if len(units) == 0 {
+		return nil
+	}
+	workers := s.Workers
+	if workers < 1 {
+		workers = 1
+	}
+
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		running  = map[int]*Unit{}
+		next     int
+		firstErr error
+		wg       sync.WaitGroup
+	)
+
+	canRun := func(u *Unit) bool {
+		for _, r := range running {
+			if Conflicts(u, r) {
+				return false
+			}
+		}
+		return true
+	}
+
+	worker := func() {
+		defer wg.Done()
+		for {
+			mu.Lock()
+			for {
+				if firstErr != nil || next >= len(units) {
+					mu.Unlock()
+					return
+				}
+				u := units[next]
+				if canRun(u) {
+					next++
+					running[u.ID] = u
+					mu.Unlock()
+					err := exec(u)
+					mu.Lock()
+					delete(running, u.ID)
+					if err != nil && firstErr == nil {
+						firstErr = err
+					}
+					cond.Broadcast()
+					mu.Unlock()
+					break
+				}
+				cond.Wait()
+			}
+		}
+	}
+
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go worker()
+	}
+	wg.Wait()
+	// Wake any workers still parked on the condition variable.
+	cond.Broadcast()
+	return firstErr
+}
+
+// DecomposeRoots splits a root list into units of batch size roots each.
+// Retrieval units carry no write sets.
+func DecomposeRoots(roots []addr.LogicalAddr, batch int) []*Unit {
+	if batch < 1 {
+		batch = 1
+	}
+	var units []*Unit
+	for i := 0; i < len(roots); i += batch {
+		j := i + batch
+		if j > len(roots) {
+			j = len(roots)
+		}
+		units = append(units, &Unit{ID: len(units), Roots: roots[i:j]})
+	}
+	return units
+}
+
+// ParallelCollect executes a molecule retrieval plan with the given degree
+// of parallelism: the root set is decomposed into units, assembled
+// concurrently, and the qualified molecules are returned in root order
+// (same result as the sequential cursor).
+func ParallelCollect(plan *core.Plan, workers int) ([]*core.Molecule, error) {
+	roots, err := plan.Roots()
+	if err != nil {
+		return nil, err
+	}
+	if len(roots) == 0 {
+		return nil, nil
+	}
+	batch := (len(roots) + workers*4 - 1) / (workers * 4)
+	units := DecomposeRoots(roots, batch)
+
+	results := make([][]*core.Molecule, len(units))
+	err = Scheduler{Workers: workers}.Run(units, func(u *Unit) error {
+		var out []*core.Molecule
+		for _, r := range u.Roots {
+			m, err := plan.AssembleRoot(r)
+			if err != nil {
+				return fmt.Errorf("du: unit %d root %v: %w", u.ID, r, err)
+			}
+			if m != nil {
+				out = append(out, m)
+			}
+		}
+		results[u.ID] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []*core.Molecule
+	for _, part := range results {
+		all = append(all, part...)
+	}
+	return all, nil
+}
+
+// ParallelApply runs fn once per molecule root concurrently; each unit's
+// write set is the root atom, so units writing distinct molecules proceed
+// in parallel while overlapping ones serialize. This is the shape of a
+// decomposed molecule-set modification.
+func ParallelApply(roots []addr.LogicalAddr, workers int, fn func(addr.LogicalAddr) error) error {
+	units := make([]*Unit, len(roots))
+	for i, r := range roots {
+		units[i] = &Unit{ID: i, Roots: []addr.LogicalAddr{r}, Writes: map[addr.LogicalAddr]bool{r: true}}
+	}
+	return Scheduler{Workers: workers}.Run(units, func(u *Unit) error {
+		return fn(u.Roots[0])
+	})
+}

@@ -1,0 +1,141 @@
+package mql
+
+import (
+	"fmt"
+
+	"prima/internal/access/atom"
+	"prima/internal/catalog"
+)
+
+// Lowering from AST to catalog metadata. Query compilation to plans lives in
+// the data system (internal/core); the pure DDL/LDL lowering lives here so
+// the parser's output is directly executable against a schema.
+
+// LowerAtomType converts a CREATE ATOM_TYPE statement to a catalog type.
+func LowerAtomType(s *CreateAtomType) (*catalog.AtomType, error) {
+	attrs := make([]catalog.Attribute, 0, len(s.Attrs))
+	for _, a := range s.Attrs {
+		spec, err := LowerTypeExpr(a.Type)
+		if err != nil {
+			return nil, fmt.Errorf("attribute %s.%s: %w", s.Name, a.Name, err)
+		}
+		attrs = append(attrs, catalog.Attribute{Name: a.Name, Type: spec})
+	}
+	return catalog.NewAtomType(s.Name, attrs, s.Keys)
+}
+
+// LowerTypeExpr converts a syntactic type to a catalog TypeSpec.
+func LowerTypeExpr(te TypeExpr) (catalog.TypeSpec, error) {
+	switch te.Kind {
+	case "INTEGER":
+		return catalog.SpecInt(), nil
+	case "REAL":
+		return catalog.SpecReal(), nil
+	case "BOOLEAN":
+		return catalog.SpecBool(), nil
+	case "CHAR_VAR":
+		return catalog.SpecString(), nil
+	case "IDENTIFIER":
+		return catalog.SpecIdent(), nil
+	case "REF_TO":
+		return catalog.SpecRef(te.RefType, te.RefAttr), nil
+	case "SET_OF", "LIST_OF":
+		elem, err := LowerTypeExpr(*te.Elem)
+		if err != nil {
+			return catalog.TypeSpec{}, err
+		}
+		max := te.Max
+		if max == -1 {
+			max = catalog.VarCard
+		}
+		if te.Kind == "SET_OF" {
+			return catalog.SpecSetOf(elem, te.Min, max), nil
+		}
+		ls := catalog.SpecListOf(elem)
+		ls.MinCard, ls.MaxCard = te.Min, max
+		return ls, nil
+	case "ARRAY_OF":
+		elem, err := LowerTypeExpr(*te.Elem)
+		if err != nil {
+			return catalog.TypeSpec{}, err
+		}
+		return catalog.SpecArrayOf(elem, te.ArrayLen), nil
+	case "RECORD":
+		fields := make([]catalog.RecordField, 0, len(te.Fields))
+		for _, f := range te.Fields {
+			ft, err := LowerTypeExpr(f.Type)
+			if err != nil {
+				return catalog.TypeSpec{}, err
+			}
+			fields = append(fields, catalog.RecordField{Name: f.Name, Type: ft})
+		}
+		return catalog.SpecRecord(fields...), nil
+	default:
+		return catalog.TypeSpec{}, fmt.Errorf("mql: unsupported type %q", te.Kind)
+	}
+}
+
+// LowerMolecule converts a FROM-clause molecule expression into a catalog
+// molecule type, resolving predefined molecule type names by inlining their
+// structure ("the query validation ... performs the resolution of
+// predefined molecule types", §3.1).
+func LowerMolecule(schema *catalog.Schema, name string, mc *MolComponent) (*catalog.MoleculeType, error) {
+	root, err := lowerMolNode(schema, mc)
+	if err != nil {
+		return nil, err
+	}
+	m := &catalog.MoleculeType{Name: name, Root: root}
+	if err := m.Validate(schema); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func lowerMolNode(schema *catalog.Schema, mc *MolComponent) (*catalog.MolNode, error) {
+	// A component name may denote a predefined molecule type: inline it.
+	if _, isAtom := schema.AtomType(mc.Name); !isAtom {
+		if mt, isMol := schema.MoleculeType(mc.Name); isMol {
+			inlined := mt.Clone().Root
+			// The inlined molecule's root carries this component's edge
+			// annotations.
+			if mc.EdgeAttr != "" || len(mc.Children) > 0 {
+				if len(mc.Children) > 0 {
+					for _, c := range mc.Children {
+						cn, err := lowerMolNode(schema, c)
+						if err != nil {
+							return nil, err
+						}
+						cn.Via = mc.EdgeAttr // may be ""
+						cn.Recursive = c.Recursive
+						inlined.Children = append(inlined.Children, cn)
+					}
+				}
+			}
+			return inlined, nil
+		}
+		return nil, fmt.Errorf("%w: %s is neither an atom type nor a molecule type", catalog.ErrUnknownType, mc.Name)
+	}
+	node := &catalog.MolNode{AtomType: mc.Name}
+	for _, c := range mc.Children {
+		cn, err := lowerMolNode(schema, c)
+		if err != nil {
+			return nil, err
+		}
+		// The parent-side qualification (solid.sub-solid) names the edge
+		// attribute on THIS node leading to the child.
+		cn.Via = mc.EdgeAttr
+		cn.Recursive = c.Recursive
+		node.Children = append(node.Children, cn)
+	}
+	return node, nil
+}
+
+// LitValue extracts the atom.Value of a literal expression, or reports an
+// error for non-literals (used by INSERT/MODIFY lowering).
+func LitValue(e Expr) (atom.Value, error) {
+	l, ok := e.(*Lit)
+	if !ok {
+		return atom.Null(), fmt.Errorf("%w: expected a literal value", ErrSyntax)
+	}
+	return l.V, nil
+}

@@ -1,0 +1,294 @@
+// Package buffer implements PRIMA's database buffer (§3.3).
+//
+// The pool caches pages of several sizes (the five file-manager block sizes)
+// in one buffer, mediates all page access through fix/unfix (pin/unpin)
+// semantics, and writes dirty pages back on eviction or flush. Replacement
+// is pluggable: the paper's modified LRU that handles different page sizes
+// within one buffer, a statically partitioned buffer, and the classic
+// single-size LRU are all provided (see policy.go).
+package buffer
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"prima/internal/storage/page"
+	"prima/internal/storage/segment"
+)
+
+// Errors returned by the pool.
+var (
+	ErrNoVictim      = errors.New("buffer: cannot free enough space (pages pinned or too large)")
+	ErrNotRegistered = errors.New("buffer: segment not registered")
+	ErrStillPinned   = errors.New("buffer: page still pinned")
+)
+
+// frame is a resident page.
+type frame struct {
+	pid     segment.PageID
+	data    []byte
+	pins    int
+	dirty   bool
+	lruElem *list.Element
+}
+
+// Handle is a fixed (pinned) page. It must be released with Unfix exactly
+// once; the page data must not be touched after release.
+type Handle struct {
+	pool  *Pool
+	frame *frame
+}
+
+// Page returns the fixed page for reading or writing. Callers that modify
+// the page must call MarkDirty before unfixing.
+func (h *Handle) Page() page.Page { return page.Page(h.frame.data) }
+
+// PageID returns the identity of the fixed page.
+func (h *Handle) PageID() segment.PageID { return h.frame.pid }
+
+// MarkDirty records that the page content changed and must be written back.
+func (h *Handle) MarkDirty() {
+	h.pool.mu.Lock()
+	h.frame.dirty = true
+	h.pool.mu.Unlock()
+}
+
+// Stats counts pool activity. Hits and misses are tracked per page size so
+// experiment A1 can report per-class hit ratios.
+type Stats struct {
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Writebacks int64
+	HitsBySize map[int]int64
+	MissBySize map[int]int64
+}
+
+// HitRatio returns hits / (hits+misses), or 0 when idle.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Pool is the database buffer. It is safe for concurrent use; individual
+// fixed pages are not latched, so callers that write pages coordinate among
+// themselves (the access system serializes writers per structure).
+type Pool struct {
+	mu       sync.Mutex
+	policy   Policy
+	frames   map[segment.PageID]*frame
+	segments map[segment.ID]*segment.Segment
+	stats    Stats
+}
+
+// NewPool creates a buffer pool with the given replacement policy.
+func NewPool(p Policy) *Pool {
+	return &Pool{
+		policy:   p,
+		frames:   make(map[segment.PageID]*frame),
+		segments: make(map[segment.ID]*segment.Segment),
+		stats:    Stats{HitsBySize: make(map[int]int64), MissBySize: make(map[int]int64)},
+	}
+}
+
+// Register makes a segment's pages reachable through the pool.
+func (p *Pool) Register(s *segment.Segment) {
+	p.mu.Lock()
+	p.segments[s.ID()] = s
+	p.mu.Unlock()
+}
+
+// PolicyName returns the active replacement policy's name.
+func (p *Pool) PolicyName() string { return p.policy.Name() }
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := p.stats
+	out.HitsBySize = make(map[int]int64, len(p.stats.HitsBySize))
+	for k, v := range p.stats.HitsBySize {
+		out.HitsBySize[k] = v
+	}
+	out.MissBySize = make(map[int]int64, len(p.stats.MissBySize))
+	for k, v := range p.stats.MissBySize {
+		out.MissBySize[k] = v
+	}
+	return out
+}
+
+// ResetStats zeroes the pool counters.
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	p.stats = Stats{HitsBySize: make(map[int]int64), MissBySize: make(map[int]int64)}
+	p.mu.Unlock()
+}
+
+// Resident returns the number of resident pages.
+func (p *Pool) Resident() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}
+
+// Fix pins the page into the buffer, reading it from its segment on a miss,
+// and returns a handle. The page must exist on disk (use FixNew for pages
+// that were just allocated and never written).
+func (p *Pool) Fix(pid segment.PageID) (*Handle, error) {
+	return p.fix(pid, false)
+}
+
+// FixNew pins a freshly allocated page without reading the device. The frame
+// starts zeroed and dirty; the caller must Init the page before use.
+func (p *Pool) FixNew(pid segment.PageID) (*Handle, error) {
+	return p.fix(pid, true)
+}
+
+func (p *Pool) fix(pid segment.PageID, fresh bool) (*Handle, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	if f, ok := p.frames[pid]; ok {
+		f.pins++
+		p.policy.OnTouch(f)
+		p.stats.Hits++
+		p.stats.HitsBySize[len(f.data)]++
+		return &Handle{pool: p, frame: f}, nil
+	}
+
+	seg, ok := p.segments[pid.Seg]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNotRegistered, pid)
+	}
+	size := seg.PageSize()
+	p.stats.Misses++
+	p.stats.MissBySize[size]++
+
+	if err := p.makeRoomLocked(size); err != nil {
+		return nil, err
+	}
+
+	f := &frame{pid: pid, data: make([]byte, size), pins: 1}
+	if fresh {
+		f.dirty = true
+	} else {
+		if err := seg.ReadPage(pid.No, f.data); err != nil {
+			return nil, fmt.Errorf("buffer: fix %v: %w", pid, err)
+		}
+		if err := page.Page(f.data).Validate(); err != nil {
+			return nil, fmt.Errorf("buffer: fix %v: %w", pid, err)
+		}
+	}
+	p.frames[pid] = f
+	p.policy.OnInsert(f)
+	return &Handle{pool: p, frame: f}, nil
+}
+
+// makeRoomLocked evicts victims chosen by the policy until a page of the
+// given size fits. Dirty victims are written back.
+func (p *Pool) makeRoomLocked(size int) error {
+	victims, err := p.policy.EvictFor(size)
+	if err != nil {
+		return err
+	}
+	for _, f := range victims {
+		if f.dirty {
+			if err := p.writebackLocked(f); err != nil {
+				return err
+			}
+		}
+		p.policy.OnRemove(f)
+		delete(p.frames, f.pid)
+		p.stats.Evictions++
+	}
+	return nil
+}
+
+func (p *Pool) writebackLocked(f *frame) error {
+	seg, ok := p.segments[f.pid.Seg]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotRegistered, f.pid)
+	}
+	page.Page(f.data).SealChecksum()
+	if err := seg.WritePage(f.pid.No, f.data); err != nil {
+		return fmt.Errorf("buffer: writeback %v: %w", f.pid, err)
+	}
+	f.dirty = false
+	p.stats.Writebacks++
+	return nil
+}
+
+// Unfix releases a handle obtained from Fix or FixNew.
+func (p *Pool) Unfix(h *Handle) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if h.frame.pins > 0 {
+		h.frame.pins--
+	}
+}
+
+// Release is a convenience alias so handles can be released with defer.
+func (h *Handle) Release() { h.pool.Unfix(h) }
+
+// Flush writes the page back if resident and dirty.
+func (p *Pool) Flush(pid segment.PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[pid]
+	if !ok || !f.dirty {
+		return nil
+	}
+	return p.writebackLocked(f)
+}
+
+// FlushAll writes every dirty resident page back to its segment.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.dirty {
+			if err := p.writebackLocked(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Invalidate drops a page from the pool without writing it back, e.g. after
+// the page was freed. It fails if the page is pinned.
+func (p *Pool) Invalidate(pid segment.PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[pid]
+	if !ok {
+		return nil
+	}
+	if f.pins > 0 {
+		return fmt.Errorf("%w: %v", ErrStillPinned, pid)
+	}
+	p.policy.OnRemove(f)
+	delete(p.frames, pid)
+	return nil
+}
+
+// Close flushes all dirty pages and drops every frame.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.dirty {
+			if err := p.writebackLocked(f); err != nil {
+				return err
+			}
+		}
+		p.policy.OnRemove(f)
+	}
+	p.frames = make(map[segment.PageID]*frame)
+	return nil
+}

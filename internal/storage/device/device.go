@@ -1,0 +1,104 @@
+// Package device simulates the file manager PRIMA runs on.
+//
+// The paper builds the storage system on the file manager of the INCAS
+// operating system [Ne87], which supports exactly five block sizes (1/2, 1,
+// 2, 4 and 8 Kbyte) and a cluster mechanism that transfers a whole chain of
+// blocks with one request ("chained I/O"). Neither INCAS nor its hardware is
+// available, so this package provides the closest synthetic equivalent: a
+// block Device interface with the same five block sizes, explicit chained
+// read/write operations, and an I/O accounting model (seeks and block
+// transfers) that stands in for device time in experiments.
+//
+// Two implementations are provided: MemDevice (blocks held in memory, used by
+// tests and benchmarks for deterministic, allocation-free I/O accounting) and
+// FileDevice (blocks stored in an operating system file).
+package device
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Block sizes supported by the file manager, in bytes. The storage system
+// may only create segments whose page size is one of these values.
+const (
+	B512 = 512
+	B1K  = 1024
+	B2K  = 2048
+	B4K  = 4096
+	B8K  = 8192
+)
+
+// BlockSizes lists the five supported block sizes in ascending order.
+var BlockSizes = [5]int{B512, B1K, B2K, B4K, B8K}
+
+// ValidBlockSize reports whether n is one of the five block sizes the file
+// manager supports.
+func ValidBlockSize(n int) bool {
+	for _, s := range BlockSizes {
+		if n == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors returned by devices.
+var (
+	ErrBadBlockSize = errors.New("device: block size must be 512, 1K, 2K, 4K or 8K")
+	ErrOutOfRange   = errors.New("device: block index out of range")
+	ErrShortBuffer  = errors.New("device: buffer length does not match block size")
+	ErrClosed       = errors.New("device: closed")
+)
+
+// Device is a fixed-block-size random access store, the unit the simulated
+// file manager hands out (one Device per file). All implementations must be
+// safe for concurrent use.
+type Device interface {
+	// BlockSize returns the size in bytes of every block on the device.
+	BlockSize() int
+
+	// Blocks returns the current number of allocated blocks.
+	Blocks() int
+
+	// Extend grows the device by n zeroed blocks and returns the index of
+	// the first new block.
+	Extend(n int) (first int, err error)
+
+	// ReadBlock reads block idx into p. len(p) must equal BlockSize.
+	// It costs one seek and one block transfer.
+	ReadBlock(idx int, p []byte) error
+
+	// WriteBlock writes p to block idx. len(p) must equal BlockSize.
+	// It costs one seek and one block transfer.
+	WriteBlock(idx int, p []byte) error
+
+	// ReadChain reads count consecutive blocks starting at first into p
+	// (len(p) must be count*BlockSize). This is the file manager's cluster
+	// mechanism: it costs one seek and count block transfers.
+	ReadChain(first, count int, p []byte) error
+
+	// WriteChain writes count consecutive blocks starting at first from p,
+	// costing one seek and count block transfers.
+	WriteChain(first, count int, p []byte) error
+
+	// Stats returns a snapshot of the accumulated I/O accounting.
+	Stats() IOStats
+
+	// ResetStats zeroes the I/O accounting.
+	ResetStats()
+
+	// Sync flushes buffered state to stable storage where applicable.
+	Sync() error
+
+	// Close releases the device. Further operations return ErrClosed.
+	Close() error
+}
+
+// checkRange validates a chain [first, first+count) against nblocks.
+func checkRange(first, count, nblocks int) error {
+	if count <= 0 || first < 0 || first+count > nblocks {
+		return fmt.Errorf("%w: blocks [%d,%d) of %d", ErrOutOfRange, first, first+count, nblocks)
+	}
+	return nil
+}

@@ -1,0 +1,327 @@
+package device
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func testDeviceBasics(t *testing.T, d Device) {
+	t.Helper()
+	bs := d.BlockSize()
+	if d.Blocks() != 0 {
+		t.Fatalf("new device has %d blocks, want 0", d.Blocks())
+	}
+	first, err := d.Extend(4)
+	if err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	if first != 0 || d.Blocks() != 4 {
+		t.Fatalf("Extend returned first=%d blocks=%d, want 0, 4", first, d.Blocks())
+	}
+
+	// New blocks read back zeroed.
+	buf := make([]byte, bs)
+	if err := d.ReadBlock(2, buf); err != nil {
+		t.Fatalf("ReadBlock: %v", err)
+	}
+	if !bytes.Equal(buf, make([]byte, bs)) {
+		t.Fatal("fresh block is not zeroed")
+	}
+
+	// Round-trip a pattern.
+	pat := make([]byte, bs)
+	for i := range pat {
+		pat[i] = byte(i * 7)
+	}
+	if err := d.WriteBlock(3, pat); err != nil {
+		t.Fatalf("WriteBlock: %v", err)
+	}
+	if err := d.ReadBlock(3, buf); err != nil {
+		t.Fatalf("ReadBlock: %v", err)
+	}
+	if !bytes.Equal(buf, pat) {
+		t.Fatal("block round-trip mismatch")
+	}
+
+	// Chained I/O round-trip.
+	chain := make([]byte, 3*bs)
+	for i := range chain {
+		chain[i] = byte(i)
+	}
+	if err := d.WriteChain(1, 3, chain); err != nil {
+		t.Fatalf("WriteChain: %v", err)
+	}
+	got := make([]byte, 3*bs)
+	if err := d.ReadChain(1, 3, got); err != nil {
+		t.Fatalf("ReadChain: %v", err)
+	}
+	if !bytes.Equal(got, chain) {
+		t.Fatal("chain round-trip mismatch")
+	}
+
+	// Out-of-range and short-buffer errors.
+	if err := d.ReadBlock(99, buf); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("ReadBlock(99) = %v, want ErrOutOfRange", err)
+	}
+	if err := d.ReadBlock(0, buf[:1]); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("short buffer read = %v, want ErrShortBuffer", err)
+	}
+	if err := d.WriteChain(3, 2, chain[:2*bs]); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("WriteChain past end = %v, want ErrOutOfRange", err)
+	}
+
+	// Accounting: 1 chained read of 3 blocks = 1 seek, 3 blocks.
+	d.ResetStats()
+	if err := d.ReadChain(0, 3, got); err != nil {
+		t.Fatalf("ReadChain: %v", err)
+	}
+	s := d.Stats()
+	if s.ChainReads != 1 || s.BlocksRead != 3 || s.Seeks != 1 {
+		t.Fatalf("chain stats = %+v, want 1 chain read, 3 blocks, 1 seek", s)
+	}
+
+	if err := d.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := d.ReadBlock(0, buf); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestMemDevice(t *testing.T) {
+	d, err := NewMem(B1K)
+	if err != nil {
+		t.Fatalf("NewMem: %v", err)
+	}
+	testDeviceBasics(t, d)
+}
+
+func TestFileDevice(t *testing.T) {
+	d, err := OpenFile(filepath.Join(t.TempDir(), "seg.db"), B512)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	testDeviceBasics(t, d)
+}
+
+func TestFileDevicePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "persist.db")
+	d, err := OpenFile(path, B2K)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := d.Extend(2); err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	pat := bytes.Repeat([]byte{0xAB}, B2K)
+	if err := d.WriteBlock(1, pat); err != nil {
+		t.Fatalf("WriteBlock: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	d2, err := OpenFile(path, B2K)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer d2.Close()
+	if d2.Blocks() != 2 {
+		t.Fatalf("reopened device has %d blocks, want 2", d2.Blocks())
+	}
+	got := make([]byte, B2K)
+	if err := d2.ReadBlock(1, got); err != nil {
+		t.Fatalf("ReadBlock: %v", err)
+	}
+	if !bytes.Equal(got, pat) {
+		t.Fatal("data did not persist across close/reopen")
+	}
+}
+
+func TestFileDeviceRejectsBadLength(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "odd.db")
+	d, err := OpenFile(path, B512)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := d.Extend(3); err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// 3 * 512 bytes is not a multiple of 1024.
+	if _, err := OpenFile(path, B1K); err == nil {
+		t.Fatal("OpenFile accepted a file whose length is not a multiple of the block size")
+	}
+}
+
+func TestValidBlockSize(t *testing.T) {
+	for _, s := range BlockSizes {
+		if !ValidBlockSize(s) {
+			t.Errorf("ValidBlockSize(%d) = false, want true", s)
+		}
+	}
+	for _, s := range []int{0, 1, 256, 1000, 3072, 16384, -512} {
+		if ValidBlockSize(s) {
+			t.Errorf("ValidBlockSize(%d) = true, want false", s)
+		}
+	}
+	if _, err := NewMem(777); !errors.Is(err, ErrBadBlockSize) {
+		t.Fatalf("NewMem(777) = %v, want ErrBadBlockSize", err)
+	}
+}
+
+// Property: for any sequence of block writes, every block reads back the
+// last value written to it (MemDevice behaves like an array of blocks).
+func TestMemDeviceQuick(t *testing.T) {
+	const nblocks = 16
+	f := func(writes []struct {
+		Idx  uint8
+		Fill byte
+	}) bool {
+		d, err := NewMem(B512)
+		if err != nil {
+			return false
+		}
+		defer d.Close()
+		if _, err := d.Extend(nblocks); err != nil {
+			return false
+		}
+		want := make([]byte, nblocks) // last fill byte per block
+		buf := make([]byte, B512)
+		for _, w := range writes {
+			idx := int(w.Idx) % nblocks
+			for i := range buf {
+				buf[i] = w.Fill
+			}
+			if err := d.WriteBlock(idx, buf); err != nil {
+				return false
+			}
+			want[idx] = w.Fill
+		}
+		for i := 0; i < nblocks; i++ {
+			if err := d.ReadBlock(i, buf); err != nil {
+				return false
+			}
+			for _, b := range buf {
+				if b != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultDevice(t *testing.T) {
+	base, err := NewMem(B512)
+	if err != nil {
+		t.Fatalf("NewMem: %v", err)
+	}
+	d := NewFault(base)
+	if _, err := d.Extend(4); err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	buf := make([]byte, B512)
+
+	d.FailBlock(2)
+	if err := d.ReadBlock(2, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read of failed block = %v, want ErrInjected", err)
+	}
+	if err := d.ReadChain(0, 4, make([]byte, 4*B512)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("chain over failed block = %v, want ErrInjected", err)
+	}
+	d.HealBlock(2)
+	if err := d.ReadBlock(2, buf); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+
+	d.FailAfter(1)
+	if err := d.WriteBlock(0, buf); err != nil {
+		t.Fatalf("first write should succeed: %v", err)
+	}
+	if err := d.WriteBlock(0, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write = %v, want ErrInjected", err)
+	}
+	d.FailAfter(-1)
+	if err := d.WriteBlock(0, buf); err != nil {
+		t.Fatalf("write after disabling faults: %v", err)
+	}
+}
+
+func TestManager(t *testing.T) {
+	t.Run("memory", func(t *testing.T) { testManager(t, NewManager("")) })
+	t.Run("file", func(t *testing.T) { testManager(t, NewManager(t.TempDir())) })
+}
+
+func testManager(t *testing.T, m *Manager) {
+	t.Helper()
+	a, err := m.Open("a.seg", B1K)
+	if err != nil {
+		t.Fatalf("Open a: %v", err)
+	}
+	b, err := m.Open("b.seg", B8K)
+	if err != nil {
+		t.Fatalf("Open b: %v", err)
+	}
+	if a == b {
+		t.Fatal("distinct names returned the same device")
+	}
+	again, err := m.Open("a.seg", B1K)
+	if err != nil {
+		t.Fatalf("reopen a: %v", err)
+	}
+	if again != a {
+		t.Fatal("reopening a name must return the same device")
+	}
+	if _, err := m.Open("a.seg", B2K); err == nil {
+		t.Fatal("reopening with a different block size must fail")
+	}
+	names := m.Names()
+	if len(names) != 2 || names[0] != "a.seg" || names[1] != "b.seg" {
+		t.Fatalf("Names = %v", names)
+	}
+
+	if _, err := a.Extend(1); err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	if err := a.WriteBlock(0, make([]byte, B1K)); err != nil {
+		t.Fatalf("WriteBlock: %v", err)
+	}
+	if got := m.Stats().Writes; got != 1 {
+		t.Fatalf("aggregated writes = %d, want 1", got)
+	}
+	m.ResetStats()
+	if got := m.Stats().Requests(); got != 0 {
+		t.Fatalf("requests after reset = %d, want 0", got)
+	}
+
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := m.Open("c.seg", B1K); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Open after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestIOStatsCost(t *testing.T) {
+	s := IOStats{Seeks: 2, BlocksRead: 4}
+	// 2 seeks * 20ms + 4 blocks * 2ms (8K blocks) = 48ms
+	if got := s.Cost(B8K); got.Milliseconds() != 48 {
+		t.Fatalf("Cost(8K) = %v, want 48ms", got)
+	}
+	// Half-K blocks transfer 16x faster: 2*20 + 4*0.125 = 40.5ms
+	if got := s.Cost(B512); got.Microseconds() != 40500 {
+		t.Fatalf("Cost(512) = %v, want 40.5ms", got)
+	}
+}

@@ -1,0 +1,98 @@
+package device
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the error surfaced by a FaultDevice when a scheduled fault
+// fires. Callers can match it with errors.Is.
+var ErrInjected = errors.New("device: injected fault")
+
+// FaultDevice wraps another Device and fails selected operations. It is used
+// by tests to verify that upper layers surface and survive I/O errors.
+type FaultDevice struct {
+	Device
+
+	mu        sync.Mutex
+	failReads map[int]error // block index -> error to return
+	failAfter int           // fail every operation once countdown reaches zero; -1 disables
+}
+
+// NewFault wraps d with fault injection disabled.
+func NewFault(d Device) *FaultDevice {
+	return &FaultDevice{Device: d, failReads: make(map[int]error), failAfter: -1}
+}
+
+// FailBlock arranges for reads of block idx to return ErrInjected.
+func (d *FaultDevice) FailBlock(idx int) {
+	d.mu.Lock()
+	d.failReads[idx] = ErrInjected
+	d.mu.Unlock()
+}
+
+// HealBlock removes a scheduled per-block fault.
+func (d *FaultDevice) HealBlock(idx int) {
+	d.mu.Lock()
+	delete(d.failReads, idx)
+	d.mu.Unlock()
+}
+
+// FailAfter arranges for every read and write to fail after n more
+// successful operations. n = 0 fails the next operation. Negative n disables.
+func (d *FaultDevice) FailAfter(n int) {
+	d.mu.Lock()
+	d.failAfter = n
+	d.mu.Unlock()
+}
+
+func (d *FaultDevice) tick(first, count int, read bool) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if read {
+		for i := first; i < first+count; i++ {
+			if err, ok := d.failReads[i]; ok {
+				return err
+			}
+		}
+	}
+	if d.failAfter >= 0 {
+		if d.failAfter == 0 {
+			return ErrInjected
+		}
+		d.failAfter--
+	}
+	return nil
+}
+
+// ReadBlock fails if a fault is scheduled, otherwise delegates.
+func (d *FaultDevice) ReadBlock(idx int, p []byte) error {
+	if err := d.tick(idx, 1, true); err != nil {
+		return err
+	}
+	return d.Device.ReadBlock(idx, p)
+}
+
+// WriteBlock fails if a fault is scheduled, otherwise delegates.
+func (d *FaultDevice) WriteBlock(idx int, p []byte) error {
+	if err := d.tick(idx, 1, false); err != nil {
+		return err
+	}
+	return d.Device.WriteBlock(idx, p)
+}
+
+// ReadChain fails if a fault is scheduled on any block of the chain.
+func (d *FaultDevice) ReadChain(first, count int, p []byte) error {
+	if err := d.tick(first, count, true); err != nil {
+		return err
+	}
+	return d.Device.ReadChain(first, count, p)
+}
+
+// WriteChain fails if a fault is scheduled, otherwise delegates.
+func (d *FaultDevice) WriteChain(first, count int, p []byte) error {
+	if err := d.tick(first, count, false); err != nil {
+		return err
+	}
+	return d.Device.WriteChain(first, count, p)
+}

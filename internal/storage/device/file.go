@@ -1,0 +1,164 @@
+package device
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FileDevice is a Device backed by an operating system file. Block idx lives
+// at byte offset idx*BlockSize. The file length is always a whole number of
+// blocks.
+type FileDevice struct {
+	statsRecorder
+	blockSize int
+	path      string
+
+	mu     sync.Mutex
+	f      *os.File
+	blocks int
+	closed bool
+}
+
+var _ Device = (*FileDevice)(nil)
+
+// OpenFile opens (or creates) a file-backed device at path. If the file
+// already exists its length must be a multiple of blockSize.
+func OpenFile(path string, blockSize int) (*FileDevice, error) {
+	if !ValidBlockSize(blockSize) {
+		return nil, ErrBadBlockSize
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("device: open %s: %w", path, err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("device: stat %s: %w", path, err)
+	}
+	if fi.Size()%int64(blockSize) != 0 {
+		f.Close()
+		return nil, fmt.Errorf("device: %s length %d is not a multiple of block size %d", path, fi.Size(), blockSize)
+	}
+	return &FileDevice{
+		blockSize: blockSize,
+		path:      path,
+		f:         f,
+		blocks:    int(fi.Size() / int64(blockSize)),
+	}, nil
+}
+
+// Path returns the underlying file path.
+func (d *FileDevice) Path() string { return d.path }
+
+// BlockSize returns the device block size in bytes.
+func (d *FileDevice) BlockSize() int { return d.blockSize }
+
+// Blocks returns the number of allocated blocks.
+func (d *FileDevice) Blocks() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.blocks
+}
+
+// Extend grows the file by n zeroed blocks.
+func (d *FileDevice) Extend(n int) (int, error) {
+	if n <= 0 {
+		return 0, ErrOutOfRange
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	first := d.blocks
+	if err := d.f.Truncate(int64(d.blocks+n) * int64(d.blockSize)); err != nil {
+		return 0, fmt.Errorf("device: extend %s: %w", d.path, err)
+	}
+	d.blocks += n
+	return first, nil
+}
+
+// ReadBlock reads a single block.
+func (d *FileDevice) ReadBlock(idx int, p []byte) error {
+	return d.read(idx, 1, p, false)
+}
+
+// WriteBlock writes a single block.
+func (d *FileDevice) WriteBlock(idx int, p []byte) error {
+	return d.write(idx, 1, p, false)
+}
+
+// ReadChain reads count consecutive blocks with one request.
+func (d *FileDevice) ReadChain(first, count int, p []byte) error {
+	return d.read(first, count, p, true)
+}
+
+// WriteChain writes count consecutive blocks with one request.
+func (d *FileDevice) WriteChain(first, count int, p []byte) error {
+	return d.write(first, count, p, true)
+}
+
+func (d *FileDevice) read(first, count int, p []byte, chained bool) error {
+	if len(p) != count*d.blockSize {
+		return ErrShortBuffer
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := checkRange(first, count, d.blocks); err != nil {
+		return err
+	}
+	if _, err := d.f.ReadAt(p, int64(first)*int64(d.blockSize)); err != nil {
+		return fmt.Errorf("device: read %s block %d: %w", d.path, first, err)
+	}
+	d.recordRead(count, chained)
+	return nil
+}
+
+func (d *FileDevice) write(first, count int, p []byte, chained bool) error {
+	if len(p) != count*d.blockSize {
+		return ErrShortBuffer
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := checkRange(first, count, d.blocks); err != nil {
+		return err
+	}
+	if _, err := d.f.WriteAt(p, int64(first)*int64(d.blockSize)); err != nil {
+		return fmt.Errorf("device: write %s block %d: %w", d.path, first, err)
+	}
+	d.recordWrite(count, chained)
+	return nil
+}
+
+// Sync flushes the file to stable storage.
+func (d *FileDevice) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return d.f.Sync()
+}
+
+// Close syncs and closes the underlying file.
+func (d *FileDevice) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	d.closed = true
+	if err := d.f.Sync(); err != nil {
+		d.f.Close()
+		return fmt.Errorf("device: sync %s: %w", d.path, err)
+	}
+	return d.f.Close()
+}

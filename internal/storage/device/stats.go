@@ -1,0 +1,122 @@
+package device
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Cost model constants. The absolute values are irrelevant to the
+// experiments (which compare shapes, not wall-clock); the ratio between seek
+// and transfer is what matters. The defaults model a late-1980s disk: a seek
+// plus rotational delay near 20ms and a per-8K-block transfer near 2ms. The
+// transfer charge scales linearly with block size.
+const (
+	DefaultSeekCost     = 20 * time.Millisecond
+	DefaultTransferCost = 2 * time.Millisecond // per 8K block; smaller blocks cost proportionally less
+)
+
+// IOStats records the I/O work a device has performed. Counters separate
+// single-block requests from chained requests so experiments can show the
+// benefit of the cluster mechanism (chained I/O amortizes the seek).
+type IOStats struct {
+	Reads         int64 // single-block read requests
+	Writes        int64 // single-block write requests
+	ChainReads    int64 // chained read requests
+	ChainWrites   int64 // chained write requests
+	BlocksRead    int64 // total blocks transferred by reads (incl. chains)
+	BlocksWritten int64 // total blocks transferred by writes (incl. chains)
+	Seeks         int64 // one per request (single or chained)
+}
+
+// Requests returns the total number of I/O requests issued.
+func (s IOStats) Requests() int64 {
+	return s.Reads + s.Writes + s.ChainReads + s.ChainWrites
+}
+
+// BlocksTransferred returns the total number of blocks moved.
+func (s IOStats) BlocksTransferred() int64 {
+	return s.BlocksRead + s.BlocksWritten
+}
+
+// Cost converts the counters into simulated device time for a given block
+// size using the default cost model.
+func (s IOStats) Cost(blockSize int) time.Duration {
+	perBlock := time.Duration(int64(DefaultTransferCost) * int64(blockSize) / int64(B8K))
+	return time.Duration(s.Seeks)*DefaultSeekCost + time.Duration(s.BlocksTransferred())*perBlock
+}
+
+// Add returns the sum of two stat snapshots.
+func (s IOStats) Add(o IOStats) IOStats {
+	return IOStats{
+		Reads:         s.Reads + o.Reads,
+		Writes:        s.Writes + o.Writes,
+		ChainReads:    s.ChainReads + o.ChainReads,
+		ChainWrites:   s.ChainWrites + o.ChainWrites,
+		BlocksRead:    s.BlocksRead + o.BlocksRead,
+		BlocksWritten: s.BlocksWritten + o.BlocksWritten,
+		Seeks:         s.Seeks + o.Seeks,
+	}
+}
+
+// Sub returns s - o, useful for measuring an interval between snapshots.
+func (s IOStats) Sub(o IOStats) IOStats {
+	return IOStats{
+		Reads:         s.Reads - o.Reads,
+		Writes:        s.Writes - o.Writes,
+		ChainReads:    s.ChainReads - o.ChainReads,
+		ChainWrites:   s.ChainWrites - o.ChainWrites,
+		BlocksRead:    s.BlocksRead - o.BlocksRead,
+		BlocksWritten: s.BlocksWritten - o.BlocksWritten,
+		Seeks:         s.Seeks - o.Seeks,
+	}
+}
+
+func (s IOStats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d chainReads=%d chainWrites=%d blocksIn=%d blocksOut=%d seeks=%d",
+		s.Reads, s.Writes, s.ChainReads, s.ChainWrites, s.BlocksRead, s.BlocksWritten, s.Seeks)
+}
+
+// statsRecorder is embedded by device implementations to share accounting.
+type statsRecorder struct {
+	mu    sync.Mutex
+	stats IOStats
+}
+
+func (r *statsRecorder) recordRead(blocks int, chained bool) {
+	r.mu.Lock()
+	if chained {
+		r.stats.ChainReads++
+	} else {
+		r.stats.Reads++
+	}
+	r.stats.Seeks++
+	r.stats.BlocksRead += int64(blocks)
+	r.mu.Unlock()
+}
+
+func (r *statsRecorder) recordWrite(blocks int, chained bool) {
+	r.mu.Lock()
+	if chained {
+		r.stats.ChainWrites++
+	} else {
+		r.stats.Writes++
+	}
+	r.stats.Seeks++
+	r.stats.BlocksWritten += int64(blocks)
+	r.mu.Unlock()
+}
+
+// Stats returns a snapshot of the accumulated counters.
+func (r *statsRecorder) Stats() IOStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// ResetStats zeroes the counters.
+func (r *statsRecorder) ResetStats() {
+	r.mu.Lock()
+	r.stats = IOStats{}
+	r.mu.Unlock()
+}

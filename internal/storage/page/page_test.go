@@ -1,0 +1,329 @@
+package page
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newPage(size int) Page {
+	p := Page(make([]byte, size))
+	p.Init(TypeData, 7, 42)
+	return p
+}
+
+func TestInitAndHeader(t *testing.T) {
+	p := newPage(1024)
+	if p.Type() != TypeData {
+		t.Errorf("Type = %v, want data", p.Type())
+	}
+	if p.SegID() != 7 || p.PageNo() != 42 {
+		t.Errorf("identity = (%d,%d), want (7,42)", p.SegID(), p.PageNo())
+	}
+	if p.Slots() != 0 || p.Records() != 0 {
+		t.Errorf("fresh page has %d slots / %d records", p.Slots(), p.Records())
+	}
+	p.SetNext(99)
+	p.SetLSN(123456789)
+	p.SetType(TypeIndex)
+	p.SetFlags(3)
+	if p.Next() != 99 || p.LSN() != 123456789 || p.Type() != TypeIndex || p.Flags() != 3 {
+		t.Error("header field round-trip failed")
+	}
+}
+
+func TestChecksum(t *testing.T) {
+	p := newPage(512)
+	if _, err := p.Insert([]byte("hello")); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate unsealed page: %v", err)
+	}
+	p.SealChecksum()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate sealed page: %v", err)
+	}
+	p[100] ^= 0xFF // corrupt the body
+	if err := p.Validate(); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("Validate corrupted page = %v, want ErrBadChecksum", err)
+	}
+	p[0] = 0 // corrupt the magic
+	if err := p.Validate(); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("Validate bad magic = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestInsertReadDelete(t *testing.T) {
+	p := newPage(512)
+	recs := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")}
+	slots := make([]int, len(recs))
+	for i, r := range recs {
+		s, err := p.Insert(r)
+		if err != nil {
+			t.Fatalf("Insert %d: %v", i, err)
+		}
+		slots[i] = s
+	}
+	if p.Records() != 3 {
+		t.Fatalf("Records = %d, want 3", p.Records())
+	}
+	for i, s := range slots {
+		got, err := p.Read(s)
+		if err != nil {
+			t.Fatalf("Read slot %d: %v", s, err)
+		}
+		if !bytes.Equal(got, recs[i]) {
+			t.Fatalf("slot %d = %q, want %q", s, got, recs[i])
+		}
+	}
+
+	if err := p.Delete(slots[1]); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if p.Records() != 2 {
+		t.Fatalf("Records after delete = %d, want 2", p.Records())
+	}
+	if _, err := p.Read(slots[1]); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("Read deleted slot = %v, want ErrBadSlot", err)
+	}
+	if err := p.Delete(slots[1]); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("double Delete = %v, want ErrBadSlot", err)
+	}
+	if _, err := p.Read(-1); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("Read(-1) = %v, want ErrBadSlot", err)
+	}
+
+	// Tombstoned slot is reused by the next insert.
+	s, err := p.Insert([]byte("delta"))
+	if err != nil {
+		t.Fatalf("Insert after delete: %v", err)
+	}
+	if s != slots[1] {
+		t.Fatalf("insert reused slot %d, want tombstone %d", s, slots[1])
+	}
+}
+
+func TestTrailingTombstoneTrim(t *testing.T) {
+	p := newPage(512)
+	s0, _ := p.Insert([]byte("a"))
+	s1, _ := p.Insert([]byte("b"))
+	if err := p.Delete(s1); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if p.Slots() != 1 {
+		t.Fatalf("Slots after trailing delete = %d, want 1", p.Slots())
+	}
+	if err := p.Delete(s0); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if p.Slots() != 0 {
+		t.Fatalf("Slots after deleting all = %d, want 0", p.Slots())
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	p := newPage(512)
+	s, err := p.Insert([]byte("short"))
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	// Shrink in place.
+	if err := p.Update(s, []byte("sh")); err != nil {
+		t.Fatalf("Update shrink: %v", err)
+	}
+	got, _ := p.Read(s)
+	if string(got) != "sh" {
+		t.Fatalf("after shrink = %q", got)
+	}
+	// Grow.
+	long := bytes.Repeat([]byte("x"), 100)
+	if err := p.Update(s, long); err != nil {
+		t.Fatalf("Update grow: %v", err)
+	}
+	got, _ = p.Read(s)
+	if !bytes.Equal(got, long) {
+		t.Fatal("grow round-trip failed")
+	}
+	// Growing beyond the page must fail and preserve the old record.
+	huge := bytes.Repeat([]byte("y"), 600)
+	if err := p.Update(s, huge); !errors.Is(err, ErrNoSpace) && !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized update = %v, want ErrNoSpace", err)
+	}
+	got, _ = p.Read(s)
+	if !bytes.Equal(got, long) {
+		t.Fatal("failed update clobbered the record")
+	}
+}
+
+func TestInsertUntilFullThenCompact(t *testing.T) {
+	p := newPage(512)
+	var slots []int
+	rec := bytes.Repeat([]byte("z"), 40)
+	for {
+		s, err := p.Insert(rec)
+		if err != nil {
+			if !errors.Is(err, ErrNoSpace) {
+				t.Fatalf("Insert = %v, want ErrNoSpace at exhaustion", err)
+			}
+			break
+		}
+		slots = append(slots, s)
+	}
+	if len(slots) < 9 {
+		t.Fatalf("only %d 40-byte records fit a 512-byte page", len(slots))
+	}
+	// Delete every other record, then a larger record must fit via compaction.
+	for i := 0; i < len(slots); i += 2 {
+		if err := p.Delete(slots[i]); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+	}
+	big := bytes.Repeat([]byte("B"), 70)
+	if _, err := p.Insert(big); err != nil {
+		t.Fatalf("Insert after fragmentation = %v (compaction should make room)", err)
+	}
+	// Surviving records are intact.
+	for i := 1; i < len(slots); i += 2 {
+		got, err := p.Read(slots[i])
+		if err != nil {
+			t.Fatalf("Read survivor %d: %v", slots[i], err)
+		}
+		if !bytes.Equal(got, rec) {
+			t.Fatalf("survivor %d corrupted after compaction", slots[i])
+		}
+	}
+}
+
+func TestTooLarge(t *testing.T) {
+	p := newPage(512)
+	if _, err := p.Insert(make([]byte, 512)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized insert = %v, want ErrTooLarge", err)
+	}
+	if _, err := p.Insert(make([]byte, p.Capacity())); err != nil {
+		t.Fatalf("capacity-sized insert failed: %v", err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	p := newPage(1024)
+	want := map[int]string{}
+	for i := 0; i < 5; i++ {
+		r := fmt.Sprintf("rec-%d", i)
+		s, err := p.Insert([]byte(r))
+		if err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		want[s] = r
+	}
+	p.Delete(2)
+	delete(want, 2)
+
+	got := map[int]string{}
+	p.ForEach(func(slot int, rec []byte) bool {
+		got[slot] = string(rec)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d records, want %d", len(got), len(want))
+	}
+	for s, r := range want {
+		if got[s] != r {
+			t.Errorf("slot %d = %q, want %q", s, got[s], r)
+		}
+	}
+
+	// Early stop.
+	n := 0
+	p.ForEach(func(int, []byte) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("ForEach ignored early stop, visited %d", n)
+	}
+}
+
+// Property: a page behaves like a map[slot][]byte under random
+// insert/update/delete sequences, and never corrupts live records.
+func TestPageQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := newPage(2048)
+		model := map[int][]byte{}
+		for op := 0; op < 200; op++ {
+			switch rng.Intn(3) {
+			case 0: // insert
+				rec := make([]byte, rng.Intn(64)+1)
+				rng.Read(rec)
+				s, err := p.Insert(rec)
+				if errors.Is(err, ErrNoSpace) {
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				if _, exists := model[s]; exists {
+					return false // reused a live slot
+				}
+				model[s] = append([]byte(nil), rec...)
+			case 1: // update
+				for s := range model {
+					rec := make([]byte, rng.Intn(64)+1)
+					rng.Read(rec)
+					err := p.Update(s, rec)
+					if errors.Is(err, ErrNoSpace) {
+						break
+					}
+					if err != nil {
+						return false
+					}
+					model[s] = append([]byte(nil), rec...)
+					break
+				}
+			case 2: // delete
+				for s := range model {
+					if err := p.Delete(s); err != nil {
+						return false
+					}
+					delete(model, s)
+					break
+				}
+			}
+			// Verify the model after every operation.
+			if p.Records() != len(model) {
+				return false
+			}
+			for s, want := range model {
+				got, err := p.Read(s)
+				if err != nil || !bytes.Equal(got, want) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPageInsert(b *testing.B) {
+	p := newPage(8192)
+	rec := bytes.Repeat([]byte("r"), 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := p.Insert(rec)
+		if errors.Is(err, ErrNoSpace) {
+			b.StopTimer()
+			p.Init(TypeData, 7, 42)
+			b.StartTimer()
+			continue
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = s
+	}
+}

@@ -1,0 +1,403 @@
+// Package pageseq implements page sequences, the storage system's container
+// for objects that exceed any single page (§3.3): atom clusters and long
+// fields "like texts and images".
+//
+// A page sequence treats an arbitrary number of pages as a whole. One page is
+// the header page: besides the usual page header it carries the
+// page-sequence header, a list of all component pages. The sequence is
+// "supported by a cluster mechanism of the underlying file manager enabling
+// an optimal transfer of the whole page sequence, e.g. by chained I/O": the
+// allocator first tries to place all component pages in one contiguous run,
+// and reads/writes use one chained transfer per contiguous run. Relative
+// addressing (ReadAt) locates any byte range while touching only the pages
+// that cover it — the "auxiliary addressing structure ... achieving faster
+// access to single atoms of the atom cluster".
+package pageseq
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"prima/internal/storage/page"
+	"prima/internal/storage/segment"
+)
+
+// Errors returned by page sequences.
+var (
+	ErrBadHeader = errors.New("pageseq: not a page-sequence header")
+	ErrRange     = errors.New("pageseq: read beyond sequence length")
+)
+
+const (
+	seqMagic = 0x5351 // "SQ"
+	// header page body layout:
+	//   off  0: magic    uint16
+	//   off  2: reserved uint16
+	//   off  4: count    uint32  total component pages (whole sequence)
+	//   off  8: totalLen uint64  payload bytes
+	//   off 16: entries  count_in_this_page * uint32
+	// If the entry list exceeds one body, it continues in further header
+	// pages linked through the page header's Next field (entries only).
+	hdrBytes = 16
+)
+
+// Sequence is an open page sequence.
+type Sequence struct {
+	seg      *segment.Segment
+	headerNo uint32
+	extra    []uint32 // continuation header pages
+	pages    []uint32 // component pages in payload order
+	total    uint64   // payload length
+}
+
+// bodyCap returns the payload capacity of one component page.
+func bodyCap(pageSize int) int { return pageSize - page.HeaderSize }
+
+// entriesPerHeader returns how many component entries fit the first header
+// page and continuation pages respectively.
+func entriesPerHeader(pageSize int) (first, cont int) {
+	body := pageSize - page.HeaderSize
+	return (body - hdrBytes) / 4, body / 4
+}
+
+// Create builds a new page sequence holding payload and returns it. The
+// allocator prefers one contiguous run (header page + components) so the
+// whole sequence can move with a single chained transfer.
+func Create(seg *segment.Segment, payload []byte) (*Sequence, error) {
+	ps := seg.PageSize()
+	nbody := (len(payload) + bodyCap(ps) - 1) / bodyCap(ps)
+	if nbody == 0 {
+		nbody = 0 // empty payload: header only
+	}
+	firstCap, contCap := entriesPerHeader(ps)
+	nhdr := 1
+	if nbody > firstCap {
+		nhdr += (nbody - firstCap + contCap - 1) / contCap
+	}
+
+	s := &Sequence{seg: seg, total: uint64(len(payload))}
+
+	// Try a single contiguous run: [header pages..., body pages...].
+	if first, err := seg.AllocateRun(nhdr + nbody); err == nil {
+		s.headerNo = first
+		for i := 1; i < nhdr; i++ {
+			s.extra = append(s.extra, first+uint32(i))
+		}
+		for i := 0; i < nbody; i++ {
+			s.pages = append(s.pages, first+uint32(nhdr+i))
+		}
+	} else {
+		// Scattered fallback.
+		for i := 0; i < nhdr+nbody; i++ {
+			no, err := seg.AllocatePage()
+			if err != nil {
+				// Roll back what we got.
+				if i > 0 {
+					_ = seg.FreePage(s.headerNo)
+				}
+				for _, no := range append(s.extra, s.pages...) {
+					_ = seg.FreePage(no)
+				}
+				return nil, fmt.Errorf("pageseq: allocate: %w", err)
+			}
+			switch {
+			case i == 0:
+				s.headerNo = no
+			case i < nhdr:
+				s.extra = append(s.extra, no)
+			default:
+				s.pages = append(s.pages, no)
+			}
+		}
+	}
+	if err := s.writeAll(payload); err != nil {
+		s.freePages()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open loads the page sequence whose header page is headerNo.
+func Open(seg *segment.Segment, headerNo uint32) (*Sequence, error) {
+	ps := seg.PageSize()
+	buf := make([]byte, ps)
+	if err := seg.ReadPage(headerNo, buf); err != nil {
+		return nil, fmt.Errorf("pageseq: read header %d: %w", headerNo, err)
+	}
+	pg := page.Page(buf)
+	if err := pg.Validate(); err != nil {
+		return nil, fmt.Errorf("pageseq: header %d: %w", headerNo, err)
+	}
+	if pg.Type() != page.TypeSeqHeader {
+		return nil, fmt.Errorf("%w: page %d has type %v", ErrBadHeader, headerNo, pg.Type())
+	}
+	body := pg.Body()
+	if binary.BigEndian.Uint16(body) != seqMagic {
+		return nil, fmt.Errorf("%w: page %d bad magic", ErrBadHeader, headerNo)
+	}
+	count := binary.BigEndian.Uint32(body[4:])
+	s := &Sequence{
+		seg:      seg,
+		headerNo: headerNo,
+		total:    binary.BigEndian.Uint64(body[8:]),
+		pages:    make([]uint32, 0, count),
+	}
+	firstCap, contCap := entriesPerHeader(ps)
+	n := int(count)
+	take := firstCap
+	if n < take {
+		take = n
+	}
+	for i := 0; i < take; i++ {
+		s.pages = append(s.pages, binary.BigEndian.Uint32(body[hdrBytes+4*i:]))
+	}
+	n -= take
+	next := pg.Next()
+	for n > 0 {
+		if next == 0 {
+			return nil, fmt.Errorf("%w: truncated entry list (%d entries missing)", ErrBadHeader, n)
+		}
+		if err := seg.ReadPage(next, buf); err != nil {
+			return nil, fmt.Errorf("pageseq: read continuation %d: %w", next, err)
+		}
+		cp := page.Page(buf)
+		if err := cp.Validate(); err != nil {
+			return nil, fmt.Errorf("pageseq: continuation %d: %w", next, err)
+		}
+		s.extra = append(s.extra, next)
+		take = contCap
+		if n < take {
+			take = n
+		}
+		cb := cp.Body()
+		for i := 0; i < take; i++ {
+			s.pages = append(s.pages, binary.BigEndian.Uint32(cb[4*i:]))
+		}
+		n -= take
+		next = cp.Next()
+	}
+	return s, nil
+}
+
+// HeaderPage returns the page number of the sequence's header page, the
+// stable identity stored by upper layers.
+func (s *Sequence) HeaderPage() uint32 { return s.headerNo }
+
+// Len returns the payload length in bytes.
+func (s *Sequence) Len() int { return int(s.total) }
+
+// Pages returns the number of component pages (excluding header pages).
+func (s *Sequence) Pages() int { return len(s.pages) }
+
+// Contiguous reports whether all pages (header and components) form one
+// run, i.e. the whole sequence moves with a single chained transfer.
+func (s *Sequence) Contiguous() bool {
+	prev := s.headerNo
+	for _, no := range s.extra {
+		if no != prev+1 {
+			return false
+		}
+		prev = no
+	}
+	for _, no := range s.pages {
+		if no != prev+1 {
+			return false
+		}
+		prev = no
+	}
+	return true
+}
+
+// runs yields maximal contiguous runs of component pages as (startIdx, len).
+func (s *Sequence) runs() [][2]int {
+	var out [][2]int
+	i := 0
+	for i < len(s.pages) {
+		j := i + 1
+		for j < len(s.pages) && s.pages[j] == s.pages[j-1]+1 {
+			j++
+		}
+		out = append(out, [2]int{i, j - i})
+		i = j
+	}
+	return out
+}
+
+// ReadAll returns the whole payload using chained I/O per contiguous run.
+func (s *Sequence) ReadAll() ([]byte, error) {
+	ps := s.seg.PageSize()
+	bc := bodyCap(ps)
+	out := make([]byte, s.total)
+	raw := make([]byte, 0)
+	for _, run := range s.runs() {
+		start, n := run[0], run[1]
+		if cap(raw) < n*ps {
+			raw = make([]byte, n*ps)
+		}
+		raw = raw[:n*ps]
+		if err := s.seg.ReadRun(s.pages[start], n, raw); err != nil {
+			return nil, fmt.Errorf("pageseq: read run at %d: %w", s.pages[start], err)
+		}
+		for i := 0; i < n; i++ {
+			pg := page.Page(raw[i*ps : (i+1)*ps])
+			if err := pg.Validate(); err != nil {
+				return nil, fmt.Errorf("pageseq: component %d: %w", s.pages[start+i], err)
+			}
+			off := (start + i) * bc
+			end := off + bc
+			if end > int(s.total) {
+				end = int(s.total)
+			}
+			copy(out[off:end], pg.Body())
+		}
+	}
+	return out, nil
+}
+
+// ReadAt implements relative addressing within the sequence: it fills p with
+// the payload bytes starting at off, touching only the pages that cover the
+// range, and returns the number of bytes read.
+func (s *Sequence) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off > int64(s.total) {
+		return 0, fmt.Errorf("%w: offset %d of %d", ErrRange, off, s.total)
+	}
+	want := len(p)
+	if rem := int(int64(s.total) - off); want > rem {
+		want = rem
+	}
+	if want == 0 {
+		return 0, nil
+	}
+	ps := s.seg.PageSize()
+	bc := bodyCap(ps)
+	firstPage := int(off) / bc
+	lastPage := (int(off) + want - 1) / bc
+	buf := make([]byte, ps)
+	read := 0
+	for i := firstPage; i <= lastPage; i++ {
+		if err := s.seg.ReadPage(s.pages[i], buf); err != nil {
+			return read, fmt.Errorf("pageseq: read component %d: %w", s.pages[i], err)
+		}
+		pg := page.Page(buf)
+		if err := pg.Validate(); err != nil {
+			return read, fmt.Errorf("pageseq: component %d: %w", s.pages[i], err)
+		}
+		body := pg.Body()
+		lo := 0
+		if i == firstPage {
+			lo = int(off) - i*bc
+		}
+		hi := bc
+		if end := int(off) + want - i*bc; end < hi {
+			hi = end
+		}
+		read += copy(p[read:], body[lo:hi])
+	}
+	return read, nil
+}
+
+// Rewrite replaces the payload. If the new payload needs a different number
+// of pages the sequence is reallocated (its header page number may change);
+// callers must store the returned sequence's HeaderPage.
+func (s *Sequence) Rewrite(payload []byte) (*Sequence, error) {
+	ps := s.seg.PageSize()
+	need := (len(payload) + bodyCap(ps) - 1) / bodyCap(ps)
+	if need == len(s.pages) {
+		s.total = uint64(len(payload))
+		if err := s.writeAll(payload); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	// Different shape: allocate anew, then free the old pages.
+	ns, err := Create(s.seg, payload)
+	if err != nil {
+		return nil, err
+	}
+	s.freePages()
+	return ns, nil
+}
+
+// Delete frees every page of the sequence.
+func (s *Sequence) Delete() error {
+	s.freePages()
+	return nil
+}
+
+func (s *Sequence) freePages() {
+	_ = s.seg.FreePage(s.headerNo)
+	for _, no := range s.extra {
+		_ = s.seg.FreePage(no)
+	}
+	for _, no := range s.pages {
+		_ = s.seg.FreePage(no)
+	}
+}
+
+// writeAll writes header pages and payload pages, using chained I/O for
+// contiguous stretches.
+func (s *Sequence) writeAll(payload []byte) error {
+	ps := s.seg.PageSize()
+	bc := bodyCap(ps)
+	firstCap, contCap := entriesPerHeader(ps)
+
+	// Header page(s).
+	buf := make([]byte, ps)
+	pg := page.Page(buf)
+	pg.Init(page.TypeSeqHeader, uint32(s.seg.ID()), s.headerNo)
+	if len(s.extra) > 0 {
+		pg.SetNext(s.extra[0])
+	}
+	body := pg.Body()
+	binary.BigEndian.PutUint16(body, seqMagic)
+	binary.BigEndian.PutUint32(body[4:], uint32(len(s.pages)))
+	binary.BigEndian.PutUint64(body[8:], s.total)
+	idx := 0
+	for i := 0; i < firstCap && idx < len(s.pages); i++ {
+		binary.BigEndian.PutUint32(body[hdrBytes+4*i:], s.pages[idx])
+		idx++
+	}
+	pg.SealChecksum()
+	if err := s.seg.WritePage(s.headerNo, buf); err != nil {
+		return fmt.Errorf("pageseq: write header: %w", err)
+	}
+	for h, no := range s.extra {
+		pg.Init(page.TypeSeqHeader, uint32(s.seg.ID()), no)
+		if h+1 < len(s.extra) {
+			pg.SetNext(s.extra[h+1])
+		}
+		cb := pg.Body()
+		for i := 0; i < contCap && idx < len(s.pages); i++ {
+			binary.BigEndian.PutUint32(cb[4*i:], s.pages[idx])
+			idx++
+		}
+		pg.SealChecksum()
+		if err := s.seg.WritePage(no, buf); err != nil {
+			return fmt.Errorf("pageseq: write continuation %d: %w", no, err)
+		}
+	}
+
+	// Component pages, one chained write per contiguous run.
+	for _, run := range s.runs() {
+		start, n := run[0], run[1]
+		raw := make([]byte, n*ps)
+		for i := 0; i < n; i++ {
+			cp := page.Page(raw[i*ps : (i+1)*ps])
+			cp.Init(page.TypeSeqBody, uint32(s.seg.ID()), s.pages[start+i])
+			lo := (start + i) * bc
+			hi := lo + bc
+			if hi > len(payload) {
+				hi = len(payload)
+			}
+			if lo < len(payload) {
+				copy(cp.Body(), payload[lo:hi])
+			}
+			cp.SealChecksum()
+		}
+		if err := s.seg.WriteRun(s.pages[start], n, raw); err != nil {
+			return fmt.Errorf("pageseq: write run at %d: %w", s.pages[start], err)
+		}
+	}
+	return nil
+}

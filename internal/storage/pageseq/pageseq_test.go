@@ -1,0 +1,290 @@
+package pageseq
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prima/internal/storage/device"
+	"prima/internal/storage/segment"
+)
+
+func newSeg(t testing.TB, blockSize int) *segment.Segment {
+	t.Helper()
+	dev, err := device.NewMem(blockSize)
+	if err != nil {
+		t.Fatalf("NewMem: %v", err)
+	}
+	seg, err := segment.Create(dev, 1, 8192)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return seg
+}
+
+func pattern(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i*31 + 7)
+	}
+	return p
+}
+
+func TestCreateReadRoundTrip(t *testing.T) {
+	for _, size := range []int{0, 1, 100, 476, 477, 5000, 60000} {
+		seg := newSeg(t, device.B512)
+		payload := pattern(size)
+		s, err := Create(seg, payload)
+		if err != nil {
+			t.Fatalf("Create(%d): %v", size, err)
+		}
+		if s.Len() != size {
+			t.Fatalf("Len = %d, want %d", s.Len(), size)
+		}
+		got, err := s.ReadAll()
+		if err != nil {
+			t.Fatalf("ReadAll(%d): %v", size, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round-trip mismatch at size %d", size)
+		}
+	}
+}
+
+func TestOpenPersisted(t *testing.T) {
+	seg := newSeg(t, device.B1K)
+	payload := pattern(10000)
+	s, err := Create(seg, payload)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	s2, err := Open(seg, s.HeaderPage())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if s2.Len() != len(payload) || s2.Pages() != s.Pages() {
+		t.Fatalf("reopened: len=%d pages=%d, want %d/%d", s2.Len(), s2.Pages(), len(payload), s.Pages())
+	}
+	got, err := s2.ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("reopened sequence payload mismatch")
+	}
+}
+
+func TestOpenRejectsNonHeader(t *testing.T) {
+	seg := newSeg(t, device.B1K)
+	s, err := Create(seg, pattern(3000))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	// A component page is not a header.
+	if _, err := Open(seg, s.HeaderPage()+1); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("Open(component) = %v, want ErrBadHeader", err)
+	}
+}
+
+func TestContiguousAndChainedIO(t *testing.T) {
+	seg := newSeg(t, device.B512)
+	payload := pattern(4000) // ~9 component pages
+	s, err := Create(seg, payload)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if !s.Contiguous() {
+		t.Fatal("fresh sequence on an empty segment should be contiguous")
+	}
+	seg.Device().ResetStats()
+	if _, err := s.ReadAll(); err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	st := seg.Device().Stats()
+	if st.Seeks != 1 {
+		t.Fatalf("contiguous ReadAll used %d seeks, want 1 (chained I/O)", st.Seeks)
+	}
+	if st.BlocksRead != int64(s.Pages()) {
+		t.Fatalf("blocks read = %d, want %d", st.BlocksRead, s.Pages())
+	}
+}
+
+func TestScatteredSequenceStillWorks(t *testing.T) {
+	seg := newSeg(t, device.B512)
+	// Fragment the segment: allocate every other page.
+	var blockers []uint32
+	for i := 0; i < 40; i++ {
+		no, err := seg.AllocatePage()
+		if err != nil {
+			t.Fatalf("AllocatePage: %v", err)
+		}
+		if i%2 == 0 {
+			blockers = append(blockers, no)
+		} else if err := seg.FreePage(no); err != nil {
+			t.Fatalf("FreePage: %v", err)
+		}
+	}
+	_ = blockers
+	payload := pattern(6000)
+	s, err := Create(seg, payload)
+	if err != nil {
+		t.Fatalf("Create on fragmented segment: %v", err)
+	}
+	got, err := s.ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("scattered sequence round-trip mismatch")
+	}
+}
+
+func TestReadAt(t *testing.T) {
+	seg := newSeg(t, device.B512)
+	payload := pattern(3000)
+	s, err := Create(seg, payload)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for _, tc := range []struct{ off, n int }{
+		{0, 10}, {100, 476}, {470, 20}, {2990, 10}, {2990, 100}, {0, 3000},
+	} {
+		buf := make([]byte, tc.n)
+		n, err := s.ReadAt(buf, int64(tc.off))
+		if err != nil {
+			t.Fatalf("ReadAt(%d,%d): %v", tc.off, tc.n, err)
+		}
+		want := tc.n
+		if tc.off+tc.n > 3000 {
+			want = 3000 - tc.off
+		}
+		if n != want {
+			t.Fatalf("ReadAt(%d,%d) = %d bytes, want %d", tc.off, tc.n, n, want)
+		}
+		if !bytes.Equal(buf[:n], payload[tc.off:tc.off+n]) {
+			t.Fatalf("ReadAt(%d,%d) content mismatch", tc.off, tc.n)
+		}
+	}
+	if _, err := s.ReadAt(make([]byte, 1), 3001); !errors.Is(err, ErrRange) {
+		t.Fatalf("ReadAt beyond end = %v, want ErrRange", err)
+	}
+
+	// Relative addressing touches only covering pages: a 20-byte read deep
+	// inside the payload must read exactly 1 page.
+	seg.Device().ResetStats()
+	if _, err := s.ReadAt(make([]byte, 20), 1000); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if got := seg.Device().Stats().BlocksRead; got != 1 {
+		t.Fatalf("targeted ReadAt read %d pages, want 1", got)
+	}
+}
+
+func TestRewrite(t *testing.T) {
+	seg := newSeg(t, device.B512)
+	s, err := Create(seg, pattern(2000))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	before := seg.Allocated()
+
+	// Same page count: in-place.
+	p2 := pattern(2100) // still 5 pages of 476
+	s, err = s.Rewrite(p2)
+	if err != nil {
+		t.Fatalf("Rewrite same-shape: %v", err)
+	}
+	if seg.Allocated() != before {
+		t.Fatalf("in-place rewrite changed allocation %d -> %d", before, seg.Allocated())
+	}
+	got, _ := s.ReadAll()
+	if !bytes.Equal(got, p2) {
+		t.Fatal("in-place rewrite content mismatch")
+	}
+
+	// Grow: reallocated.
+	p3 := pattern(20000)
+	s, err = s.Rewrite(p3)
+	if err != nil {
+		t.Fatalf("Rewrite grow: %v", err)
+	}
+	got, _ = s.ReadAll()
+	if !bytes.Equal(got, p3) {
+		t.Fatal("grown rewrite content mismatch")
+	}
+
+	// Shrink then delete frees pages.
+	s, err = s.Rewrite(pattern(100))
+	if err != nil {
+		t.Fatalf("Rewrite shrink: %v", err)
+	}
+	if err := s.Delete(); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if seg.Allocated() >= before {
+		t.Fatalf("Delete left %d pages allocated (started from %d)", seg.Allocated(), before)
+	}
+}
+
+func TestMultiHeaderSequence(t *testing.T) {
+	// 512-byte pages hold (476-16)/4 = 115 entries in the first header.
+	// 200 component pages force a continuation header.
+	seg := newSeg(t, device.B512)
+	payload := pattern(200 * 476)
+	s, err := Create(seg, payload)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if s.Pages() != 200 {
+		t.Fatalf("Pages = %d, want 200", s.Pages())
+	}
+	s2, err := Open(seg, s.HeaderPage())
+	if err != nil {
+		t.Fatalf("Open multi-header: %v", err)
+	}
+	got, err := s2.ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("multi-header sequence mismatch")
+	}
+}
+
+// Property: Create/Open/ReadAll round-trips arbitrary payloads; ReadAt
+// agrees with slicing for random ranges.
+func TestSequenceQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		seg := newSeg(t, device.B1K)
+		payload := make([]byte, rng.Intn(30000))
+		rng.Read(payload)
+		s, err := Create(seg, payload)
+		if err != nil {
+			return false
+		}
+		s2, err := Open(seg, s.HeaderPage())
+		if err != nil {
+			return false
+		}
+		got, err := s2.ReadAll()
+		if err != nil || !bytes.Equal(got, payload) {
+			return false
+		}
+		for i := 0; i < 5 && len(payload) > 0; i++ {
+			off := rng.Intn(len(payload))
+			n := rng.Intn(len(payload) - off)
+			buf := make([]byte, n)
+			m, err := s2.ReadAt(buf, int64(off))
+			if err != nil || m != n || !bytes.Equal(buf, payload[off:off+n]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

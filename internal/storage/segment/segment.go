@@ -1,0 +1,375 @@
+// Package segment implements the storage system's containers: "segments
+// divided into pages of equal size" (§3.3). Every segment lives on one file
+// of the (simulated) file manager; its page size is one of the five block
+// sizes, so mapping between pages and blocks is the identity.
+//
+// The first pages of a segment hold an allocation bitmap. Besides single-page
+// allocation, segments support allocation of contiguous page runs, which the
+// page-sequence layer uses so that whole sequences can be transferred by
+// chained I/O.
+package segment
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"prima/internal/storage/device"
+	"prima/internal/storage/page"
+)
+
+// ID identifies a segment within a database.
+type ID uint32
+
+// PageID names a page globally: segment plus page number.
+type PageID struct {
+	Seg ID
+	No  uint32
+}
+
+func (p PageID) String() string { return fmt.Sprintf("%d:%d", p.Seg, p.No) }
+
+// Errors returned by segment operations.
+var (
+	ErrFull         = errors.New("segment: no free pages")
+	ErrNotAllocated = errors.New("segment: page not allocated")
+	ErrBadFormat    = errors.New("segment: bad header format")
+)
+
+const (
+	headerMagic = 0x5347 // "SG"
+	// header layout inside page 0's body:
+	//   off 0: magic    uint16
+	//   off 2: reserved uint16
+	//   off 4: maxPages uint32
+	//   off 8: bitmap bytes (continuing in the bodies of subsequent
+	//          bitmap pages)
+	hdrBytes = 8
+)
+
+// Segment manages a device as an array of equally sized pages with an
+// allocation bitmap. It is safe for concurrent use.
+type Segment struct {
+	id       ID
+	pageSize int
+	maxPages uint32
+	mapPages uint32 // pages reserved for header + bitmap
+	dev      device.Device
+
+	mu        sync.Mutex
+	bitmap    []byte
+	allocated int
+	dirtyMap  bool
+}
+
+// bitmapPages computes how many pages are needed to hold the header plus a
+// bitmap of maxPages bits with the given page size.
+func bitmapPages(maxPages uint32, pageSize int) uint32 {
+	body := pageSize - page.HeaderSize
+	need := int(maxPages+7)/8 + hdrBytes
+	n := (need + body - 1) / body
+	if n < 1 {
+		n = 1
+	}
+	return uint32(n)
+}
+
+// Create formats a new segment on dev. maxPages bounds the segment size
+// (the bitmap is sized for it); pass 0 for a default of 65536 pages.
+func Create(dev device.Device, id ID, maxPages uint32) (*Segment, error) {
+	if maxPages == 0 {
+		maxPages = 65536
+	}
+	ps := dev.BlockSize()
+	mp := bitmapPages(maxPages, ps)
+	if mp >= maxPages {
+		return nil, fmt.Errorf("segment: maxPages %d too small for its own bitmap (%d pages)", maxPages, mp)
+	}
+	s := &Segment{
+		id:       id,
+		pageSize: ps,
+		maxPages: maxPages,
+		mapPages: mp,
+		dev:      dev,
+		bitmap:   make([]byte, (maxPages+7)/8),
+	}
+	if _, err := dev.Extend(int(mp)); err != nil {
+		return nil, fmt.Errorf("segment %d: reserve bitmap pages: %w", id, err)
+	}
+	for i := uint32(0); i < mp; i++ {
+		s.setBit(i, true)
+	}
+	s.allocated = int(mp)
+	s.dirtyMap = true
+	if err := s.flushBitmapLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open loads an existing segment from dev.
+func Open(dev device.Device, id ID) (*Segment, error) {
+	ps := dev.BlockSize()
+	if dev.Blocks() == 0 {
+		return nil, fmt.Errorf("segment %d: %w: empty device", id, ErrBadFormat)
+	}
+	buf := make([]byte, ps)
+	if err := dev.ReadBlock(0, buf); err != nil {
+		return nil, fmt.Errorf("segment %d: read header: %w", id, err)
+	}
+	pg := page.Page(buf)
+	if err := pg.Validate(); err != nil {
+		return nil, fmt.Errorf("segment %d: %w", id, err)
+	}
+	body := pg.Body()
+	if binary.BigEndian.Uint16(body) != headerMagic {
+		return nil, fmt.Errorf("segment %d: %w: bad magic", id, ErrBadFormat)
+	}
+	maxPages := binary.BigEndian.Uint32(body[4:])
+	s := &Segment{
+		id:       id,
+		pageSize: ps,
+		maxPages: maxPages,
+		mapPages: bitmapPages(maxPages, ps),
+		dev:      dev,
+		bitmap:   make([]byte, (maxPages+7)/8),
+	}
+	// Read the bitmap spread across the reserved pages.
+	off := 0
+	for i := uint32(0); i < s.mapPages; i++ {
+		if err := dev.ReadBlock(int(i), buf); err != nil {
+			return nil, fmt.Errorf("segment %d: read bitmap page %d: %w", id, i, err)
+		}
+		b := page.Page(buf).Body()
+		if i == 0 {
+			b = b[hdrBytes:]
+		}
+		off += copy(s.bitmap[off:], b)
+	}
+	for i := uint32(0); i < maxPages; i++ {
+		if s.getBit(i) {
+			s.allocated++
+		}
+	}
+	return s, nil
+}
+
+// ID returns the segment id.
+func (s *Segment) ID() ID { return s.id }
+
+// PageSize returns the segment's page size in bytes.
+func (s *Segment) PageSize() int { return s.pageSize }
+
+// MaxPages returns the segment's capacity in pages.
+func (s *Segment) MaxPages() uint32 { return s.maxPages }
+
+// Allocated returns the number of allocated pages, including the pages the
+// bitmap itself occupies.
+func (s *Segment) Allocated() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.allocated
+}
+
+// Device exposes the underlying device (for I/O statistics).
+func (s *Segment) Device() device.Device { return s.dev }
+
+func (s *Segment) getBit(i uint32) bool { return s.bitmap[i/8]&(1<<(i%8)) != 0 }
+
+func (s *Segment) setBit(i uint32, v bool) {
+	if v {
+		s.bitmap[i/8] |= 1 << (i % 8)
+	} else {
+		s.bitmap[i/8] &^= 1 << (i % 8)
+	}
+}
+
+// AllocatePage reserves one page and returns its number. The page content is
+// undefined until written; use the buffer pool's FixNew to initialize it.
+func (s *Segment) AllocatePage() (uint32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.allocateRunLocked(1)
+}
+
+// AllocateRun reserves n contiguous pages and returns the first page number.
+// Page sequences use runs so a whole sequence can be moved with one chained
+// transfer.
+func (s *Segment) AllocateRun(n int) (uint32, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("segment %d: bad run length %d", s.id, n)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.allocateRunLocked(n)
+}
+
+func (s *Segment) allocateRunLocked(n int) (uint32, error) {
+	run := 0
+	for i := s.mapPages; i < s.maxPages; i++ {
+		if s.getBit(i) {
+			run = 0
+			continue
+		}
+		run++
+		if run == n {
+			first := i - uint32(n) + 1
+			// Ensure the device covers the run.
+			need := int(first) + n - s.dev.Blocks()
+			if need > 0 {
+				if _, err := s.dev.Extend(need); err != nil {
+					return 0, fmt.Errorf("segment %d: extend: %w", s.id, err)
+				}
+			}
+			for j := first; j <= i; j++ {
+				s.setBit(j, true)
+			}
+			s.allocated += n
+			s.dirtyMap = true
+			return first, nil
+		}
+	}
+	return 0, fmt.Errorf("%w (run of %d in segment %d)", ErrFull, n, s.id)
+}
+
+// FreePage releases a single page.
+func (s *Segment) FreePage(no uint32) error { return s.FreeRun(no, 1) }
+
+// FreeRun releases n contiguous pages starting at first.
+func (s *Segment) FreeRun(first uint32, n int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if first < s.mapPages || first+uint32(n) > s.maxPages {
+		return fmt.Errorf("segment %d: free run [%d,%d): %w", s.id, first, first+uint32(n), ErrNotAllocated)
+	}
+	for i := first; i < first+uint32(n); i++ {
+		if !s.getBit(i) {
+			return fmt.Errorf("segment %d: page %d: %w", s.id, i, ErrNotAllocated)
+		}
+	}
+	for i := first; i < first+uint32(n); i++ {
+		s.setBit(i, false)
+	}
+	s.allocated -= n
+	s.dirtyMap = true
+	return nil
+}
+
+// IsAllocated reports whether page no is allocated.
+func (s *Segment) IsAllocated(no uint32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return no < s.maxPages && s.getBit(no)
+}
+
+func (s *Segment) checkPage(no uint32) error {
+	s.mu.Lock()
+	ok := no < s.maxPages && s.getBit(no)
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("segment %d page %d: %w", s.id, no, ErrNotAllocated)
+	}
+	return nil
+}
+
+// ReadPage reads page no into p (len(p) must equal PageSize).
+func (s *Segment) ReadPage(no uint32, p []byte) error {
+	if err := s.checkPage(no); err != nil {
+		return err
+	}
+	return s.dev.ReadBlock(int(no), p)
+}
+
+// WritePage writes p to page no.
+func (s *Segment) WritePage(no uint32, p []byte) error {
+	if err := s.checkPage(no); err != nil {
+		return err
+	}
+	return s.dev.WriteBlock(int(no), p)
+}
+
+// ReadRun reads count consecutive pages starting at first using chained I/O.
+func (s *Segment) ReadRun(first uint32, count int, p []byte) error {
+	if err := s.checkPage(first); err != nil {
+		return err
+	}
+	if count > 1 {
+		if err := s.checkPage(first + uint32(count) - 1); err != nil {
+			return err
+		}
+	}
+	return s.dev.ReadChain(int(first), count, p)
+}
+
+// WriteRun writes count consecutive pages starting at first using chained I/O.
+func (s *Segment) WriteRun(first uint32, count int, p []byte) error {
+	if err := s.checkPage(first); err != nil {
+		return err
+	}
+	if count > 1 {
+		if err := s.checkPage(first + uint32(count) - 1); err != nil {
+			return err
+		}
+	}
+	return s.dev.WriteChain(int(first), count, p)
+}
+
+// ForAllocated calls fn for every allocated page (excluding the bitmap
+// pages) in ascending order; fn returning false stops the iteration.
+func (s *Segment) ForAllocated(fn func(no uint32) bool) {
+	s.mu.Lock()
+	max := s.maxPages
+	first := s.mapPages
+	s.mu.Unlock()
+	for no := first; no < max; no++ {
+		s.mu.Lock()
+		alloc := s.getBit(no)
+		s.mu.Unlock()
+		if alloc && !fn(no) {
+			return
+		}
+	}
+}
+
+// flushBitmapLocked writes the header and bitmap pages. Caller holds s.mu.
+func (s *Segment) flushBitmapLocked() error {
+	if !s.dirtyMap {
+		return nil
+	}
+	buf := make([]byte, s.pageSize)
+	off := 0
+	for i := uint32(0); i < s.mapPages; i++ {
+		pg := page.Page(buf)
+		pg.Init(page.TypeSegHeader, uint32(s.id), i)
+		b := pg.Body()
+		if i == 0 {
+			binary.BigEndian.PutUint16(b, headerMagic)
+			binary.BigEndian.PutUint32(b[4:], s.maxPages)
+			b = b[hdrBytes:]
+		}
+		off += copy(b, s.bitmap[off:])
+		pg.SealChecksum()
+		if err := s.dev.WriteBlock(int(i), buf); err != nil {
+			return fmt.Errorf("segment %d: flush bitmap page %d: %w", s.id, i, err)
+		}
+	}
+	s.dirtyMap = false
+	return nil
+}
+
+// Sync persists the allocation bitmap and flushes the device.
+func (s *Segment) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.flushBitmapLocked(); err != nil {
+		return err
+	}
+	return s.dev.Sync()
+}
+
+// Close persists metadata. It does not close the device (owned by the file
+// manager).
+func (s *Segment) Close() error {
+	return s.Sync()
+}

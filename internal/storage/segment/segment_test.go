@@ -1,0 +1,253 @@
+package segment
+
+import (
+	"errors"
+	"testing"
+
+	"prima/internal/storage/device"
+	"prima/internal/storage/page"
+)
+
+func newSeg(t *testing.T, blockSize int, maxPages uint32) *Segment {
+	t.Helper()
+	dev, err := device.NewMem(blockSize)
+	if err != nil {
+		t.Fatalf("NewMem: %v", err)
+	}
+	s, err := Create(dev, 1, maxPages)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return s
+}
+
+func TestAllocateAndFree(t *testing.T) {
+	s := newSeg(t, device.B1K, 256)
+	reserved := s.Allocated() // bitmap pages
+	if reserved < 1 {
+		t.Fatalf("no reserved bitmap pages")
+	}
+
+	p1, err := s.AllocatePage()
+	if err != nil {
+		t.Fatalf("AllocatePage: %v", err)
+	}
+	p2, err := s.AllocatePage()
+	if err != nil {
+		t.Fatalf("AllocatePage: %v", err)
+	}
+	if p1 == p2 {
+		t.Fatal("allocated the same page twice")
+	}
+	if !s.IsAllocated(p1) || !s.IsAllocated(p2) {
+		t.Fatal("allocated pages not marked")
+	}
+	if s.Allocated() != reserved+2 {
+		t.Fatalf("Allocated = %d, want %d", s.Allocated(), reserved+2)
+	}
+
+	if err := s.FreePage(p1); err != nil {
+		t.Fatalf("FreePage: %v", err)
+	}
+	if s.IsAllocated(p1) {
+		t.Fatal("freed page still marked")
+	}
+	if err := s.FreePage(p1); !errors.Is(err, ErrNotAllocated) {
+		t.Fatalf("double free = %v, want ErrNotAllocated", err)
+	}
+	// Freed page is reused.
+	p3, err := s.AllocatePage()
+	if err != nil {
+		t.Fatalf("AllocatePage: %v", err)
+	}
+	if p3 != p1 {
+		t.Fatalf("AllocatePage = %d, want reuse of %d", p3, p1)
+	}
+}
+
+func TestAllocateRun(t *testing.T) {
+	s := newSeg(t, device.B512, 128)
+	first, err := s.AllocateRun(8)
+	if err != nil {
+		t.Fatalf("AllocateRun: %v", err)
+	}
+	for i := uint32(0); i < 8; i++ {
+		if !s.IsAllocated(first + i) {
+			t.Fatalf("run page %d not allocated", first+i)
+		}
+	}
+	// Fragment: free pages 2..3 of the run, then ask for a run of 4 — must
+	// not fit into the 2-page hole.
+	if err := s.FreeRun(first+2, 2); err != nil {
+		t.Fatalf("FreeRun: %v", err)
+	}
+	second, err := s.AllocateRun(4)
+	if err != nil {
+		t.Fatalf("AllocateRun: %v", err)
+	}
+	if second >= first && second < first+8 {
+		t.Fatalf("run of 4 placed at %d inside fragmented region [%d,%d)", second, first, first+8)
+	}
+	// A run of 2 fits exactly into the hole.
+	hole, err := s.AllocateRun(2)
+	if err != nil {
+		t.Fatalf("AllocateRun: %v", err)
+	}
+	if hole != first+2 {
+		t.Fatalf("run of 2 at %d, want hole at %d", hole, first+2)
+	}
+}
+
+func TestSegmentFull(t *testing.T) {
+	s := newSeg(t, device.B512, 16)
+	for {
+		if _, err := s.AllocatePage(); err != nil {
+			if !errors.Is(err, ErrFull) {
+				t.Fatalf("AllocatePage = %v, want ErrFull", err)
+			}
+			break
+		}
+	}
+	if s.Allocated() != 16 {
+		t.Fatalf("Allocated = %d, want 16", s.Allocated())
+	}
+	if _, err := s.AllocateRun(2); !errors.Is(err, ErrFull) {
+		t.Fatalf("AllocateRun on full segment = %v, want ErrFull", err)
+	}
+}
+
+func TestReadWritePage(t *testing.T) {
+	s := newSeg(t, device.B1K, 64)
+	no, err := s.AllocatePage()
+	if err != nil {
+		t.Fatalf("AllocatePage: %v", err)
+	}
+	buf := make([]byte, s.PageSize())
+	pg := page.Page(buf)
+	pg.Init(page.TypeData, uint32(s.ID()), no)
+	if _, err := pg.Insert([]byte("payload")); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	pg.SealChecksum()
+	if err := s.WritePage(no, buf); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+
+	got := make([]byte, s.PageSize())
+	if err := s.ReadPage(no, got); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	gp := page.Page(got)
+	if err := gp.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	rec, err := gp.Read(0)
+	if err != nil || string(rec) != "payload" {
+		t.Fatalf("Read = %q, %v", rec, err)
+	}
+
+	// Unallocated pages are rejected.
+	if err := s.ReadPage(no+10, got); !errors.Is(err, ErrNotAllocated) {
+		t.Fatalf("ReadPage unallocated = %v, want ErrNotAllocated", err)
+	}
+	if err := s.WritePage(9999, buf); !errors.Is(err, ErrNotAllocated) {
+		t.Fatalf("WritePage out of range = %v, want ErrNotAllocated", err)
+	}
+}
+
+func TestRunChainedIO(t *testing.T) {
+	s := newSeg(t, device.B512, 64)
+	first, err := s.AllocateRun(4)
+	if err != nil {
+		t.Fatalf("AllocateRun: %v", err)
+	}
+	buf := make([]byte, 4*s.PageSize())
+	for i := 0; i < 4; i++ {
+		pg := page.Page(buf[i*s.PageSize() : (i+1)*s.PageSize()])
+		pg.Init(page.TypeSeqBody, uint32(s.ID()), first+uint32(i))
+		pg.SealChecksum()
+	}
+	s.Device().ResetStats()
+	if err := s.WriteRun(first, 4, buf); err != nil {
+		t.Fatalf("WriteRun: %v", err)
+	}
+	got := make([]byte, 4*s.PageSize())
+	if err := s.ReadRun(first, 4, got); err != nil {
+		t.Fatalf("ReadRun: %v", err)
+	}
+	st := s.Device().Stats()
+	if st.Seeks != 2 {
+		t.Fatalf("chained run I/O used %d seeks, want 2", st.Seeks)
+	}
+	if st.BlocksRead != 4 || st.BlocksWritten != 4 {
+		t.Fatalf("blocks = %d/%d, want 4/4", st.BlocksRead, st.BlocksWritten)
+	}
+}
+
+func TestOpenPersistedSegment(t *testing.T) {
+	dev, err := device.NewMem(device.B1K)
+	if err != nil {
+		t.Fatalf("NewMem: %v", err)
+	}
+	s, err := Create(dev, 5, 128)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	var pages []uint32
+	for i := 0; i < 5; i++ {
+		no, err := s.AllocatePage()
+		if err != nil {
+			t.Fatalf("AllocatePage: %v", err)
+		}
+		pages = append(pages, no)
+	}
+	if err := s.FreePage(pages[2]); err != nil {
+		t.Fatalf("FreePage: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, err := Open(dev, 5)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if s2.MaxPages() != 128 {
+		t.Fatalf("MaxPages = %d, want 128", s2.MaxPages())
+	}
+	if s2.Allocated() != s.Allocated() {
+		t.Fatalf("Allocated = %d, want %d", s2.Allocated(), s.Allocated())
+	}
+	for i, no := range pages {
+		want := i != 2
+		if s2.IsAllocated(no) != want {
+			t.Fatalf("page %d allocation = %v, want %v", no, s2.IsAllocated(no), want)
+		}
+	}
+}
+
+func TestLargeBitmapSpansPages(t *testing.T) {
+	// 512-byte pages: body = 512-36 = 476 bytes; a 100000-page bitmap needs
+	// 12500 bytes -> multiple bitmap pages.
+	s := newSeg(t, device.B512, 100000)
+	if s.Allocated() < 20 {
+		t.Fatalf("expected multi-page bitmap, got %d reserved pages", s.Allocated())
+	}
+	no, err := s.AllocatePage()
+	if err != nil {
+		t.Fatalf("AllocatePage: %v", err)
+	}
+	if no < 20 {
+		t.Fatalf("data page %d allocated inside bitmap area", no)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s2, err := Open(s.Device(), s.ID())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if !s2.IsAllocated(no) {
+		t.Fatal("allocation lost across multi-page bitmap persistence")
+	}
+}

@@ -1,0 +1,307 @@
+// Package txn implements nested transactions, the concept PRIMA adopts "as
+// a generic mechanism for all proposed uses" (§4, after Moss [Mo81]): units
+// of work form a tree; a child's effects become part of its parent on
+// commit, and aborting a child rolls back only its own sphere — the
+// "selective in-transaction recovery" the paper calls for — while the
+// parent continues.
+//
+// Writers acquire exclusive atom locks following Moss's rules: a
+// transaction may lock an atom if every other holder is one of its
+// ancestors; on commit the child's locks are inherited by the parent. Lock
+// conflicts fail immediately (no-wait policy): the failed statement leaves
+// partial effects that the caller removes by aborting, which is exactly
+// what the undo log is for.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"prima/internal/access"
+	"prima/internal/access/addr"
+	"prima/internal/access/atom"
+)
+
+// Errors returned by the transaction layer.
+var (
+	ErrDone         = errors.New("txn: transaction already finished")
+	ErrChildActive  = errors.New("txn: child transactions still active")
+	ErrLockConflict = errors.New("txn: lock conflict")
+	ErrNotOwner     = errors.New("txn: operation outside transaction scope")
+)
+
+// opKind tags undo log entries.
+type opKind uint8
+
+const (
+	opInsert opKind = iota
+	opUpdate
+	opDelete
+)
+
+// logEntry is one undoable mutation.
+type logEntry struct {
+	kind     opKind
+	a        addr.LogicalAddr
+	typeName string
+	pre      []atom.Value // pre-image for update/delete
+}
+
+// Manager coordinates transactions over one access system.
+type Manager struct {
+	sys *access.System
+
+	mu     sync.Mutex
+	nextID uint64
+	locks  map[addr.LogicalAddr]*Tx // exclusive holders
+	// writer serializes mutating statements so the single system hook can
+	// attribute mutations to the right transaction.
+	writer  sync.Mutex
+	current *Tx
+}
+
+// NewManager creates a transaction manager and installs its hook.
+func NewManager(sys *access.System) *Manager {
+	m := &Manager{sys: sys, locks: map[addr.LogicalAddr]*Tx{}}
+	sys.SetHook((*managerHook)(m))
+	return m
+}
+
+// Tx is one transaction (top-level or nested).
+type Tx struct {
+	m        *Manager
+	id       uint64
+	parent   *Tx
+	children int
+	done     bool
+	log      []logEntry
+	locks    map[addr.LogicalAddr]bool // locks acquired by this tx itself
+}
+
+// Begin starts a top-level transaction.
+func (m *Manager) Begin() *Tx {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	return &Tx{m: m, id: m.nextID, locks: map[addr.LogicalAddr]bool{}}
+}
+
+// Begin starts a nested child transaction.
+func (t *Tx) Begin() (*Tx, error) {
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	if t.done {
+		return nil, ErrDone
+	}
+	t.m.nextID++
+	t.children++
+	return &Tx{m: t.m, id: t.m.nextID, parent: t, locks: map[addr.LogicalAddr]bool{}}, nil
+}
+
+// ID returns the transaction id.
+func (t *Tx) ID() uint64 { return t.id }
+
+// Do runs fn with this transaction bound as the mutation scope: every
+// access-system write inside fn is locked for and logged to t.
+func (t *Tx) Do(fn func() error) error {
+	t.m.mu.Lock()
+	if t.done {
+		t.m.mu.Unlock()
+		return ErrDone
+	}
+	t.m.mu.Unlock()
+
+	t.m.writer.Lock()
+	defer t.m.writer.Unlock()
+	t.m.mu.Lock()
+	t.m.current = t
+	t.m.mu.Unlock()
+	defer func() {
+		t.m.mu.Lock()
+		t.m.current = nil
+		t.m.mu.Unlock()
+	}()
+	return fn()
+}
+
+// isAncestorOf reports whether t is an ancestor of (or equal to) o.
+func (t *Tx) isAncestorOf(o *Tx) bool {
+	for cur := o; cur != nil; cur = cur.parent {
+		if cur == t {
+			return true
+		}
+	}
+	return false
+}
+
+// lock acquires an exclusive atom lock for t (Moss rule: conflicting
+// holders must be ancestors).
+func (m *Manager) lock(t *Tx, a addr.LogicalAddr) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	holder, held := m.locks[a]
+	if !held || holder == t {
+		m.locks[a] = t
+		t.locks[a] = true
+		return nil
+	}
+	if holder.isAncestorOf(t) {
+		// Ancestor retains the lock; the child may use and re-own it.
+		m.locks[a] = t
+		t.locks[a] = true
+		return nil
+	}
+	return fmt.Errorf("%w: atom %v held by transaction %d", ErrLockConflict, a, holder.id)
+}
+
+// Commit finishes t. A nested commit hands its undo log and locks to the
+// parent (the parent's abort can still undo the child); a top-level commit
+// makes the effects durable and releases all locks.
+func (t *Tx) Commit() error {
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	if t.done {
+		return ErrDone
+	}
+	if t.children > 0 {
+		return ErrChildActive
+	}
+	t.done = true
+	if t.parent != nil {
+		t.parent.children--
+		// Log inheritance: parent abort undoes the child too.
+		t.parent.log = append(t.parent.log, t.log...)
+		// Lock inheritance (Moss).
+		for a := range t.locks {
+			if t.m.locks[a] == t {
+				t.m.locks[a] = t.parent
+			}
+			t.parent.locks[a] = true
+		}
+		return nil
+	}
+	for a := range t.locks {
+		if t.m.locks[a] == t {
+			delete(t.m.locks, a)
+		}
+	}
+	return nil
+}
+
+// Abort undoes every mutation of t (and of its committed children) in
+// reverse order and releases its locks. Parents and siblings are untouched.
+func (t *Tx) Abort() error {
+	t.m.mu.Lock()
+	if t.done {
+		t.m.mu.Unlock()
+		return ErrDone
+	}
+	if t.children > 0 {
+		t.m.mu.Unlock()
+		return ErrChildActive
+	}
+	t.done = true
+	log := t.log
+	t.m.mu.Unlock()
+
+	// Undo without the hook observing (recovery must not log itself).
+	t.m.writer.Lock()
+	t.m.sys.SetHook(nil)
+	var undoErr error
+	for i := len(log) - 1; i >= 0; i-- {
+		e := log[i]
+		switch e.kind {
+		case opInsert:
+			undoErr = t.m.sys.RawDelete(e.a)
+		case opUpdate:
+			undoErr = t.m.sys.RawOverwrite(e.a, e.pre)
+		case opDelete:
+			undoErr = t.m.sys.RawResurrect(e.a, e.pre)
+		}
+		if undoErr != nil {
+			break
+		}
+	}
+	t.m.sys.SetHook((*managerHook)(t.m))
+	t.m.writer.Unlock()
+
+	t.m.mu.Lock()
+	if t.parent != nil {
+		t.parent.children--
+	}
+	for a := range t.locks {
+		if t.m.locks[a] == t {
+			if t.parent != nil && t.parent.locks[a] {
+				t.m.locks[a] = t.parent
+			} else {
+				delete(t.m.locks, a)
+			}
+		}
+	}
+	t.m.mu.Unlock()
+	if undoErr != nil {
+		return fmt.Errorf("txn: undo failed: %w", undoErr)
+	}
+	return nil
+}
+
+// managerHook adapts Manager to the access.Hook interface.
+type managerHook Manager
+
+func (h *managerHook) m() *Manager { return (*Manager)(h) }
+
+// BeforeWrite locks the atom for the current transaction. Writes outside
+// any transaction scope pass through unlocked (autocommit).
+func (h *managerHook) BeforeWrite(a addr.LogicalAddr) error {
+	m := h.m()
+	m.mu.Lock()
+	cur := m.current
+	m.mu.Unlock()
+	if cur == nil {
+		// Autocommit write: it must not bypass existing locks.
+		m.mu.Lock()
+		holder, held := m.locks[a]
+		m.mu.Unlock()
+		if held {
+			return fmt.Errorf("%w: atom %v held by transaction %d", ErrLockConflict, a, holder.id)
+		}
+		return nil
+	}
+	return m.lock(cur, a)
+}
+
+func (h *managerHook) DidInsert(a addr.LogicalAddr) {
+	m := h.m()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.current != nil {
+		m.current.log = append(m.current.log, logEntry{kind: opInsert, a: a})
+	}
+}
+
+func (h *managerHook) DidUpdate(a addr.LogicalAddr, typeName string, old []atom.Value) {
+	m := h.m()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.current != nil {
+		pre := make([]atom.Value, len(old))
+		for i, v := range old {
+			pre[i] = v.Clone()
+		}
+		m.current.log = append(m.current.log, logEntry{kind: opUpdate, a: a, typeName: typeName, pre: pre})
+	}
+}
+
+func (h *managerHook) DidDelete(a addr.LogicalAddr, typeName string, old []atom.Value) {
+	m := h.m()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.current != nil {
+		pre := make([]atom.Value, len(old))
+		for i, v := range old {
+			pre[i] = v.Clone()
+		}
+		m.current.log = append(m.current.log, logEntry{kind: opDelete, a: a, typeName: typeName, pre: pre})
+	}
+}

@@ -1,0 +1,318 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+
+	"prima/internal/access"
+	"prima/internal/access/addr"
+	"prima/internal/access/atom"
+	"prima/internal/catalog"
+)
+
+// newSys builds an in-memory access system with a parts/links schema (n:m).
+func newSys(t testing.TB) *access.System {
+	t.Helper()
+	sys, err := access.Open(access.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := catalog.NewAtomType("part", []catalog.Attribute{
+		{Name: "id", Type: catalog.SpecIdent()},
+		{Name: "no", Type: catalog.SpecInt()},
+		{Name: "uses", Type: catalog.SpecSetOf(catalog.SpecRef("part", "used_by"), 0, catalog.VarCard)},
+		{Name: "used_by", Type: catalog.SpecSetOf(catalog.SpecRef("part", "uses"), 0, catalog.VarCard)},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Schema().AddAtomType(part); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Schema().ResolveAssociations(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestAbortUndoesInsertUpdateDelete(t *testing.T) {
+	sys := newSys(t)
+	m := NewManager(sys)
+
+	// Pre-existing atom.
+	base, err := sys.Insert("part", map[string]atom.Value{"no": atom.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tx := m.Begin()
+	var inserted addr.LogicalAddr
+	err = tx.Do(func() error {
+		var err error
+		if inserted, err = sys.Insert("part", map[string]atom.Value{"no": atom.Int(2)}); err != nil {
+			return err
+		}
+		if err := sys.Update(base, map[string]atom.Value{"no": atom.Int(99)}); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatalf("Abort: %v", err)
+	}
+
+	// Insert undone.
+	if sys.Directory().Exists(inserted) {
+		t.Fatal("aborted insert still exists")
+	}
+	// Update undone.
+	at, err := sys.Get(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := at.Value("no"); v.I != 1 {
+		t.Fatalf("no = %d after abort, want 1", v.I)
+	}
+
+	// Delete undo restores the atom under the same address.
+	tx2 := m.Begin()
+	err = tx2.Do(func() error { return sys.Delete(base) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Directory().Exists(base) {
+		t.Fatal("delete not applied")
+	}
+	if err := tx2.Abort(); err != nil {
+		t.Fatalf("Abort: %v", err)
+	}
+	at, err = sys.Get(base, nil)
+	if err != nil {
+		t.Fatalf("restored atom unreadable: %v", err)
+	}
+	if v, _ := at.Value("no"); v.I != 1 {
+		t.Fatalf("restored no = %d", v.I)
+	}
+}
+
+func TestAbortRestoresReferenceSymmetry(t *testing.T) {
+	sys := newSys(t)
+	m := NewManager(sys)
+	a, _ := sys.Insert("part", map[string]atom.Value{"no": atom.Int(1)})
+	b, _ := sys.Insert("part", map[string]atom.Value{"no": atom.Int(2)})
+	if err := sys.Connect(a, "uses", b); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := m.Begin()
+	// Delete b inside the transaction: a loses its reference.
+	if err := tx.Do(func() error { return sys.Delete(b) }); err != nil {
+		t.Fatal(err)
+	}
+	at, _ := sys.Get(a, nil)
+	if v, _ := at.Value("uses"); v.ContainsRef(b) {
+		t.Fatal("reference not removed by delete")
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatalf("Abort: %v", err)
+	}
+	// Both the atom and the symmetric references are back.
+	at, _ = sys.Get(a, nil)
+	if v, _ := at.Value("uses"); !v.ContainsRef(b) {
+		t.Fatal("forward reference not restored by abort")
+	}
+	bt, err := sys.Get(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := bt.Value("used_by"); !v.ContainsRef(a) {
+		t.Fatal("back reference not restored by abort")
+	}
+}
+
+func TestNestedCommitAndSelectiveAbort(t *testing.T) {
+	sys := newSys(t)
+	m := NewManager(sys)
+
+	parent := m.Begin()
+	var p1, p2 addr.LogicalAddr
+	if err := parent.Do(func() error {
+		var err error
+		p1, err = sys.Insert("part", map[string]atom.Value{"no": atom.Int(10)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Child 1 commits: its effects stay.
+	c1, err := parent.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Do(func() error {
+		var err error
+		p2, err = sys.Insert("part", map[string]atom.Value{"no": atom.Int(11)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Child 2 aborts: only its sphere rolls back.
+	c2, err := parent.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p3 addr.LogicalAddr
+	if err := c2.Do(func() error {
+		var err error
+		p3, err = sys.Insert("part", map[string]atom.Value{"no": atom.Int(12)})
+		if err != nil {
+			return err
+		}
+		return sys.Update(p1, map[string]atom.Value{"no": atom.Int(1000)})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	if sys.Directory().Exists(p3) {
+		t.Fatal("aborted child's insert survived")
+	}
+	if !sys.Directory().Exists(p2) {
+		t.Fatal("committed child's insert rolled back by sibling abort")
+	}
+	at, _ := sys.Get(p1, nil)
+	if v, _ := at.Value("no"); v.I != 10 {
+		t.Fatalf("child abort did not restore parent's atom: no=%d", v.I)
+	}
+
+	// Parent abort now also undoes the committed child (log inheritance).
+	if err := parent.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Directory().Exists(p1) || sys.Directory().Exists(p2) {
+		t.Fatal("parent abort did not undo inherited child effects")
+	}
+}
+
+func TestLockConflictBetweenTopLevel(t *testing.T) {
+	sys := newSys(t)
+	m := NewManager(sys)
+	a, _ := sys.Insert("part", map[string]atom.Value{"no": atom.Int(1)})
+
+	t1 := m.Begin()
+	if err := t1.Do(func() error {
+		return sys.Update(a, map[string]atom.Value{"no": atom.Int(2)})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A sibling top-level transaction conflicts.
+	t2 := m.Begin()
+	err := t2.Do(func() error {
+		return sys.Update(a, map[string]atom.Value{"no": atom.Int(3)})
+	})
+	if !errors.Is(err, ErrLockConflict) {
+		t.Fatalf("conflicting write = %v, want ErrLockConflict", err)
+	}
+	if err := t2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Autocommit writes also respect the lock.
+	if err := sys.Update(a, map[string]atom.Value{"no": atom.Int(4)}); !errors.Is(err, ErrLockConflict) {
+		t.Fatalf("autocommit bypassed lock: %v", err)
+	}
+
+	// After commit the atom is free again.
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Update(a, map[string]atom.Value{"no": atom.Int(5)}); err != nil {
+		t.Fatalf("write after commit: %v", err)
+	}
+	at, _ := sys.Get(a, nil)
+	if v, _ := at.Value("no"); v.I != 5 {
+		t.Fatalf("no = %d", v.I)
+	}
+}
+
+func TestChildMayUseParentLocks(t *testing.T) {
+	sys := newSys(t)
+	m := NewManager(sys)
+	a, _ := sys.Insert("part", map[string]atom.Value{"no": atom.Int(1)})
+
+	parent := m.Begin()
+	if err := parent.Do(func() error {
+		return sys.Update(a, map[string]atom.Value{"no": atom.Int(2)})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	child, err := parent.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Moss: the child may acquire a lock its ancestor holds.
+	if err := child.Do(func() error {
+		return sys.Update(a, map[string]atom.Value{"no": atom.Int(3)})
+	}); err != nil {
+		t.Fatalf("child blocked by ancestor lock: %v", err)
+	}
+	if err := child.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	at, _ := sys.Get(a, nil)
+	if v, _ := at.Value("no"); v.I != 3 {
+		t.Fatalf("no = %d", v.I)
+	}
+}
+
+func TestLifecycleErrors(t *testing.T) {
+	sys := newSys(t)
+	m := NewManager(sys)
+
+	tx := m.Begin()
+	child, err := tx.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parent cannot finish with active children.
+	if err := tx.Commit(); !errors.Is(err, ErrChildActive) {
+		t.Fatalf("commit with child = %v", err)
+	}
+	if err := tx.Abort(); !errors.Is(err, ErrChildActive) {
+		t.Fatalf("abort with child = %v", err)
+	}
+	if err := child.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Double finish.
+	if err := tx.Commit(); !errors.Is(err, ErrDone) {
+		t.Fatalf("double commit = %v", err)
+	}
+	if err := tx.Abort(); !errors.Is(err, ErrDone) {
+		t.Fatalf("abort after commit = %v", err)
+	}
+	// Do on a finished transaction.
+	if err := tx.Do(func() error { return nil }); !errors.Is(err, ErrDone) {
+		t.Fatalf("Do after commit = %v", err)
+	}
+	// Begin on a finished transaction.
+	if _, err := tx.Begin(); !errors.Is(err, ErrDone) {
+		t.Fatalf("Begin after commit = %v", err)
+	}
+}

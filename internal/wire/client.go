@@ -1,0 +1,139 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client is a workstation-side connection to a PRIMA server with an object
+// buffer for checked-out molecules.
+type Client struct {
+	mu         sync.Mutex
+	conn       net.Conn
+	roundTrips int
+
+	// Object buffer: checked-out atoms by address, plus recorded local
+	// changes awaiting checkin.
+	buffer  map[uint64]AtomJSON
+	pending []string // MQL statements to run at checkin
+}
+
+// Dial connects to a PRIMA server.
+func Dial(address string) (*Client, error) {
+	conn, err := net.Dial("tcp", address)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial: %w", err)
+	}
+	return &Client{conn: conn, buffer: map[uint64]AtomJSON{}}, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// RoundTrips returns how many request/response cycles this client has
+// performed — the communication-overhead measure of experiment A6.
+func (c *Client) RoundTrips() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.roundTrips
+}
+
+func (c *Client) call(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.roundTrips++
+	return roundTrip(c.conn, req)
+}
+
+// Ping checks connectivity.
+func (c *Client) Ping() error {
+	_, err := c.call(&Request{Op: OpPing})
+	return err
+}
+
+// Exec runs an MQL script on the server.
+func (c *Client) Exec(src string) (*Response, error) {
+	return c.call(&Request{Op: OpExec, MQL: src})
+}
+
+// Checkout runs a SELECT and loads the resulting molecules into the local
+// object buffer with a single round trip ("large buffer sizes may help to
+// perform most of the DBMS work locally, after the required molecules are
+// transferred to an 'object buffer'").
+func (c *Client) Checkout(query string) ([]MoleculeJSON, error) {
+	resp, err := c.call(&Request{Op: OpCheckout, MQL: query})
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	for _, m := range resp.Molecules {
+		for _, a := range m.Atoms {
+			c.buffer[a.Addr] = a
+		}
+	}
+	c.mu.Unlock()
+	return resp.Molecules, nil
+}
+
+// Local returns a buffered atom without any server communication.
+func (c *Client) Local(addr uint64) (AtomJSON, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.buffer[addr]
+	return a, ok
+}
+
+// FetchAtom retrieves one atom from the server — the chatty alternative to
+// Checkout used as the baseline in experiment A6.
+func (c *Client) FetchAtom(addr uint64) (AtomJSON, error) {
+	resp, err := c.call(&Request{Op: OpGetAtom, Addr: addr})
+	if err != nil {
+		return AtomJSON{}, err
+	}
+	return *resp.Atom, nil
+}
+
+// StageModify records a local modification of a buffered atom; it is sent
+// to the server at Checkin time.
+func (c *Client) StageModify(typeName string, addr uint64, attr, valueLiteral string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if a, ok := c.buffer[addr]; ok {
+		a.Values[attr] = valueLiteral
+		c.buffer[addr] = a
+	}
+	// Address literal keys the MODIFY to exactly this atom.
+	c.pending = append(c.pending,
+		fmt.Sprintf("MODIFY %s SET %s = %s WHERE %s = @%d.%d",
+			typeName, attr, valueLiteral, identAttrGuess(typeName), addr>>48, addr&0xFFFFFFFFFFFF))
+}
+
+// identAttrGuess derives the IDENTIFIER attribute name used in staged
+// statements; PRIMA schemas conventionally call it <type>_id or id.
+func identAttrGuess(typeName string) string { return typeName + "_id" }
+
+// Pending returns the staged checkin statements.
+func (c *Client) Pending() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.pending...)
+}
+
+// Checkin sends all staged modifications in one round trip and clears the
+// buffer ("modified or newly created molecules are moved back to PRIMA at
+// commit time").
+func (c *Client) Checkin() (*Response, error) {
+	c.mu.Lock()
+	stmts := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	if len(stmts) == 0 {
+		return &Response{OK: true, Message: "nothing to check in"}, nil
+	}
+	src := ""
+	for _, s := range stmts {
+		src += s + ";\n"
+	}
+	return c.call(&Request{Op: OpExec, MQL: src})
+}

@@ -1,0 +1,198 @@
+package wire
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"prima"
+	"prima/internal/access"
+	"prima/internal/access/addr"
+	"prima/internal/access/atom"
+	"prima/internal/core"
+)
+
+// Server exposes a PRIMA database over TCP.
+type Server struct {
+	db *prima.DB
+	ln net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]bool
+}
+
+// Serve starts serving on the given address ("" picks an ephemeral port).
+func Serve(db *prima.DB, address string) (*Server, error) {
+	if address == "" {
+		address = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", address)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen: %w", err)
+	}
+	s := &Server{db: db, ln: ln, conns: map[net.Conn]bool{}}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and its connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	return s.ln.Close()
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if !closed {
+				log.Printf("wire: accept: %v", err)
+			}
+			return
+		}
+		s.mu.Lock()
+		s.conns[conn] = true
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		var req Request
+		if err := ReadMsg(conn, &req); err != nil {
+			return // client went away
+		}
+		resp := s.dispatch(&req)
+		if err := WriteMsg(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *Request) *Response {
+	switch req.Op {
+	case OpPing:
+		return &Response{OK: true, Message: "pong"}
+	case OpExec:
+		results, err := s.db.Exec(req.MQL)
+		if err != nil {
+			return &Response{Error: err.Error()}
+		}
+		resp := &Response{OK: true}
+		for _, r := range results {
+			resp.Count += r.Count
+			for _, a := range r.Inserted {
+				resp.Inserted = append(resp.Inserted, uint64(a))
+			}
+			resp.Molecules = append(resp.Molecules, moleculesToJSON(r.Molecules)...)
+			if r.Message != "" {
+				resp.Message = r.Message
+			}
+		}
+		return resp
+	case OpCheckout:
+		res, err := s.db.ExecOne(req.MQL)
+		if err != nil {
+			return &Response{Error: err.Error()}
+		}
+		if res.Kind != "molecules" {
+			return &Response{Error: "checkout requires a SELECT"}
+		}
+		return &Response{OK: true, Count: len(res.Molecules), Molecules: moleculesToJSON(res.Molecules)}
+	case OpGetAtom:
+		at, err := s.db.System().Get(addr.LogicalAddr(req.Addr), nil)
+		if err != nil {
+			return &Response{Error: err.Error()}
+		}
+		aj := atomToJSON(at)
+		return &Response{OK: true, Atom: &aj}
+	default:
+		return &Response{Error: "unknown op " + req.Op}
+	}
+}
+
+func moleculesToJSON(mols []*core.Molecule) []MoleculeJSON {
+	out := make([]MoleculeJSON, 0, len(mols))
+	for _, m := range mols {
+		mj := MoleculeJSON{Root: uint64(m.Root.Addr())}
+		for _, tn := range m.Type.AtomTypes() {
+			for _, ma := range m.AtomsOf(tn) {
+				if ma.Hidden {
+					continue
+				}
+				mj.Atoms = append(mj.Atoms, atomToJSON(ma.Atom))
+			}
+		}
+		out = append(out, mj)
+	}
+	return out
+}
+
+func atomToJSON(at *access.Atom) AtomJSON {
+	aj := AtomJSON{Addr: uint64(at.Addr), Type: at.Type.Name, Values: map[string]string{}}
+	for i, a := range at.Type.Attrs {
+		v := at.Values[i]
+		if v.IsNull() {
+			continue
+		}
+		aj.Values[a.Name] = renderValue(v)
+	}
+	return aj
+}
+
+// renderValue renders a value in MQL literal syntax (so clients can feed it
+// back through checkin statements).
+func renderValue(v atom.Value) string {
+	switch v.K {
+	case atom.KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case atom.KindReal:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case atom.KindBool:
+		if v.I != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	case atom.KindString:
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	case atom.KindIdent, atom.KindRef:
+		return fmt.Sprintf("@%d.%d", v.A.Type(), v.A.Seq())
+	case atom.KindSet, atom.KindList, atom.KindRecord, atom.KindArray:
+		parts := make([]string, len(v.E))
+		for i, e := range v.E {
+			parts[i] = renderValue(e)
+		}
+		open, close := "{", "}"
+		switch v.K {
+		case atom.KindList, atom.KindArray:
+			open, close = "[", "]"
+		case atom.KindRecord:
+			open, close = "(", ")"
+		}
+		return open + strings.Join(parts, ", ") + close
+	default:
+		return "NULL"
+	}
+}

@@ -1,0 +1,116 @@
+// Package wire implements the workstation–host coupling of §4: PRIMA runs
+// as a server; the application layer on the workstation talks to it over a
+// set-oriented interface ("the set-oriented MAD interface is a major
+// prerequisite to reduce communication overhead as far as possible") and
+// keeps checked-out molecules in a local object buffer, writing them back at
+// commit time ("checkout/checkin").
+//
+// The protocol is length-prefixed JSON over TCP: one request, one response.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Op codes.
+const (
+	OpPing     = "ping"
+	OpExec     = "exec"     // run an MQL script
+	OpCheckout = "checkout" // run a SELECT, return whole molecules
+	OpGetAtom  = "getatom"  // fetch one atom (the chatty baseline)
+)
+
+// Request is one client message.
+type Request struct {
+	Op   string `json:"op"`
+	MQL  string `json:"mql,omitempty"`
+	Addr uint64 `json:"addr,omitempty"`
+}
+
+// Response is one server message.
+type Response struct {
+	OK        bool           `json:"ok"`
+	Error     string         `json:"error,omitempty"`
+	Message   string         `json:"message,omitempty"`
+	Count     int            `json:"count,omitempty"`
+	Inserted  []uint64       `json:"inserted,omitempty"`
+	Molecules []MoleculeJSON `json:"molecules,omitempty"`
+	Atom      *AtomJSON      `json:"atom,omitempty"`
+}
+
+// MoleculeJSON is a wire-format molecule: the flat atom set grouped by type
+// plus the root address (structure can be rebuilt client-side from the
+// reference attributes if needed).
+type MoleculeJSON struct {
+	Root  uint64     `json:"root"`
+	Atoms []AtomJSON `json:"atoms"`
+}
+
+// AtomJSON is a wire-format atom. Values are rendered in MQL literal syntax.
+type AtomJSON struct {
+	Addr   uint64            `json:"addr"`
+	Type   string            `json:"type"`
+	Values map[string]string `json:"values"`
+}
+
+// maxFrame bounds message size (16 MiB).
+const maxFrame = 16 << 20
+
+// WriteMsg frames and writes a JSON-serializable message.
+func WriteMsg(w io.Writer, v interface{}) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadMsg reads one framed JSON message into v.
+func ReadMsg(r io.Reader, v interface{}) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+// ErrRemote wraps server-side failures surfaced to the client.
+var ErrRemote = errors.New("wire: remote error")
+
+// roundTrip sends a request and reads the response on an established
+// connection.
+func roundTrip(conn net.Conn, req *Request) (*Response, error) {
+	if err := WriteMsg(conn, req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := ReadMsg(conn, &resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return &resp, fmt.Errorf("%w: %s", ErrRemote, resp.Error)
+	}
+	return &resp, nil
+}

@@ -1,0 +1,104 @@
+package brepgen
+
+import (
+	"testing"
+
+	"prima/internal/access"
+	"prima/internal/core"
+)
+
+func newEngine(t testing.TB) *core.Engine {
+	t.Helper()
+	sys, err := access.Open(access.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(sys)
+	if err := InstallSchema(e); err != nil {
+		t.Fatalf("InstallSchema: %v", err)
+	}
+	return e
+}
+
+// TestCubeTopology verifies the generated BREP is a genuine cube: counts,
+// sharing degrees, and referential closure.
+func TestCubeTopology(t *testing.T) {
+	e := newEngine(t)
+	c, err := BuildCube(e, 1, 1, 0, 2)
+	if err != nil {
+		t.Fatalf("BuildCube: %v", err)
+	}
+	if len(c.Faces) != CubeFaces || len(c.Edges) != CubeEdges || len(c.Points) != CubePoints {
+		t.Fatalf("counts: %d/%d/%d", len(c.Faces), len(c.Edges), len(c.Points))
+	}
+	sys := e.System()
+
+	// Every edge is shared by exactly 2 faces; every point lies on 3 edges.
+	for _, ea := range c.Edges {
+		at, err := sys.Get(ea, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := at.Value("face"); v.Len() != 2 {
+			t.Fatalf("edge %v on %d faces, want 2", ea, v.Len())
+		}
+		if v, _ := at.Value("boundary"); v.Len() != 2 {
+			t.Fatalf("edge %v has %d endpoints", ea, v.Len())
+		}
+	}
+	for _, pa := range c.Points {
+		at, err := sys.Get(pa, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := at.Value("line"); v.Len() != 3 {
+			t.Fatalf("point %v on %d edges, want 3", pa, v.Len())
+		}
+		if v, _ := at.Value("face"); v.Len() != 3 {
+			t.Fatalf("point %v on %d faces, want 3", pa, v.Len())
+		}
+	}
+	// Cardinality restrictions of Fig. 2.3 hold for the populated scene.
+	if err := sys.CheckIntegrity(""); err != nil {
+		t.Fatalf("CheckIntegrity: %v", err)
+	}
+	// Solid links to its brep and back.
+	sat, _ := sys.Get(c.Solid, nil)
+	if v, _ := sat.Value("brep"); !v.ContainsRef(c.Brep) {
+		t.Fatal("solid does not reference its brep")
+	}
+	bat, _ := sys.Get(c.Brep, nil)
+	if v, _ := bat.Value("solid"); !v.ContainsRef(c.Solid) {
+		t.Fatal("brep back-reference missing")
+	}
+}
+
+func TestBuildSceneAndAssembly(t *testing.T) {
+	e := newEngine(t)
+	cubes, err := BuildScene(e, 3)
+	if err != nil {
+		t.Fatalf("BuildScene: %v", err)
+	}
+	if len(cubes) != 3 {
+		t.Fatalf("cubes = %d", len(cubes))
+	}
+	if e.System().Count("point") != 3*CubePoints {
+		t.Fatalf("points = %d", e.System().Count("point"))
+	}
+
+	root, count, err := BuildAssembly(e, 100, 3, 3)
+	if err != nil {
+		t.Fatalf("BuildAssembly: %v", err)
+	}
+	// 1 + 3 + 9 + 27 = 40.
+	if count != 40 {
+		t.Fatalf("assembly count = %d, want 40", count)
+	}
+	at, err := e.System().Get(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := at.Value("sub"); v.Len() != 3 {
+		t.Fatalf("root has %d children", v.Len())
+	}
+}

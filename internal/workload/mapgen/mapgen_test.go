@@ -1,0 +1,57 @@
+package mapgen
+
+import (
+	"testing"
+
+	"prima/internal/access"
+	"prima/internal/core"
+)
+
+func TestBuildWorld(t *testing.T) {
+	sys, err := access.Open(access.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(sys)
+	if _, err := e.ExecuteScript(SchemaDDL); err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+	w, err := Build(e, 2, 3, 5, 9)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(w.Maps) != 2 || len(w.Regions) != 6 || len(w.Sites) != 30 {
+		t.Fatalf("sizes: %d/%d/%d", len(w.Maps), len(w.Regions), len(w.Sites))
+	}
+	// Coordinates are in [0,100) and sites link back to regions.
+	for _, sa := range w.Sites {
+		at, err := sys.Get(sa, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, _ := at.Value("x")
+		y, _ := at.Value("y")
+		if x.F < 0 || x.F >= 100 || y.F < 0 || y.F >= 100 {
+			t.Fatalf("site %v out of bounds (%g,%g)", sa, x.F, y.F)
+		}
+		rv, _ := at.Value("region")
+		region, err := sys.Get(rv.A, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := region.Value("sites"); !v.ContainsRef(sa) {
+			t.Fatal("region missing back-reference to site")
+		}
+	}
+	// The map_obj molecule covers the whole hierarchy.
+	res, err := e.ExecuteScript(`SELECT ALL FROM map_obj`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res[0].Molecules) != 2 {
+		t.Fatalf("map molecules = %d", len(res[0].Molecules))
+	}
+	if got := len(res[0].Molecules[0].AtomsOf("site")); got != 15 {
+		t.Fatalf("sites per map molecule = %d, want 15", got)
+	}
+}

@@ -1,0 +1,71 @@
+package vlsigen
+
+import (
+	"testing"
+
+	"prima/internal/access"
+	"prima/internal/core"
+)
+
+func TestBuildNetlist(t *testing.T) {
+	sys, err := access.Open(access.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(sys)
+	if _, err := e.ExecuteScript(SchemaDDL); err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+	nl, err := Build(e, 20, 3, 8, 42)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(nl.Cells) != 20 || len(nl.Pins) != 60 || len(nl.Nets) != 8 {
+		t.Fatalf("sizes: %d/%d/%d", len(nl.Cells), len(nl.Pins), len(nl.Nets))
+	}
+	// Every pin links a cell and a net, both directions.
+	for _, pa := range nl.Pins {
+		at, err := sys.Get(pa, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cv, _ := at.Value("cell")
+		nv, _ := at.Value("net")
+		if cv.IsNull() || nv.IsNull() {
+			t.Fatalf("pin %v dangling", pa)
+		}
+		cell, err := sys.Get(cv.A, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := cell.Value("pins"); !v.ContainsRef(pa) {
+			t.Fatal("cell missing back-reference to pin")
+		}
+		net, err := sys.Get(nv.A, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := net.Value("pins"); !v.ContainsRef(pa) {
+			t.Fatal("net missing back-reference to pin")
+		}
+	}
+	// Determinism: same seed, same wiring.
+	sys2, _ := access.Open(access.Config{})
+	e2 := core.New(sys2)
+	if _, err := e2.ExecuteScript(SchemaDDL); err != nil {
+		t.Fatal(err)
+	}
+	nl2, err := Build(e2, 20, 3, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range nl.Pins {
+		a1, _ := sys.Get(nl.Pins[i], nil)
+		a2, _ := sys2.Get(nl2.Pins[i], nil)
+		v1, _ := a1.Value("net")
+		v2, _ := a2.Value("net")
+		if v1.A.Seq() != v2.A.Seq() {
+			t.Fatal("same seed produced different netlists")
+		}
+	}
+}

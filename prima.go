@@ -1,0 +1,223 @@
+// Package prima is a Go reproduction of PRIMA, the prototype DBMS kernel
+// implementing the Molecule-Atom Data model (MAD) of Härder, Meyer-Wegener,
+// Mitschang and Sikeler ("PRIMA — a DBMS Prototype Supporting Engineering
+// Applications", VLDB 1987).
+//
+// A DB speaks MQL, the Molecule Query Language: SQL-like statements whose
+// FROM clause names dynamically defined molecule types — trees of atom
+// types connected by symmetric associations, materialized at run time:
+//
+//	db, _ := prima.Open(prima.Config{})
+//	defer db.Close()
+//	db.Exec(`CREATE ATOM_TYPE node (id: IDENTIFIER, n: INTEGER,
+//	          next: SET_OF (REF_TO (node.prev)),
+//	          prev: SET_OF (REF_TO (node.next)))`)
+//	db.Exec(`INSERT INTO node (n) VALUES (1), (2)`)
+//	res, _ := db.Exec(`SELECT ALL FROM node WHERE n = 1`)
+//
+// Below the data model interface the kernel implements the paper's full
+// three-layer architecture: a data system (query planning, molecule
+// assembly, recursion, quantifiers, qualified projection), an access system
+// (logical addresses, automatic back-reference maintenance, B*-tree and
+// grid access paths, sort orders, partitions, atom clusters with deferred
+// update, five scan types) and a storage system (segments with five page
+// sizes, a size-aware buffer pool, page sequences with chained I/O).
+package prima
+
+import (
+	"errors"
+	"fmt"
+
+	"prima/internal/access"
+	"prima/internal/access/addr"
+	"prima/internal/core"
+	"prima/internal/du"
+	"prima/internal/mql"
+	"prima/internal/txn"
+)
+
+// Re-exported result types.
+type (
+	// Result is the outcome of one MQL statement.
+	Result = core.Result
+	// Molecule is one molecule occurrence.
+	Molecule = core.Molecule
+	// MAtom is one atom within a molecule.
+	MAtom = core.MAtom
+	// LogicalAddr is an atom surrogate.
+	LogicalAddr = addr.LogicalAddr
+)
+
+// Config tunes a database instance.
+type Config struct {
+	// Dir is the database directory; empty runs fully in memory.
+	Dir string
+	// PageSize of primary containers: 512, 1024, 2048, 4096 or 8192
+	// (default 8192).
+	PageSize int
+	// BufferBytes is the buffer pool budget (default 4 MiB).
+	BufferBytes int64
+	// Policy selects the replacement policy: "size-aware-lru" (default),
+	// "partitioned-lru" or "classic-lru".
+	Policy string
+	// MaxRecursionDepth bounds recursive molecule evaluation (default 64).
+	MaxRecursionDepth int
+}
+
+// DB is a PRIMA database handle.
+type DB struct {
+	sys    *access.System
+	engine *core.Engine
+	txm    *txn.Manager
+}
+
+// Open creates or opens a database.
+func Open(cfg Config) (*DB, error) {
+	sys, err := access.Open(access.Config{
+		Dir:         cfg.Dir,
+		PageSize:    cfg.PageSize,
+		BufferBytes: cfg.BufferBytes,
+		Policy:      cfg.Policy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	engine := core.New(sys)
+	if cfg.MaxRecursionDepth > 0 {
+		engine.SetMaxRecursionDepth(cfg.MaxRecursionDepth)
+	}
+	return &DB{sys: sys, engine: engine, txm: txn.NewManager(sys)}, nil
+}
+
+// Close checkpoints and releases the database.
+func (db *DB) Close() error { return db.sys.Close() }
+
+// Checkpoint flushes all state (including deferred-update propagation).
+func (db *DB) Checkpoint() error { return db.sys.Checkpoint() }
+
+// Exec parses and executes an MQL script (one or more statements separated
+// by semicolons) in autocommit mode, returning one result per statement.
+func (db *DB) Exec(src string) ([]*Result, error) {
+	return db.engine.ExecuteScript(src)
+}
+
+// ExecOne executes exactly one statement.
+func (db *DB) ExecOne(src string) (*Result, error) {
+	stmt, err := mql.ParseOne(src)
+	if err != nil {
+		return nil, err
+	}
+	return db.engine.Execute(stmt)
+}
+
+// Query prepares a SELECT and returns a one-molecule-at-a-time cursor.
+func (db *DB) Query(src string) (*Cursor, error) {
+	stmt, err := mql.ParseOne(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*mql.Select)
+	if !ok {
+		return nil, errors.New("prima: Query requires a SELECT statement")
+	}
+	plan, err := db.engine.PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := plan.Open()
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{inner: cur}, nil
+}
+
+// QueryParallel executes a SELECT with the given degree of intra-operation
+// parallelism (the paper's semantic decomposition into concurrent units of
+// work). Results equal the sequential Query in content and order.
+func (db *DB) QueryParallel(src string, workers int) ([]*Molecule, error) {
+	stmt, err := mql.ParseOne(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*mql.Select)
+	if !ok {
+		return nil, errors.New("prima: QueryParallel requires a SELECT statement")
+	}
+	plan, err := db.engine.PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return du.ParallelCollect(plan, workers)
+}
+
+// Cursor iterates molecules one at a time.
+type Cursor struct{ inner *core.Cursor }
+
+// Next returns the next molecule, or (nil, nil) at the end of the set.
+func (c *Cursor) Next() (*Molecule, error) { return c.inner.Next() }
+
+// Close releases the cursor.
+func (c *Cursor) Close() { c.inner.Close() }
+
+// Collect drains the cursor.
+func (c *Cursor) Collect() ([]*Molecule, error) { return c.inner.Collect() }
+
+// --- transactions --------------------------------------------------------------
+
+// Tx is a (possibly nested) transaction. Statements executed through a Tx
+// are undone by Abort; nested transactions roll back selectively.
+type Tx struct {
+	db    *DB
+	inner *txn.Tx
+}
+
+// Begin starts a top-level transaction.
+func (db *DB) Begin() *Tx {
+	return &Tx{db: db, inner: db.txm.Begin()}
+}
+
+// Begin starts a nested child transaction.
+func (t *Tx) Begin() (*Tx, error) {
+	child, err := t.inner.Begin()
+	if err != nil {
+		return nil, err
+	}
+	return &Tx{db: t.db, inner: child}, nil
+}
+
+// Exec executes an MQL script within the transaction.
+func (t *Tx) Exec(src string) ([]*Result, error) {
+	var out []*Result
+	err := t.inner.Do(func() error {
+		var err error
+		out, err = t.db.engine.ExecuteScript(src)
+		return err
+	})
+	return out, err
+}
+
+// Commit finishes the transaction; nested commits merge into the parent.
+func (t *Tx) Commit() error { return t.inner.Commit() }
+
+// Abort rolls the transaction's sphere back.
+func (t *Tx) Abort() error { return t.inner.Abort() }
+
+// --- introspection --------------------------------------------------------------
+
+// System exposes the access system (statistics, low-level API) for tools,
+// experiments and tests.
+func (db *DB) System() *access.System { return db.sys }
+
+// Engine exposes the data system.
+func (db *DB) Engine() *core.Engine { return db.engine }
+
+// Stats summarizes buffer and device activity.
+func (db *DB) Stats() string {
+	bs := db.sys.Pool().Stats()
+	ds := db.sys.Files().Stats()
+	return fmt.Sprintf("buffer: %d hits / %d misses (%.1f%%), %d evictions; io: %s",
+		bs.Hits, bs.Misses, 100*bs.HitRatio(), bs.Evictions, ds)
+}

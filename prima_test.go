@@ -1,0 +1,170 @@
+package prima
+
+import (
+	"path/filepath"
+	"testing"
+
+	"prima/internal/workload/brepgen"
+)
+
+func openMem(t testing.TB) *DB {
+	t.Helper()
+	db, err := Open(Config{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestEndToEndQuickstart(t *testing.T) {
+	db := openMem(t)
+	if _, err := db.Exec(brepgen.SchemaDDL); err != nil {
+		t.Fatalf("DDL: %v", err)
+	}
+	if _, err := brepgen.BuildScene(db.Engine(), 3); err != nil {
+		t.Fatalf("scene: %v", err)
+	}
+
+	res, err := db.ExecOne(`SELECT ALL FROM brep-face-edge-point WHERE brep_no = 2`)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(res.Molecules) != 1 || res.Molecules[0].Size() != brepgen.CubeAtoms {
+		t.Fatalf("result = %d molecules", len(res.Molecules))
+	}
+	// The rendered molecule mentions every component type.
+	s := res.Molecules[0].String()
+	for _, want := range []string{"brep", "face", "edge", "point"} {
+		if !contains(s, want) {
+			t.Fatalf("rendering lacks %q:\n%s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestCursorAndParallelAgree(t *testing.T) {
+	db := openMem(t)
+	if _, err := db.Exec(brepgen.SchemaDDL); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := brepgen.BuildScene(db.Engine(), 10); err != nil {
+		t.Fatal(err)
+	}
+	q := `SELECT ALL FROM brep-face WHERE brep_no >= 3`
+
+	cur, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := cur.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := db.QueryParallel(q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 8 || len(par) != len(seq) {
+		t.Fatalf("seq=%d par=%d, want 8", len(seq), len(par))
+	}
+	// Query rejects non-SELECT.
+	if _, err := db.Query(`INSERT INTO solid (solid_no) VALUES (1)`); err == nil {
+		t.Fatal("Query accepted non-SELECT")
+	}
+}
+
+func TestTransactionsEndToEnd(t *testing.T) {
+	db := openMem(t)
+	if _, err := db.Exec(brepgen.SchemaDDL); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := db.Begin()
+	if _, err := tx.Exec(`INSERT INTO solid (solid_no, description) VALUES (1, 'tx')`); err != nil {
+		t.Fatal(err)
+	}
+	// Nested child inserts and aborts: selective rollback.
+	child, err := tx.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := child.Exec(`INSERT INTO solid (solid_no, description) VALUES (2, 'child')`); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := db.ExecOne(`SELECT ALL FROM solid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Molecules) != 1 {
+		t.Fatalf("%d solids after selective rollback, want 1", len(res.Molecules))
+	}
+
+	// Top-level abort removes everything.
+	tx2 := db.Begin()
+	if _, err := tx2.Exec(`INSERT INTO solid (solid_no) VALUES (10), (11)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = db.ExecOne(`SELECT ALL FROM solid`)
+	if len(res.Molecules) != 1 {
+		t.Fatalf("%d solids after abort, want 1", len(res.Molecules))
+	}
+}
+
+func TestPersistentDatabase(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(brepgen.SchemaDDL); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := brepgen.BuildScene(db.Engine(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE ACCESS PATH bno ON brep (brep_no) USING BTREE`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	db2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	res, err := db2.ExecOne(`SELECT ALL FROM brep-face-edge-point WHERE brep_no = 1`)
+	if err != nil {
+		t.Fatalf("query after reopen: %v", err)
+	}
+	if len(res.Molecules) != 1 || res.Molecules[0].Size() != brepgen.CubeAtoms {
+		t.Fatalf("reopened molecule wrong: %d", len(res.Molecules))
+	}
+	if db2.Stats() == "" {
+		t.Fatal("Stats empty")
+	}
+}
