@@ -1,0 +1,3 @@
+module prima
+
+go 1.24

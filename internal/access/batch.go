@@ -1,0 +1,77 @@
+package access
+
+import (
+	"fmt"
+
+	"prima/internal/access/addr"
+	"prima/internal/access/atom"
+)
+
+// GetBatch reads many atoms in one access-system call, aligned with the
+// input addresses. Fetches are grouped by primary container and by page, so
+// one directory lookup and one buffer fix serve every atom that shares a
+// page — the set-oriented counterpart of Get that molecule assembly uses for
+// each level's fan-out.
+//
+// attrs follows Get's contract (nil materializes all attributes). Projected
+// reads are routed per atom, because partition coverage is decided per
+// record; the batch win lives on the full-width assembly path.
+func (s *System) GetBatch(addrs []addr.LogicalAddr, attrs []string) ([]*Atom, error) {
+	out := make([]*Atom, len(addrs))
+	if len(addrs) == 0 {
+		return out, nil
+	}
+	if attrs != nil {
+		for i, a := range addrs {
+			at, err := s.Get(a, attrs)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = at
+		}
+		return out, nil
+	}
+
+	// Group by atom type: each type owns one primary container.
+	byType := make(map[addr.TypeID][]int, 2)
+	typeOrder := make([]addr.TypeID, 0, 2)
+	for i, a := range addrs {
+		tid := a.Type()
+		if _, ok := byType[tid]; !ok {
+			typeOrder = append(typeOrder, tid)
+		}
+		byType[tid] = append(byType[tid], i)
+	}
+
+	for _, tid := range typeOrder {
+		t, err := s.typeByID(tid)
+		if err != nil {
+			return nil, err
+		}
+		idxs := byType[tid]
+		rids := make([]addr.RID, len(idxs))
+		for j, i := range idxs {
+			ref, ok := s.dir.LookupStruct(addrs[i], 0)
+			if !ok {
+				return nil, fmt.Errorf("%w: %v", ErrNoAtom, addrs[i])
+			}
+			rids[j] = ref.Where
+		}
+		prim, err := s.primary(t)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := prim.ReadBatch(rids)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range idxs {
+			values, err := atom.DecodeAtom(recs[j])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = &Atom{Type: t, Addr: addrs[i], Values: values}
+		}
+	}
+	return out, nil
+}

@@ -230,6 +230,65 @@ func (c *Container) Read(rid addr.RID) ([]byte, error) {
 	return out, nil
 }
 
+// ReadBatch returns copies of the records at rids, aligned with the input
+// slice. Reads are grouped by page so every data page is fixed exactly once
+// per batch no matter how many records it serves — the unit of work behind
+// the access system's batched atom reads.
+func (c *Container) ReadBatch(rids []addr.RID) ([][]byte, error) {
+	out := make([][]byte, len(rids))
+	byPage := make(map[uint32][]int, len(rids))
+	pageOrder := make([]uint32, 0, len(rids))
+	for i, rid := range rids {
+		if _, ok := byPage[rid.Page]; !ok {
+			pageOrder = append(pageOrder, rid.Page)
+		}
+		byPage[rid.Page] = append(byPage[rid.Page], i)
+	}
+
+	type spillRef struct {
+		idx    int
+		header uint32
+	}
+	var spills []spillRef
+	for _, no := range pageOrder {
+		h, err := c.pool.Fix(segment.PageID{Seg: c.seg.ID(), No: no})
+		if err != nil {
+			return nil, fmt.Errorf("record: read page %d: %w", no, err)
+		}
+		pg := h.Page()
+		for _, i := range byPage[no] {
+			stored, err := pg.Read(int(rids[i].Slot))
+			if err != nil {
+				h.Release()
+				return nil, fmt.Errorf("%w: %v (%v)", ErrNotFound, rids[i], err)
+			}
+			data, spill, err := c.decodeStored(stored)
+			if err != nil {
+				h.Release()
+				return nil, err
+			}
+			if spill != 0 {
+				spills = append(spills, spillRef{idx: i, header: spill})
+			} else {
+				out[i] = data
+			}
+		}
+		h.Release()
+	}
+	// Spilled records read their page sequences after the slotted page is
+	// unfixed, exactly like the single-record path.
+	for _, sp := range spills {
+		seq, err := pageseq.Open(c.seg, sp.header)
+		if err != nil {
+			return nil, fmt.Errorf("record: open spill of %v: %w", rids[sp.idx], err)
+		}
+		if out[sp.idx], err = seq.ReadAll(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // decodeStored interprets a stored byte string. For inline records it
 // returns a copy; for spilled ones the sequence header page.
 func (c *Container) decodeStored(stored []byte) ([]byte, uint32, error) {

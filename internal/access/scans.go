@@ -160,6 +160,28 @@ func (s *System) ScanAddrs(typeName string) ([]addr.LogicalAddr, error) {
 	return out, nil
 }
 
+// ScanAddrsAfter returns up to limit addresses of the type in system-defined
+// order, starting strictly after the given sequence number. The data system
+// streams molecule roots through it chunk by chunk instead of materializing
+// the whole root set up front.
+func (s *System) ScanAddrsAfter(typeName string, after uint64, limit int) ([]addr.LogicalAddr, error) {
+	t, err := s.typeOf(typeName)
+	if err != nil {
+		return nil, err
+	}
+	return s.dir.ScanRange(t.ID, after, limit), nil
+}
+
+// MaxSeq returns the highest sequence number handed out for the type so far
+// — the snapshot bound paged scans capture at open.
+func (s *System) MaxSeq(typeName string) (uint64, error) {
+	t, err := s.typeOf(typeName)
+	if err != nil {
+		return 0, err
+	}
+	return s.dir.MaxSeq(t.ID), nil
+}
+
 // SortScan reads all atoms of one atom type in the user-defined order of a
 // sort order, restricted by an SSA and a start/stop condition on the sort
 // key. Stale redundant records transparently fall back to the primary copy.

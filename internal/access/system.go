@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 
 	"prima/internal/access/addr"
@@ -45,6 +46,11 @@ type Config struct {
 	// Policy selects the replacement policy: "size-aware-lru" (default),
 	// "partitioned-lru" or "classic-lru".
 	Policy string
+	// BufferShards is the number of lock stripes of the buffer pool
+	// (rounded up to a power of two). 0 picks one stripe per CPU, capped
+	// so every stripe still holds a useful number of pages; 1 disables
+	// striping.
+	BufferShards int
 }
 
 func (c *Config) fill() error {
@@ -60,26 +66,66 @@ func (c *Config) fill() error {
 	if c.Policy == "" {
 		c.Policy = "size-aware-lru"
 	}
+	if c.BufferShards == 0 {
+		c.BufferShards = runtime.NumCPU()
+		if c.BufferShards > 16 {
+			c.BufferShards = 16
+		}
+	}
+	// The pool rounds the stripe count up to a power of two; round here
+	// already so the per-stripe budget divides by the real count and the
+	// aggregate stays within BufferBytes.
+	c.BufferShards = buffer.RoundShards(c.BufferShards)
+	// Every stripe must still hold a handful of the largest block-size
+	// pages — structure segments (B*-trees, partitions) use fixed 4K pages
+	// no matter what PageSize says — and a partitioned policy splits each
+	// stripe further into one part per block size. Shrink the stripe count
+	// until a stripe can serve what a single-stripe pool could.
+	minPerShard := 8 * int64(device.B8K)
+	if c.Policy == "partitioned-lru" {
+		minPerShard = int64(len(device.BlockSizes)) * 4 * int64(device.B8K)
+	}
+	for c.BufferShards > 1 && c.BufferBytes/int64(c.BufferShards) < minPerShard {
+		c.BufferShards /= 2
+	}
 	return nil
 }
 
-func (c *Config) makePolicy() (buffer.Policy, error) {
+// makePool builds the (possibly lock-striped) buffer pool: the byte budget
+// is divided evenly over the stripes and each stripe runs an independent
+// instance of the configured replacement policy.
+func (c *Config) makePool() (*buffer.Pool, error) {
+	shards := c.BufferShards
+	perShard := c.BufferBytes / int64(shards)
+	factory, err := c.policyFactory(perShard)
+	if err != nil {
+		return nil, err
+	}
+	if shards == 1 {
+		return buffer.NewPool(factory()), nil
+	}
+	return buffer.NewShardedPool(factory, shards), nil
+}
+
+func (c *Config) policyFactory(budget int64) (func() buffer.Policy, error) {
 	switch c.Policy {
 	case "size-aware-lru":
-		return buffer.NewSizeAwareLRU(c.BufferBytes), nil
+		return func() buffer.Policy { return buffer.NewSizeAwareLRU(budget) }, nil
 	case "partitioned-lru":
-		shares := make(map[int]int64, len(device.BlockSizes))
-		per := c.BufferBytes / int64(len(device.BlockSizes))
-		for _, s := range device.BlockSizes {
-			shares[s] = per
-		}
-		return buffer.NewPartitionedLRU(shares), nil
+		per := budget / int64(len(device.BlockSizes))
+		return func() buffer.Policy {
+			shares := make(map[int]int64, len(device.BlockSizes))
+			for _, s := range device.BlockSizes {
+				shares[s] = per
+			}
+			return buffer.NewPartitionedLRU(shares)
+		}, nil
 	case "classic-lru":
-		n := int(c.BufferBytes / int64(c.PageSize))
+		n := int(budget / int64(c.PageSize))
 		if n < 4 {
 			n = 4
 		}
-		return buffer.NewClassicLRU(n), nil
+		return func() buffer.Policy { return buffer.NewClassicLRU(n) }, nil
 	default:
 		return nil, fmt.Errorf("access: unknown buffer policy %q", c.Policy)
 	}
@@ -152,14 +198,14 @@ func Open(cfg Config) (*System, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	policy, err := cfg.makePolicy()
+	pool, err := cfg.makePool()
 	if err != nil {
 		return nil, err
 	}
 	s := &System{
 		cfg:         cfg,
 		files:       device.NewManager(cfg.Dir),
-		pool:        buffer.NewPool(policy),
+		pool:        pool,
 		nextSegID:   1,
 		primaries:   make(map[addr.TypeID]*record.Container),
 		primarySegs: make(map[addr.TypeID]segment.ID),

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"prima/internal/access"
 	"prima/internal/access/addr"
@@ -12,14 +14,20 @@ import (
 // atomSource supplies atoms during molecule assembly. The primary source
 // reads through the access system; the cluster source reads from a
 // materialized atom-cluster occurrence, falling back to the access system
-// for atoms outside the cluster.
+// for atoms outside the cluster. Both support batched reads so one page fix
+// in the buffer can serve a whole assembly level.
 type atomSource interface {
 	get(a addr.LogicalAddr) (*access.Atom, error)
+	getBatch(as []addr.LogicalAddr) ([]*access.Atom, error)
 }
 
 type primarySource struct{ sys *access.System }
 
 func (s primarySource) get(a addr.LogicalAddr) (*access.Atom, error) { return s.sys.Get(a, nil) }
+
+func (s primarySource) getBatch(as []addr.LogicalAddr) ([]*access.Atom, error) {
+	return s.sys.GetBatch(as, nil)
+}
 
 type clusterSource struct {
 	sys *access.System
@@ -33,8 +41,34 @@ func (s clusterSource) get(a addr.LogicalAddr) (*access.Atom, error) {
 	return s.sys.Get(a, nil)
 }
 
+func (s clusterSource) getBatch(as []addr.LogicalAddr) ([]*access.Atom, error) {
+	out := make([]*access.Atom, len(as))
+	var missIdx []int
+	var miss []addr.LogicalAddr
+	for i, a := range as {
+		if at, ok := s.occ.Atom(a); ok {
+			out[i] = at
+		} else {
+			missIdx = append(missIdx, i)
+			miss = append(miss, a)
+		}
+	}
+	if len(miss) > 0 {
+		fetched, err := s.sys.GetBatch(miss, nil)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range missIdx {
+			out[i] = fetched[j]
+		}
+	}
+	return out, nil
+}
+
 // Roots enumerates the molecule roots the plan will materialize, in the
-// order of the chosen access.
+// order of the chosen access. Cursors stream roots lazily through
+// rootSource instead; Roots stays the eager entry point for semantic
+// decomposition (package du), which partitions the full set up front.
 func (p *Plan) Roots() ([]addr.LogicalAddr, error) {
 	sys := p.engine.sys
 	switch p.AccessKind {
@@ -47,11 +81,103 @@ func (p *Plan) Roots() ([]addr.LogicalAddr, error) {
 	}
 }
 
+// rootSource yields successive chunks of candidate molecule roots in the
+// order of the chosen access; it returns an empty chunk at the end.
+type rootSource interface {
+	next() ([]addr.LogicalAddr, error)
+}
+
+// scanRoots pages through the directory lazily, so an atom-type scan over a
+// huge type never materializes the full address list. The scan is bounded
+// by the highest sequence number at first use: atoms inserted while the
+// cursor runs do not extend it, preserving the snapshot semantics (and
+// termination) of the materialized root list.
+type scanRoots struct {
+	sys      *access.System
+	typeName string
+	after    uint64
+	bound    uint64
+	bounded  bool
+	chunk    int
+	done     bool
+}
+
+func (s *scanRoots) next() ([]addr.LogicalAddr, error) {
+	if s.done {
+		return nil, nil
+	}
+	if !s.bounded {
+		bound, err := s.sys.MaxSeq(s.typeName)
+		if err != nil {
+			return nil, err
+		}
+		s.bound, s.bounded = bound, true
+	}
+	chunk, err := s.sys.ScanAddrsAfter(s.typeName, s.after, s.chunk)
+	if err != nil {
+		return nil, err
+	}
+	for len(chunk) > 0 && chunk[len(chunk)-1].Seq() > s.bound {
+		chunk = chunk[:len(chunk)-1]
+		s.done = true
+	}
+	if len(chunk) == 0 {
+		s.done = true
+		return nil, nil
+	}
+	s.after = chunk[len(chunk)-1].Seq()
+	return chunk, nil
+}
+
+// lazyRoots defers the root enumeration of access-path and cluster accesses
+// to the first chunk request, then serves slices of the materialized list.
+type lazyRoots struct {
+	plan  *Plan
+	chunk int
+	roots []addr.LogicalAddr
+	pos   int
+	open  bool
+}
+
+func (l *lazyRoots) next() ([]addr.LogicalAddr, error) {
+	if !l.open {
+		roots, err := l.plan.Roots()
+		if err != nil {
+			return nil, err
+		}
+		l.roots, l.open = roots, true
+	}
+	if l.pos >= len(l.roots) {
+		return nil, nil
+	}
+	j := l.pos + l.chunk
+	if j > len(l.roots) {
+		j = len(l.roots)
+	}
+	out := l.roots[l.pos:j]
+	l.pos = j
+	return out, nil
+}
+
+// rootSource builds the lazy root stream for the plan's access choice.
+func (p *Plan) rootSource(chunk int) rootSource {
+	if p.AccessKind == "atomscan" {
+		return &scanRoots{sys: p.engine.sys, typeName: p.Root.Name, chunk: chunk}
+	}
+	return &lazyRoots{plan: p, chunk: chunk}
+}
+
 // AssembleRoot materializes, restricts, and projects the molecule rooted at
 // a. It returns (nil, nil) when the root or molecule fails qualification.
 func (p *Plan) AssembleRoot(a addr.LogicalAddr) (*Molecule, error) {
 	sys := p.engine.sys
 	var src atomSource = primarySource{sys}
+	// The cache is only written by the SSA root read and the prefetch;
+	// flat, unrestricted molecules leave it nil (reads of a nil map miss).
+	var cache map[addr.LogicalAddr]*access.Atom
+	if len(p.RootSSA) > 0 || len(p.Mol.Root.Children) > 0 || p.Mol.Root.Recursive {
+		cache = map[addr.LogicalAddr]*access.Atom{}
+	}
 
 	// Root SSA (pushed-down restriction) decides before assembly.
 	if len(p.RootSSA) > 0 {
@@ -66,6 +192,7 @@ func (p *Plan) AssembleRoot(a addr.LogicalAddr) (*Molecule, error) {
 		if !ok {
 			return nil, nil
 		}
+		cache[a] = rootAtom
 	}
 
 	if p.AccessKind == "cluster" {
@@ -76,7 +203,7 @@ func (p *Plan) AssembleRoot(a addr.LogicalAddr) (*Molecule, error) {
 		src = clusterSource{sys: sys, occ: occ}
 	}
 
-	m, err := p.assemble(src, a)
+	m, err := p.assemble(src, a, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -95,10 +222,101 @@ func (p *Plan) AssembleRoot(a addr.LogicalAddr) (*Molecule, error) {
 	return m, nil
 }
 
+// effectiveEdges returns a node's child edges for traversal: its children,
+// plus the node itself once more when the edge into it recurses. prefetch
+// and the structural build share it so their traversals cannot diverge.
+func effectiveEdges(node *catalog.MolNode) []*catalog.MolNode {
+	if !node.Recursive {
+		return node.Children
+	}
+	return append(append([]*catalog.MolNode(nil), node.Children...), node)
+}
+
+// edgeLevel returns the recursion level of atoms reached over the edge from
+// node to child.
+func edgeLevel(node, child *catalog.MolNode, level int) int {
+	if child.Recursive || child == node {
+		return level + 1
+	}
+	return level
+}
+
+// prefetch walks the molecule structure breadth-first and batch-reads every
+// level's fan-out into cache, so the structural build below finds its atoms
+// memory-resident — one directory lookup and page fix per level and page
+// instead of one per atom. It is best-effort: any address it cannot fetch is
+// simply left out of the cache and surfaces through the build's own,
+// deterministic error path.
+func (p *Plan) prefetch(src atomSource, root addr.LogicalAddr, cache map[addr.LogicalAddr]*access.Atom) {
+	type item struct {
+		node  *catalog.MolNode
+		a     addr.LogicalAddr
+		level int
+	}
+	frontier := []item{{node: p.Mol.Root, a: root, level: 0}}
+	seen := map[addr.LogicalAddr]bool{root: true}
+	for len(frontier) > 0 {
+		var want []addr.LogicalAddr
+		for _, it := range frontier {
+			if _, ok := cache[it.a]; !ok {
+				want = append(want, it.a)
+			}
+		}
+		if len(want) > 0 {
+			atoms, err := src.getBatch(want)
+			if err != nil {
+				// A batch fails as a whole; retry individually so one bad
+				// address does not hide the rest of the level.
+				for _, a := range want {
+					if at, err := src.get(a); err == nil {
+						cache[a] = at
+					}
+				}
+			} else {
+				for i, at := range atoms {
+					cache[want[i]] = at
+				}
+			}
+		}
+		var next []item
+		for _, it := range frontier {
+			at := cache[it.a]
+			if at == nil {
+				continue
+			}
+			for _, child := range effectiveEdges(it.node) {
+				idx, ok := at.Type.AttrIndex(child.Via)
+				if !ok {
+					continue // the build reports the semantic error
+				}
+				nextLevel := edgeLevel(it.node, child, it.level)
+				if nextLevel > p.MaxDepth {
+					continue // the build reports the recursion error
+				}
+				for _, target := range at.Values[idx].Refs() {
+					if seen[target] {
+						continue
+					}
+					seen[target] = true
+					next = append(next, item{node: child, a: target, level: nextLevel})
+				}
+			}
+		}
+		frontier = next
+	}
+}
+
 // assemble performs the vertical access: starting from the root atom it
 // deduces the dependent component atoms along the molecule type's
 // associations, level by level for recursive edges, with cycle protection.
-func (p *Plan) assemble(src atomSource, root addr.LogicalAddr) (*Molecule, error) {
+// Atom reads are batched per level by prefetch; the recursive build then
+// fixes the result structure in depth-first order.
+func (p *Plan) assemble(src atomSource, root addr.LogicalAddr, cache map[addr.LogicalAddr]*access.Atom) (*Molecule, error) {
+	// A flat single-node molecule has no fan-out to batch; skip the
+	// prefetch bookkeeping and read the root directly.
+	if len(p.Mol.Root.Children) > 0 || p.Mol.Root.Recursive {
+		p.prefetch(src, root, cache)
+	}
 	m := &Molecule{
 		Type:   p.Mol,
 		ByType: map[string][]*MAtom{},
@@ -112,30 +330,25 @@ func (p *Plan) assemble(src atomSource, root addr.LogicalAddr) (*Molecule, error
 		if level > p.MaxDepth {
 			return nil, fmt.Errorf("%w: recursion deeper than %d", ErrSemantic, p.MaxDepth)
 		}
-		at, err := src.get(a)
-		if err != nil {
-			return nil, err
+		at, ok := cache[a]
+		if !ok {
+			var err error
+			if at, err = src.get(a); err != nil {
+				return nil, err
+			}
 		}
 		ma := &MAtom{Atom: at, Node: node, Level: level}
 		m.atoms[a] = ma
 		m.ByType[at.Type.Name] = append(m.ByType[at.Type.Name], ma)
 
-		// Effective child edges: the node's children, plus the node itself
-		// once more when the edge into it recurses.
-		edges := node.Children
-		if node.Recursive {
-			edges = append(append([]*catalog.MolNode(nil), node.Children...), node)
-		}
+		edges := effectiveEdges(node)
 		ma.Children = make([][]*MAtom, len(edges))
 		for i, child := range edges {
 			idx, ok := at.Type.AttrIndex(child.Via)
 			if !ok {
 				return nil, fmt.Errorf("%w: %s.%s", catalog.ErrUnknownAttr, at.Type.Name, child.Via)
 			}
-			nextLevel := level
-			if child.Recursive || child == node {
-				nextLevel = level + 1
-			}
+			nextLevel := edgeLevel(node, child, level)
 			for _, target := range at.Values[idx].Refs() {
 				c, err := build(child, target, nextLevel)
 				if err != nil {
@@ -155,21 +368,129 @@ func (p *Plan) assemble(src atomSource, root addr.LogicalAddr) (*Molecule, error
 }
 
 // Cursor delivers the qualified molecules of a plan one at a time — the
-// one-molecule-at-a-time interface of the molecule management (§3.1).
+// one-molecule-at-a-time interface of the molecule management (§3.1). Roots
+// stream lazily from the access system in chunks; when the engine's
+// assembly parallelism is above one, a bounded worker pool materializes
+// molecules concurrently while Next still delivers them in root order.
 type Cursor struct {
-	plan  *Plan
-	roots []addr.LogicalAddr
-	pos   int
-	done  bool
+	plan *Plan
+	src  rootSource
+	done bool
+
+	// Serial mode: the current root chunk.
+	pending []addr.LogicalAddr
+	pos     int
+
+	// Parallel mode.
+	pipe *pipeline
 }
 
-// Open prepares a cursor over the plan's molecules.
+// Open prepares a cursor over the plan's molecules. Root enumeration is
+// lazy, so errors of the chosen access surface at the first Next.
 func (p *Plan) Open() (*Cursor, error) {
-	roots, err := p.Roots()
-	if err != nil {
-		return nil, err
+	workers, chunk := p.engine.assemblyConfig()
+	c := &Cursor{plan: p, src: p.rootSource(chunk)}
+	if workers > 1 {
+		c.pipe = startPipeline(p, c.src, workers)
+		// Safety net for abandoned cursors: the pipeline goroutines do not
+		// reference the Cursor, so when a caller drops it without Close the
+		// finalizer still winds the dispatcher and workers down.
+		runtime.SetFinalizer(c, func(c *Cursor) { c.pipe.shutdown() })
 	}
-	return &Cursor{plan: p, roots: roots}, nil
+	return c, nil
+}
+
+// asmResult is one root's assembly outcome.
+type asmResult struct {
+	m   *Molecule
+	err error
+}
+
+// pipeline runs the order-preserving parallel assembly: a dispatcher streams
+// roots from the source, handing each root a one-slot result channel that is
+// queued in dispatch order; workers assemble out of order and fulfill their
+// slot; the consumer drains slots in order. In-flight molecules are bounded
+// by the queue capacities, so huge result sets stream instead of piling up.
+type pipeline struct {
+	ordered  chan chan asmResult
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup // dispatcher + workers
+}
+
+type asmJob struct {
+	root addr.LogicalAddr
+	out  chan asmResult
+}
+
+func startPipeline(p *Plan, src rootSource, workers int) *pipeline {
+	pl := &pipeline{
+		ordered: make(chan chan asmResult, workers*2),
+		stop:    make(chan struct{}),
+	}
+	jobs := make(chan asmJob, workers*2)
+	pl.wg.Add(workers + 1)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer pl.wg.Done()
+			for j := range jobs {
+				var res asmResult
+				select {
+				case <-pl.stop:
+					// Closed cursor: fulfill the slot without touching
+					// pages, so no read outlives Close.
+				default:
+					// Roots may have been deleted by concurrent DML between
+					// dispatch and assembly; skip them like the serial path.
+					if p.engine.sys.Directory().Exists(j.root) {
+						res.m, res.err = p.AssembleRoot(j.root)
+					}
+				}
+				j.out <- res // one-slot buffer: never blocks
+			}
+		}()
+	}
+	go func() {
+		defer pl.wg.Done()
+		defer close(jobs)
+		defer close(pl.ordered)
+		for {
+			batch, err := src.next()
+			if err != nil {
+				out := make(chan asmResult, 1)
+				out <- asmResult{err: err}
+				select {
+				case pl.ordered <- out:
+				case <-pl.stop:
+				}
+				return
+			}
+			if len(batch) == 0 {
+				return
+			}
+			for _, root := range batch {
+				out := make(chan asmResult, 1)
+				select {
+				case pl.ordered <- out:
+				case <-pl.stop:
+					return
+				}
+				select {
+				case jobs <- asmJob{root: root, out: out}:
+				case <-pl.stop:
+					// The slot is already queued; fulfill it so a
+					// concurrent Next cannot block on it.
+					out <- asmResult{}
+					return
+				}
+			}
+		}
+	}()
+	return pl
+}
+
+func (pl *pipeline) shutdown() {
+	pl.stopOnce.Do(func() { close(pl.stop) })
 }
 
 // Next returns the next qualified molecule, or (nil, nil) at the end.
@@ -177,28 +498,65 @@ func (c *Cursor) Next() (*Molecule, error) {
 	if c.done {
 		return nil, nil
 	}
-	for c.pos < len(c.roots) {
-		a := c.roots[c.pos]
-		c.pos++
-		// Roots may have been deleted by concurrent DML between Open and
-		// Next; skip them.
-		if !c.plan.engine.sys.Directory().Exists(a) {
-			continue
-		}
-		m, err := c.plan.AssembleRoot(a)
-		if err != nil {
-			return nil, err
-		}
-		if m != nil {
-			return m, nil
+	if c.pipe != nil {
+		for {
+			out, ok := <-c.pipe.ordered
+			if !ok {
+				c.done = true
+				return nil, nil
+			}
+			res := <-out
+			if res.err != nil {
+				c.Close()
+				return nil, res.err
+			}
+			if res.m != nil {
+				return res.m, nil
+			}
 		}
 	}
-	c.done = true
-	return nil, nil
+	for {
+		for c.pos < len(c.pending) {
+			a := c.pending[c.pos]
+			c.pos++
+			// Roots may have been deleted by concurrent DML between Open
+			// and Next; skip them.
+			if !c.plan.engine.sys.Directory().Exists(a) {
+				continue
+			}
+			m, err := c.plan.AssembleRoot(a)
+			if err != nil {
+				c.done = true
+				return nil, err
+			}
+			if m != nil {
+				return m, nil
+			}
+		}
+		batch, err := c.src.next()
+		if err != nil {
+			c.done = true
+			return nil, err
+		}
+		if len(batch) == 0 {
+			c.done = true
+			return nil, nil
+		}
+		c.pending, c.pos = batch, 0
+	}
 }
 
-// Close releases the cursor.
-func (c *Cursor) Close() { c.done = true }
+// Close releases the cursor. A parallel pipeline is joined: when Close
+// returns, no worker touches buffer pages anymore, so a caller may follow
+// up with DML immediately.
+func (c *Cursor) Close() {
+	c.done = true
+	if c.pipe != nil {
+		c.pipe.shutdown()
+		c.pipe.wg.Wait()
+		runtime.SetFinalizer(c, nil)
+	}
+}
 
 // Collect drains the cursor.
 func (c *Cursor) Collect() ([]*Molecule, error) {

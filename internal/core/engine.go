@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"prima/internal/access"
@@ -19,11 +20,34 @@ type Engine struct {
 
 	mu          sync.Mutex
 	schemaDirty bool // associations not yet re-validated after DDL
+	workers     int  // degree of parallel molecule assembly (1 = serial)
+	chunk       int  // root chunk size for lazy streaming and dispatch
 }
 
-// New creates a data system over an access system instance.
+// DefaultAssemblyWorkers sizes the per-cursor assembly pool when a caller
+// opts into parallelism without naming a degree: one worker per CPU, capped
+// so one query does not monopolize a big host.
+func DefaultAssemblyWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	return n
+}
+
+// New creates a data system over an access system instance. Cursors run
+// serial by default — buffer pages are not latched, so a caller that
+// interleaves cursor iteration with DML relies on assembly happening
+// synchronously inside Next; SetAssemblyWorkers opts read-only workloads
+// into the parallel pipeline.
 func New(sys *access.System) *Engine {
-	return &Engine{sys: sys, maxDepth: 64, schemaDirty: true}
+	return &Engine{
+		sys:         sys,
+		maxDepth:    64,
+		schemaDirty: true,
+		workers:     1,
+		chunk:       64,
+	}
 }
 
 // System exposes the underlying access system.
@@ -31,6 +55,46 @@ func (e *Engine) System() *access.System { return e.sys }
 
 // SetMaxRecursionDepth bounds recursive molecule evaluation.
 func (e *Engine) SetMaxRecursionDepth(d int) { e.maxDepth = d }
+
+// SetAssemblyWorkers sets the degree of intra-query parallelism of molecule
+// materialization: cursors assemble molecules on a pool of n workers while
+// preserving delivery order. n <= 1 selects the serial cursor (the
+// default). Parallel cursors read ahead of the consumer, so they are meant
+// for workloads that do not interleave iteration with DML on the scanned
+// data.
+func (e *Engine) SetAssemblyWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.mu.Lock()
+	e.workers = n
+	e.mu.Unlock()
+}
+
+// AssemblyWorkers returns the configured assembly parallelism.
+func (e *Engine) AssemblyWorkers() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.workers
+}
+
+// SetAssemblyChunk sets the root chunk size used for lazy root streaming
+// and worker dispatch.
+func (e *Engine) SetAssemblyChunk(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.mu.Lock()
+	e.chunk = n
+	e.mu.Unlock()
+}
+
+// assemblyConfig snapshots the cursor tuning knobs.
+func (e *Engine) assemblyConfig() (workers, chunk int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.workers, e.chunk
+}
 
 // ensureResolved re-validates association symmetry after DDL. DDL scripts
 // may declare mutually referencing types in any order (Fig. 2.3 does), so
@@ -252,6 +316,7 @@ func (e *Engine) execDelete(s *mql.Delete) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer cur.Close()
 	mols, err := cur.Collect()
 	if err != nil {
 		return nil, err
@@ -288,6 +353,7 @@ func (e *Engine) execModify(s *mql.Modify) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer cur.Close()
 	mols, err := cur.Collect()
 	if err != nil {
 		return nil, err

@@ -6,6 +6,14 @@
 // is pluggable: the paper's modified LRU that handles different page sizes
 // within one buffer, a statically partitioned buffer, and the classic
 // single-size LRU are all provided (see policy.go).
+//
+// To keep concurrent molecule assemblers from serializing on one latch, the
+// pool is lock-striped: frames are spread over N shards keyed by a hash of
+// the page identity, each shard with its own mutex, frame table and policy
+// instance. A page always hashes to the same shard, so fix/unfix of one page
+// stays single-lock; pages of different shards proceed fully in parallel.
+// NewPool builds the degenerate one-shard pool (exact historical semantics);
+// NewShardedPool stripes the budget over many shards.
 package buffer
 
 import (
@@ -37,7 +45,7 @@ type frame struct {
 // Handle is a fixed (pinned) page. It must be released with Unfix exactly
 // once; the page data must not be touched after release.
 type Handle struct {
-	pool  *Pool
+	shard *shard
 	frame *frame
 }
 
@@ -50,13 +58,14 @@ func (h *Handle) PageID() segment.PageID { return h.frame.pid }
 
 // MarkDirty records that the page content changed and must be written back.
 func (h *Handle) MarkDirty() {
-	h.pool.mu.Lock()
+	h.shard.mu.Lock()
 	h.frame.dirty = true
-	h.pool.mu.Unlock()
+	h.shard.mu.Unlock()
 }
 
 // Stats counts pool activity. Hits and misses are tracked per page size so
-// experiment A1 can report per-class hit ratios.
+// experiment A1 can report per-class hit ratios. For sharded pools the
+// counters are aggregated over all shards.
 type Stats struct {
 	Hits       int64
 	Misses     int64
@@ -75,101 +84,181 @@ func (s Stats) HitRatio() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// add accumulates other into s.
+func (s *Stats) add(other Stats) {
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Evictions += other.Evictions
+	s.Writebacks += other.Writebacks
+	for k, v := range other.HitsBySize {
+		s.HitsBySize[k] += v
+	}
+	for k, v := range other.MissBySize {
+		s.MissBySize[k] += v
+	}
+}
+
+// shard is one lock stripe of the pool: a frame table plus a policy instance
+// managing a slice of the byte budget.
+type shard struct {
+	pool   *Pool
+	mu     sync.Mutex
+	policy Policy
+	frames map[segment.PageID]*frame
+	stats  Stats
+}
+
+func newShard(pool *Pool, policy Policy) *shard {
+	return &shard{
+		pool:   pool,
+		policy: policy,
+		frames: make(map[segment.PageID]*frame),
+		stats:  Stats{HitsBySize: make(map[int]int64), MissBySize: make(map[int]int64)},
+	}
+}
+
 // Pool is the database buffer. It is safe for concurrent use; individual
 // fixed pages are not latched, so callers that write pages coordinate among
 // themselves (the access system serializes writers per structure).
 type Pool struct {
-	mu       sync.Mutex
-	policy   Policy
-	frames   map[segment.PageID]*frame
+	shards []*shard
+	mask   uint32 // len(shards)-1; shard count is a power of two
+
+	segMu    sync.RWMutex
 	segments map[segment.ID]*segment.Segment
-	stats    Stats
 }
 
-// NewPool creates a buffer pool with the given replacement policy.
+// NewPool creates a single-shard buffer pool with the given replacement
+// policy — the fully serialized configuration, kept for tools and tests that
+// reason about exact eviction order.
 func NewPool(p Policy) *Pool {
-	return &Pool{
-		policy:   p,
-		frames:   make(map[segment.PageID]*frame),
-		segments: make(map[segment.ID]*segment.Segment),
-		stats:    Stats{HitsBySize: make(map[int]int64), MissBySize: make(map[int]int64)},
-	}
+	pool := &Pool{segments: make(map[segment.ID]*segment.Segment), mask: 0}
+	pool.shards = []*shard{newShard(pool, p)}
+	return pool
 }
+
+// RoundShards returns the shard count a sharded pool will actually use for
+// a request of n: the next power of two, minimum 1. Budget planners divide
+// by this so the per-shard slice matches the real stripe count.
+func RoundShards(n int) int {
+	shards := 1
+	for shards < n {
+		shards <<= 1
+	}
+	return shards
+}
+
+// NewShardedPool creates a lock-striped pool of n shards (rounded up to a
+// power of two, minimum 1); factory is called once per shard so every stripe
+// owns an independent policy instance over its slice of the budget.
+func NewShardedPool(factory func() Policy, n int) *Pool {
+	shards := RoundShards(n)
+	pool := &Pool{segments: make(map[segment.ID]*segment.Segment), mask: uint32(shards - 1)}
+	pool.shards = make([]*shard, shards)
+	for i := range pool.shards {
+		pool.shards[i] = newShard(pool, factory())
+	}
+	return pool
+}
+
+// shardOf hashes a page identity onto its stripe.
+func (p *Pool) shardOf(pid segment.PageID) *shard {
+	if p.mask == 0 {
+		return p.shards[0]
+	}
+	h := uint32(pid.Seg)*0x9E3779B1 ^ pid.No*0x85EBCA77
+	h ^= h >> 16
+	return p.shards[h&p.mask]
+}
+
+// Shards returns the number of lock stripes.
+func (p *Pool) Shards() int { return len(p.shards) }
 
 // Register makes a segment's pages reachable through the pool.
 func (p *Pool) Register(s *segment.Segment) {
-	p.mu.Lock()
+	p.segMu.Lock()
 	p.segments[s.ID()] = s
-	p.mu.Unlock()
+	p.segMu.Unlock()
+}
+
+func (p *Pool) segment(id segment.ID) (*segment.Segment, bool) {
+	p.segMu.RLock()
+	s, ok := p.segments[id]
+	p.segMu.RUnlock()
+	return s, ok
 }
 
 // PolicyName returns the active replacement policy's name.
-func (p *Pool) PolicyName() string { return p.policy.Name() }
+func (p *Pool) PolicyName() string { return p.shards[0].policy.Name() }
 
-// Stats returns a snapshot of the pool counters.
+// Stats returns a snapshot of the pool counters, aggregated over all shards.
+// Each shard is snapshotted under its own lock, so under concurrent load the
+// aggregate is per-shard-consistent, not a single instant across the pool —
+// quiesce the pool when exact counts matter (the experiment harnesses do).
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := p.stats
-	out.HitsBySize = make(map[int]int64, len(p.stats.HitsBySize))
-	for k, v := range p.stats.HitsBySize {
-		out.HitsBySize[k] = v
-	}
-	out.MissBySize = make(map[int]int64, len(p.stats.MissBySize))
-	for k, v := range p.stats.MissBySize {
-		out.MissBySize[k] = v
+	out := Stats{HitsBySize: make(map[int]int64), MissBySize: make(map[int]int64)}
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		out.add(sh.stats)
+		sh.mu.Unlock()
 	}
 	return out
 }
 
 // ResetStats zeroes the pool counters.
 func (p *Pool) ResetStats() {
-	p.mu.Lock()
-	p.stats = Stats{HitsBySize: make(map[int]int64), MissBySize: make(map[int]int64)}
-	p.mu.Unlock()
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		sh.stats = Stats{HitsBySize: make(map[int]int64), MissBySize: make(map[int]int64)}
+		sh.mu.Unlock()
+	}
 }
 
 // Resident returns the number of resident pages.
 func (p *Pool) Resident() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.frames)
+	n := 0
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		n += len(sh.frames)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Fix pins the page into the buffer, reading it from its segment on a miss,
 // and returns a handle. The page must exist on disk (use FixNew for pages
 // that were just allocated and never written).
 func (p *Pool) Fix(pid segment.PageID) (*Handle, error) {
-	return p.fix(pid, false)
+	return p.shardOf(pid).fix(pid, false)
 }
 
 // FixNew pins a freshly allocated page without reading the device. The frame
 // starts zeroed and dirty; the caller must Init the page before use.
 func (p *Pool) FixNew(pid segment.PageID) (*Handle, error) {
-	return p.fix(pid, true)
+	return p.shardOf(pid).fix(pid, true)
 }
 
-func (p *Pool) fix(pid segment.PageID, fresh bool) (*Handle, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+func (sh *shard) fix(pid segment.PageID, fresh bool) (*Handle, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 
-	if f, ok := p.frames[pid]; ok {
+	if f, ok := sh.frames[pid]; ok {
 		f.pins++
-		p.policy.OnTouch(f)
-		p.stats.Hits++
-		p.stats.HitsBySize[len(f.data)]++
-		return &Handle{pool: p, frame: f}, nil
+		sh.policy.OnTouch(f)
+		sh.stats.Hits++
+		sh.stats.HitsBySize[len(f.data)]++
+		return &Handle{shard: sh, frame: f}, nil
 	}
 
-	seg, ok := p.segments[pid.Seg]
+	seg, ok := sh.pool.segment(pid.Seg)
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrNotRegistered, pid)
 	}
 	size := seg.PageSize()
-	p.stats.Misses++
-	p.stats.MissBySize[size]++
+	sh.stats.Misses++
+	sh.stats.MissBySize[size]++
 
-	if err := p.makeRoomLocked(size); err != nil {
+	if err := sh.makeRoomLocked(size); err != nil {
 		return nil, err
 	}
 
@@ -184,33 +273,33 @@ func (p *Pool) fix(pid segment.PageID, fresh bool) (*Handle, error) {
 			return nil, fmt.Errorf("buffer: fix %v: %w", pid, err)
 		}
 	}
-	p.frames[pid] = f
-	p.policy.OnInsert(f)
-	return &Handle{pool: p, frame: f}, nil
+	sh.frames[pid] = f
+	sh.policy.OnInsert(f)
+	return &Handle{shard: sh, frame: f}, nil
 }
 
-// makeRoomLocked evicts victims chosen by the policy until a page of the
-// given size fits. Dirty victims are written back.
-func (p *Pool) makeRoomLocked(size int) error {
-	victims, err := p.policy.EvictFor(size)
+// makeRoomLocked evicts victims chosen by the shard's policy until a page of
+// the given size fits. Dirty victims are written back.
+func (sh *shard) makeRoomLocked(size int) error {
+	victims, err := sh.policy.EvictFor(size)
 	if err != nil {
 		return err
 	}
 	for _, f := range victims {
 		if f.dirty {
-			if err := p.writebackLocked(f); err != nil {
+			if err := sh.writebackLocked(f); err != nil {
 				return err
 			}
 		}
-		p.policy.OnRemove(f)
-		delete(p.frames, f.pid)
-		p.stats.Evictions++
+		sh.policy.OnRemove(f)
+		delete(sh.frames, f.pid)
+		sh.stats.Evictions++
 	}
 	return nil
 }
 
-func (p *Pool) writebackLocked(f *frame) error {
-	seg, ok := p.segments[f.pid.Seg]
+func (sh *shard) writebackLocked(f *frame) error {
+	seg, ok := sh.pool.segment(f.pid.Seg)
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrNotRegistered, f.pid)
 	}
@@ -219,43 +308,47 @@ func (p *Pool) writebackLocked(f *frame) error {
 		return fmt.Errorf("buffer: writeback %v: %w", f.pid, err)
 	}
 	f.dirty = false
-	p.stats.Writebacks++
+	sh.stats.Writebacks++
 	return nil
 }
 
 // Unfix releases a handle obtained from Fix or FixNew.
-func (p *Pool) Unfix(h *Handle) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+func (p *Pool) Unfix(h *Handle) { h.Release() }
+
+// Release is a convenience alias so handles can be released with defer.
+func (h *Handle) Release() {
+	h.shard.mu.Lock()
 	if h.frame.pins > 0 {
 		h.frame.pins--
 	}
+	h.shard.mu.Unlock()
 }
-
-// Release is a convenience alias so handles can be released with defer.
-func (h *Handle) Release() { h.pool.Unfix(h) }
 
 // Flush writes the page back if resident and dirty.
 func (p *Pool) Flush(pid segment.PageID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[pid]
+	sh := p.shardOf(pid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, ok := sh.frames[pid]
 	if !ok || !f.dirty {
 		return nil
 	}
-	return p.writebackLocked(f)
+	return sh.writebackLocked(f)
 }
 
 // FlushAll writes every dirty resident page back to its segment.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, f := range p.frames {
-		if f.dirty {
-			if err := p.writebackLocked(f); err != nil {
-				return err
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.dirty {
+				if err := sh.writebackLocked(f); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
 			}
 		}
+		sh.mu.Unlock()
 	}
 	return nil
 }
@@ -263,32 +356,36 @@ func (p *Pool) FlushAll() error {
 // Invalidate drops a page from the pool without writing it back, e.g. after
 // the page was freed. It fails if the page is pinned.
 func (p *Pool) Invalidate(pid segment.PageID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[pid]
+	sh := p.shardOf(pid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, ok := sh.frames[pid]
 	if !ok {
 		return nil
 	}
 	if f.pins > 0 {
 		return fmt.Errorf("%w: %v", ErrStillPinned, pid)
 	}
-	p.policy.OnRemove(f)
-	delete(p.frames, pid)
+	sh.policy.OnRemove(f)
+	delete(sh.frames, pid)
 	return nil
 }
 
 // Close flushes all dirty pages and drops every frame.
 func (p *Pool) Close() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, f := range p.frames {
-		if f.dirty {
-			if err := p.writebackLocked(f); err != nil {
-				return err
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.dirty {
+				if err := sh.writebackLocked(f); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
 			}
+			sh.policy.OnRemove(f)
 		}
-		p.policy.OnRemove(f)
+		sh.frames = make(map[segment.PageID]*frame)
+		sh.mu.Unlock()
 	}
-	p.frames = make(map[segment.PageID]*frame)
 	return nil
 }

@@ -60,20 +60,35 @@ func (c *Client) Exec(src string) (*Response, error) {
 // Checkout runs a SELECT and loads the resulting molecules into the local
 // object buffer with a single round trip ("large buffer sizes may help to
 // perform most of the DBMS work locally, after the required molecules are
-// transferred to an 'object buffer'").
+// transferred to an 'object buffer'"). The server streams the result in
+// chunked frames; the stream is reassembled here transparently, so large
+// sets arrive without a server-side buffer and still cost one round trip.
 func (c *Client) Checkout(query string) ([]MoleculeJSON, error) {
-	resp, err := c.call(&Request{Op: OpCheckout, MQL: query})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.roundTrips++
+	resp, err := roundTrip(c.conn, &Request{Op: OpCheckout, MQL: query})
 	if err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
-	for _, m := range resp.Molecules {
+	mols := resp.Molecules
+	for resp.More {
+		var next Response
+		if err := ReadMsg(c.conn, &next); err != nil {
+			return nil, err
+		}
+		if !next.OK {
+			return nil, fmt.Errorf("%w: %s", ErrRemote, next.Error)
+		}
+		mols = append(mols, next.Molecules...)
+		resp = &next
+	}
+	for _, m := range mols {
 		for _, a := range m.Atoms {
 			c.buffer[a.Addr] = a
 		}
 	}
-	c.mu.Unlock()
-	return resp.Molecules, nil
+	return mols, nil
 }
 
 // Local returns a buffered atom without any server communication.

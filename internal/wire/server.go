@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
 	"net"
@@ -84,11 +85,89 @@ func (s *Server) handle(conn net.Conn) {
 		if err := ReadMsg(conn, &req); err != nil {
 			return // client went away
 		}
+		if req.Op == OpCheckout {
+			if err := s.streamCheckout(conn, &req); err != nil {
+				return
+			}
+			continue
+		}
 		resp := s.dispatch(&req)
 		if err := WriteMsg(conn, resp); err != nil {
 			return
 		}
 	}
+}
+
+// streamChunk caps the number of molecules per checkout stream frame;
+// frameBudget caps its payload bytes (molecule sizes are unbounded — CAD
+// molecules can be huge — so chunking by count alone could overflow the
+// wire's frame limit).
+const (
+	streamChunk = 32
+	frameBudget = maxFrame / 2
+)
+
+// rawFrame is the server-side stream frame: molecules are pre-encoded
+// exactly once and embedded verbatim, so size-aware packing never
+// re-marshals payload. It is wire-identical to Response.
+type rawFrame struct {
+	OK        bool              `json:"ok"`
+	Count     int               `json:"count,omitempty"`
+	Molecules []json.RawMessage `json:"molecules,omitempty"`
+	More      bool              `json:"more,omitempty"`
+}
+
+// streamCheckout runs a SELECT through a molecule cursor and streams the
+// qualified molecules to the client in chunks, so the server never holds the
+// whole result set: the cursor produces while earlier chunks are already on
+// the wire. Frames close at streamChunk molecules or frameBudget bytes,
+// whichever comes first. A single molecule too large for any frame aborts
+// the stream with a terminal error frame (nothing follows it, so the
+// connection stays synchronized). The returned error is non-nil only when
+// the connection itself failed.
+func (s *Server) streamCheckout(conn net.Conn, req *Request) error {
+	cur, err := s.db.Query(req.MQL)
+	if err != nil {
+		return WriteMsg(conn, &Response{Error: err.Error()})
+	}
+	defer cur.Close()
+	count := 0
+	var pending []json.RawMessage
+	var pendingBytes int
+	flush := func(more bool) error {
+		f := &rawFrame{OK: true, Molecules: pending, More: more}
+		if !more {
+			f.Count = count
+		}
+		err := WriteMsg(conn, f)
+		pending, pendingBytes = nil, 0
+		return err
+	}
+	for {
+		m, err := cur.Next()
+		if err != nil {
+			return WriteMsg(conn, &Response{Error: err.Error()})
+		}
+		if m == nil {
+			break
+		}
+		raw, err := json.Marshal(moleculeToJSON(m))
+		if err != nil {
+			return WriteMsg(conn, &Response{Error: err.Error()})
+		}
+		if len(raw) > maxFrame-1024 {
+			return WriteMsg(conn, &Response{Error: fmt.Sprintf("%v: molecule %v encodes to %d bytes", ErrFrameTooBig, m.Root.Addr(), len(raw))})
+		}
+		if len(pending) > 0 && (len(pending) >= streamChunk || pendingBytes+len(raw) > frameBudget) {
+			if err := flush(true); err != nil {
+				return err
+			}
+		}
+		pending = append(pending, raw)
+		pendingBytes += len(raw)
+		count++
+	}
+	return flush(false)
 }
 
 func (s *Server) dispatch(req *Request) *Response {
@@ -112,15 +191,6 @@ func (s *Server) dispatch(req *Request) *Response {
 			}
 		}
 		return resp
-	case OpCheckout:
-		res, err := s.db.ExecOne(req.MQL)
-		if err != nil {
-			return &Response{Error: err.Error()}
-		}
-		if res.Kind != "molecules" {
-			return &Response{Error: "checkout requires a SELECT"}
-		}
-		return &Response{OK: true, Count: len(res.Molecules), Molecules: moleculesToJSON(res.Molecules)}
 	case OpGetAtom:
 		at, err := s.db.System().Get(addr.LogicalAddr(req.Addr), nil)
 		if err != nil {
@@ -136,18 +206,22 @@ func (s *Server) dispatch(req *Request) *Response {
 func moleculesToJSON(mols []*core.Molecule) []MoleculeJSON {
 	out := make([]MoleculeJSON, 0, len(mols))
 	for _, m := range mols {
-		mj := MoleculeJSON{Root: uint64(m.Root.Addr())}
-		for _, tn := range m.Type.AtomTypes() {
-			for _, ma := range m.AtomsOf(tn) {
-				if ma.Hidden {
-					continue
-				}
-				mj.Atoms = append(mj.Atoms, atomToJSON(ma.Atom))
-			}
-		}
-		out = append(out, mj)
+		out = append(out, moleculeToJSON(m))
 	}
 	return out
+}
+
+func moleculeToJSON(m *core.Molecule) MoleculeJSON {
+	mj := MoleculeJSON{Root: uint64(m.Root.Addr())}
+	for _, tn := range m.Type.AtomTypes() {
+		for _, ma := range m.AtomsOf(tn) {
+			if ma.Hidden {
+				continue
+			}
+			mj.Atoms = append(mj.Atoms, atomToJSON(ma.Atom))
+		}
+	}
+	return mj
 }
 
 func atomToJSON(at *access.Atom) AtomJSON {

@@ -6,6 +6,11 @@
 // commit time ("checkout/checkin").
 //
 // The protocol is length-prefixed JSON over TCP: one request, one response.
+// Large molecule sets do not buffer on the server: a checkout response is a
+// stream of frames, each carrying a chunk of molecules and a More flag;
+// the final frame (More unset) carries the total count. The client
+// reassembles the stream transparently, so callers still see one
+// set-oriented round trip.
 package wire
 
 import (
@@ -41,6 +46,9 @@ type Response struct {
 	Inserted  []uint64       `json:"inserted,omitempty"`
 	Molecules []MoleculeJSON `json:"molecules,omitempty"`
 	Atom      *AtomJSON      `json:"atom,omitempty"`
+	// More marks a continuation frame: further frames of the same response
+	// stream follow on the connection.
+	More bool `json:"more,omitempty"`
 }
 
 // MoleculeJSON is a wire-format molecule: the flat atom set grouped by type
@@ -61,6 +69,10 @@ type AtomJSON struct {
 // maxFrame bounds message size (16 MiB).
 const maxFrame = 16 << 20
 
+// ErrFrameTooBig is returned by WriteMsg before anything is written when the
+// encoded message exceeds the frame limit; the connection stays usable.
+var ErrFrameTooBig = errors.New("wire: frame exceeds limit")
+
 // WriteMsg frames and writes a JSON-serializable message.
 func WriteMsg(w io.Writer, v interface{}) error {
 	body, err := json.Marshal(v)
@@ -68,7 +80,7 @@ func WriteMsg(w io.Writer, v interface{}) error {
 		return fmt.Errorf("wire: marshal: %w", err)
 	}
 	if len(body) > maxFrame {
-		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooBig, len(body))
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))

@@ -62,7 +62,24 @@ type Config struct {
 	Policy string
 	// MaxRecursionDepth bounds recursive molecule evaluation (default 64).
 	MaxRecursionDepth int
+	// BufferShards is the number of lock stripes of the buffer pool
+	// (0 picks one per CPU, capped; 1 disables striping).
+	BufferShards int
+	// AssemblyWorkers is the degree of intra-query parallelism of molecule
+	// materialization. 0 or 1 keeps the serial cursor (the default —
+	// parallel cursors read ahead of the consumer, so they are meant for
+	// workloads that do not interleave iteration with DML). Pass
+	// DefaultAssemblyWorkers() for one worker per CPU.
+	AssemblyWorkers int
+	// AssemblyChunk is the root chunk size for lazy root streaming and
+	// worker dispatch (default 64).
+	AssemblyChunk int
 }
+
+// DefaultAssemblyWorkers returns the recommended degree of parallel
+// molecule assembly for read-mostly workloads: one worker per CPU, capped
+// at 8. Use it as Config.AssemblyWorkers to opt into the parallel pipeline.
+func DefaultAssemblyWorkers() int { return core.DefaultAssemblyWorkers() }
 
 // DB is a PRIMA database handle.
 type DB struct {
@@ -74,10 +91,11 @@ type DB struct {
 // Open creates or opens a database.
 func Open(cfg Config) (*DB, error) {
 	sys, err := access.Open(access.Config{
-		Dir:         cfg.Dir,
-		PageSize:    cfg.PageSize,
-		BufferBytes: cfg.BufferBytes,
-		Policy:      cfg.Policy,
+		Dir:          cfg.Dir,
+		PageSize:     cfg.PageSize,
+		BufferBytes:  cfg.BufferBytes,
+		Policy:       cfg.Policy,
+		BufferShards: cfg.BufferShards,
 	})
 	if err != nil {
 		return nil, err
@@ -85,6 +103,12 @@ func Open(cfg Config) (*DB, error) {
 	engine := core.New(sys)
 	if cfg.MaxRecursionDepth > 0 {
 		engine.SetMaxRecursionDepth(cfg.MaxRecursionDepth)
+	}
+	if cfg.AssemblyWorkers > 0 {
+		engine.SetAssemblyWorkers(cfg.AssemblyWorkers)
+	}
+	if cfg.AssemblyChunk > 0 {
+		engine.SetAssemblyChunk(cfg.AssemblyChunk)
 	}
 	return &DB{sys: sys, engine: engine, txm: txn.NewManager(sys)}, nil
 }
