@@ -498,6 +498,68 @@ func BenchmarkNestedTxThroughput(b *testing.B) {
 	})
 }
 
+// BenchmarkSelectivePredicate measures the compiled predicate pipeline
+// against the legacy interpreted/unpushed baseline on a brepgen workload
+// (both modes in one run). "low" is a low-selectivity WHERE (few molecules
+// qualify): the range access path prunes roots before assembly and the
+// pushed edge conjunct prunes survivors mid-assembly. "high" qualifies
+// nearly everything, so it isolates the compiled-evaluation win.
+func BenchmarkSelectivePredicate(b *testing.B) {
+	const n = 128
+	for _, sel := range []struct{ name, where string }{
+		{"low", `brep_no <= 6 AND edge.length > 4.5`},
+		{"high", fmt.Sprintf(`brep_no <= %d AND edge.length > 0.5`, n)},
+	} {
+		for _, mode := range []struct {
+			name string
+			on   bool
+		}{
+			{"interpreted", false},
+			{"compiled", true},
+		} {
+			b.Run(sel.name+"/"+mode.name, func(b *testing.B) {
+				db := benchScene(b, n, `CREATE ACCESS PATH bno ON brep (brep_no) USING BTREE`)
+				db.Engine().SetPredicateCompilation(mode.on)
+				db.Engine().SetPushdown(mode.on)
+				q := `SELECT ALL FROM brep-face-edge-point WHERE ` + sel.where
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := db.ExecOne(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPlanCache measures repeated-statement execution with and without
+// the plan cache: hits skip parsing and planning entirely and go straight to
+// cursor execution.
+func BenchmarkPlanCache(b *testing.B) {
+	q := `SELECT brep_no FROM brep
+	      WHERE brep_no = 7 AND (hull <> EMPTY OR brep_no > 100)`
+	for _, tc := range []struct {
+		name string
+		size int
+	}{
+		{"cache_off", 0},
+		{"cache_on", 128},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			db := benchScene(b, 8, `CREATE ACCESS PATH bno ON brep (brep_no) USING BTREE`)
+			db.Engine().SetPlanCacheSize(tc.size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Exec(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkVLSITraversal exercises symmetric n:m traversal on a netlist.
 func BenchmarkVLSITraversal(b *testing.B) {
 	db, err := Open(Config{})

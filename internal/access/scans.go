@@ -182,21 +182,25 @@ func (s *System) MaxSeq(typeName string) (uint64, error) {
 	return s.dir.MaxSeq(t.ID), nil
 }
 
+// sortOrderByName resolves a sort order structure by its LDL name.
+func (s *System) sortOrderByName(name string) (*sortOrderStruct, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, cand := range s.sortOrders {
+		if cand.def.Name == name {
+			return cand, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: sort order %s", ErrUnknownStruct, name)
+}
+
 // SortScan reads all atoms of one atom type in the user-defined order of a
 // sort order, restricted by an SSA and a start/stop condition on the sort
 // key. Stale redundant records transparently fall back to the primary copy.
 func (s *System) SortScan(sortOrderName string, ssa SSA, start, stop []atom.Value, fn func(*Atom) bool) error {
-	var so *sortOrderStruct
-	s.mu.RLock()
-	for _, cand := range s.sortOrders {
-		if cand.def.Name == sortOrderName {
-			so = cand
-			break
-		}
-	}
-	s.mu.RUnlock()
-	if so == nil {
-		return fmt.Errorf("%w: sort order %s", ErrUnknownStruct, sortOrderName)
+	so, err := s.sortOrderByName(sortOrderName)
+	if err != nil {
+		return err
 	}
 	t, err := s.typeOf(so.def.AtomType)
 	if err != nil {
@@ -234,6 +238,38 @@ func (s *System) SortScan(sortOrderName string, ssa SSA, start, stop []atom.Valu
 		return scanErr
 	}
 	return err
+}
+
+// SortOrderAddrs returns the addresses of all atoms of a single-attribute
+// sort order whose key lies within [start, stop] (nil bounds are open), in
+// sort-key order — the data system's range-restricted root enumeration for
+// <, <=, >, >= qualifications without an access path. The interval is
+// inclusive; callers with strict bounds re-decide the boundary atoms via
+// their own SSA.
+func (s *System) SortOrderAddrs(sortOrderName string, start, stop *atom.Value) ([]addr.LogicalAddr, error) {
+	so, err := s.sortOrderByName(sortOrderName)
+	if err != nil {
+		return nil, err
+	}
+	if len(so.attrIdxs) != 1 {
+		return nil, fmt.Errorf("access: sort order %s has %d attributes, range scans take 1", sortOrderName, len(so.attrIdxs))
+	}
+	// Sort keys are composite (LIST-wrapped) even for a single attribute.
+	var sk, ek *atom.Value
+	if start != nil {
+		k := atom.List(*start)
+		sk = &k
+	}
+	if stop != nil {
+		k := atom.List(*stop)
+		ek = &k
+	}
+	var out []addr.LogicalAddr
+	err = so.tree.Scan(sk, ek, so.desc, func(_ atom.Value, a addr.LogicalAddr) bool {
+		out = append(out, a)
+		return true
+	})
+	return out, err
 }
 
 // readSortRecord reads an atom through its sort-order copy when valid, or

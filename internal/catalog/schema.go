@@ -66,6 +66,15 @@ type Schema struct {
 
 	nextTypeID   addr.TypeID
 	nextStructID addr.StructID
+	version      uint64 // bumped by every successful DDL mutation
+}
+
+// Version returns the schema's DDL mutation counter. Plan and statement
+// caches key on it so any DDL invalidates them naturally.
+func (s *Schema) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
 }
 
 // NewSchema creates an empty schema.
@@ -101,6 +110,7 @@ func (s *Schema) AddAtomType(t *AtomType) error {
 	s.nextTypeID++
 	s.atomTypes[t.Name] = t
 	s.byID[t.ID] = t
+	s.version++
 	return nil
 }
 
@@ -152,6 +162,7 @@ func (s *Schema) DropAtomType(name string) error {
 	}
 	delete(s.atomTypes, name)
 	delete(s.byID, t.ID)
+	s.version++
 	return nil
 }
 
@@ -232,6 +243,7 @@ func (s *Schema) DefineMoleculeType(m *MoleculeType) error {
 		return fmt.Errorf("%w: %s is already an atom type", ErrDuplicate, m.Name)
 	}
 	s.molTypes[m.Name] = m
+	s.version++
 	return nil
 }
 
@@ -248,6 +260,7 @@ func (s *Schema) DropMoleculeType(name string) error {
 		}
 	}
 	delete(s.molTypes, name)
+	s.version++
 	return nil
 }
 
@@ -323,6 +336,7 @@ func (s *Schema) AddAccessPath(d *AccessPathDef) error {
 		return fmt.Errorf("catalog: access path %s: unknown method %q", d.Name, d.Method)
 	}
 	s.accessPath[d.Name] = d
+	s.version++
 	return nil
 }
 
@@ -355,6 +369,7 @@ func (s *Schema) AddSortOrder(d *SortOrderDef) error {
 	d.ID = s.nextStructID
 	s.nextStructID++
 	s.sortOrders[d.Name] = d
+	s.version++
 	return nil
 }
 
@@ -381,6 +396,7 @@ func (s *Schema) AddPartition(d *PartitionDef) error {
 	d.ID = s.nextStructID
 	s.nextStructID++
 	s.partitions[d.Name] = d
+	s.version++
 	return nil
 }
 
@@ -398,6 +414,7 @@ func (s *Schema) AddCluster(d *ClusterDef) error {
 	d.ID = s.nextStructID
 	s.nextStructID++
 	s.clusters[d.Name] = d
+	s.version++
 	return nil
 }
 
@@ -408,18 +425,22 @@ func (s *Schema) DropLDL(name string) (interface{}, error) {
 	defer s.mu.Unlock()
 	if d, ok := s.accessPath[name]; ok {
 		delete(s.accessPath, name)
+		s.version++
 		return d, nil
 	}
 	if d, ok := s.sortOrders[name]; ok {
 		delete(s.sortOrders, name)
+		s.version++
 		return d, nil
 	}
 	if d, ok := s.partitions[name]; ok {
 		delete(s.partitions, name)
+		s.version++
 		return d, nil
 	}
 	if d, ok := s.clusters[name]; ok {
 		delete(s.clusters, name)
+		s.version++
 		return d, nil
 	}
 	return nil, fmt.Errorf("%w: LDL structure %s", ErrUnknownType, name)

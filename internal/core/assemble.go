@@ -8,6 +8,7 @@ import (
 	"prima/internal/access"
 	"prima/internal/access/addr"
 	"prima/internal/access/atom"
+	"prima/internal/access/mdindex"
 	"prima/internal/catalog"
 )
 
@@ -74,6 +75,16 @@ func (p *Plan) Roots() ([]addr.LogicalAddr, error) {
 	switch p.AccessKind {
 	case "accesspath":
 		return sys.AccessPathSearch(p.PathName, []atom.Value{p.PathKey})
+	case "pathrange":
+		var out []addr.LogicalAddr
+		err := sys.AccessPathScan(p.PathName, []mdindex.Range{{Start: p.PathStart, Stop: p.PathStop}},
+			func(_ []atom.Value, a addr.LogicalAddr) bool {
+				out = append(out, a)
+				return true
+			})
+		return out, err
+	case "sortrange":
+		return sys.SortOrderAddrs(p.SortOrder, p.PathStart, p.PathStop)
 	case "cluster":
 		return sys.ClusterRoots(p.Cluster)
 	default:
@@ -203,12 +214,30 @@ func (p *Plan) AssembleRoot(a addr.LogicalAddr) (*Molecule, error) {
 		src = clusterSource{sys: sys, occ: occ}
 	}
 
-	m, err := p.assemble(src, a, cache)
+	ps := p.newPushState()
+	m, err := p.assemble(src, a, cache, ps)
 	if err != nil {
 		return nil, err
 	}
+	if m == nil {
+		return nil, nil // pruned mid-assembly by a pushed-down conjunct
+	}
+	// Decide the pushed conjuncts. A complete, fully observed stream already
+	// holds the verdict; otherwise re-decide on the assembled molecule.
+	if ps != nil && ps.complete && !ps.disabled {
+		if ps.remaining > 0 {
+			return nil, nil
+		}
+	} else if p.pushPruned(m) {
+		return nil, nil
+	}
 	if p.Where != nil {
-		keep, err := p.engine.evalMolecule(p.Where, m)
+		var keep bool
+		if p.whereC != nil {
+			keep, err = p.whereC.Eval(m)
+		} else {
+			keep, err = p.engine.evalMolecule(p.Where, m)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -220,6 +249,104 @@ func (p *Plan) AssembleRoot(a addr.LogicalAddr) (*Molecule, error) {
 		return nil, err
 	}
 	return m, nil
+}
+
+// pushState tracks the pushed-down component conjuncts during one molecule's
+// assembly. Early pruning (abandoning the remaining assembly levels) is only
+// armed for non-recursive molecule types: their assembly cannot raise
+// recursion-depth errors, so skipping levels never hides an error the full
+// build would have reported.
+type pushState struct {
+	plan      *Plan
+	satisfied []bool
+	remaining int
+	canEarly  bool
+	complete  bool // prefetch streamed the whole molecule through observe
+	disabled  bool // the streamed view may be incomplete (a fetch failed)
+}
+
+func (p *Plan) newPushState() *pushState {
+	if len(p.CompSSA) == 0 {
+		return nil
+	}
+	return &pushState{
+		plan:      p,
+		satisfied: make([]bool, len(p.CompSSA)),
+		remaining: len(p.CompSSA),
+		canEarly:  !p.Mol.IsRecursive(),
+	}
+}
+
+// observe folds one streamed atom into the conjunct states.
+func (ps *pushState) observe(at *access.Atom) {
+	if ps == nil || ps.remaining == 0 {
+		return
+	}
+	for i, cc := range ps.plan.CompSSA {
+		if ps.satisfied[i] || cc.TypeName != at.Type.Name {
+			continue
+		}
+		ok, err := cc.SSA.Eval(at)
+		if err != nil {
+			ps.disabled = true
+			return
+		}
+		if ok {
+			ps.satisfied[i] = true
+			ps.remaining--
+		}
+	}
+}
+
+// unreachable reports whether some unsatisfied conjunct's component type
+// cannot appear at or below any of the frontier nodes — the molecule can be
+// pruned without assembling the remaining levels.
+func (ps *pushState) unreachable(frontier []*catalog.MolNode) bool {
+	if ps == nil || !ps.canEarly || ps.disabled || ps.remaining == 0 {
+		return false
+	}
+	for i, cc := range ps.plan.CompSSA {
+		if ps.satisfied[i] {
+			continue
+		}
+		reachable := false
+		for _, n := range frontier {
+			if ps.plan.reach[n][cc.TypeName] {
+				reachable = true
+				break
+			}
+		}
+		if !reachable {
+			return true
+		}
+	}
+	return false
+}
+
+// pushPruned decides the pushed-down conjuncts on the fully assembled
+// molecule: each is implicitly existential, so the molecule fails as soon as
+// one has no satisfying component atom. A pruned molecule skips residual
+// predicate evaluation entirely; a kept one still runs the full residual
+// (the conjuncts remain part of it), so pruning can only ever be a fast
+// negative.
+func (p *Plan) pushPruned(m *Molecule) bool {
+	for _, cc := range p.CompSSA {
+		sat := false
+		for _, ma := range m.ByType[cc.TypeName] {
+			ok, err := cc.SSA.Eval(ma.Atom)
+			if err != nil {
+				return false // leave the decision to the residual predicate
+			}
+			if ok {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return true
+		}
+	}
+	return false
 }
 
 // effectiveEdges returns a node's child edges for traversal: its children,
@@ -247,7 +374,18 @@ func edgeLevel(node, child *catalog.MolNode, level int) int {
 // instead of one per atom. It is best-effort: any address it cannot fetch is
 // simply left out of the cache and surfaces through the build's own,
 // deterministic error path.
-func (p *Plan) prefetch(src atomSource, root addr.LogicalAddr, cache map[addr.LogicalAddr]*access.Atom) {
+//
+// Pushed-down component conjuncts are evaluated here, as atoms stream out of
+// the batched reads; when a conjunct can no longer be satisfied by any
+// remaining level, prefetch reports pruned=true and the remaining levels are
+// skipped entirely. At that point the qualification is fully decided: every
+// atom of the conjunct's type was observed (a failed fetch disables pruning)
+// and failed, so the existential conjunct — and with it the WHERE — is
+// false no matter what the unread levels hold. Skipping them also skips any
+// materialization error (e.g. a dangling reference) those levels would have
+// raised; the pruned outcome is the correct query answer, the error was an
+// artifact of materialization the plan proved unnecessary.
+func (p *Plan) prefetch(src atomSource, root addr.LogicalAddr, cache map[addr.LogicalAddr]*access.Atom, ps *pushState) (pruned bool) {
 	type item struct {
 		node  *catalog.MolNode
 		a     addr.LogicalAddr
@@ -255,7 +393,17 @@ func (p *Plan) prefetch(src atomSource, root addr.LogicalAddr, cache map[addr.Lo
 	}
 	frontier := []item{{node: p.Mol.Root, a: root, level: 0}}
 	seen := map[addr.LogicalAddr]bool{root: true}
+	var nodes []*catalog.MolNode // frontier nodes, for the reachability check
 	for len(frontier) > 0 {
+		if ps != nil {
+			nodes = nodes[:0]
+			for _, it := range frontier {
+				nodes = append(nodes, it.node)
+			}
+			if ps.unreachable(nodes) {
+				return true
+			}
+		}
 		var want []addr.LogicalAddr
 		for _, it := range frontier {
 			if _, ok := cache[it.a]; !ok {
@@ -270,6 +418,8 @@ func (p *Plan) prefetch(src atomSource, root addr.LogicalAddr, cache map[addr.Lo
 				for _, a := range want {
 					if at, err := src.get(a); err == nil {
 						cache[a] = at
+					} else if ps != nil {
+						ps.disabled = true
 					}
 				}
 			} else {
@@ -284,6 +434,7 @@ func (p *Plan) prefetch(src atomSource, root addr.LogicalAddr, cache map[addr.Lo
 			if at == nil {
 				continue
 			}
+			ps.observe(at)
 			for _, child := range effectiveEdges(it.node) {
 				idx, ok := at.Type.AttrIndex(child.Via)
 				if !ok {
@@ -304,6 +455,10 @@ func (p *Plan) prefetch(src atomSource, root addr.LogicalAddr, cache map[addr.Lo
 		}
 		frontier = next
 	}
+	if ps != nil {
+		ps.complete = true
+	}
+	return false
 }
 
 // assemble performs the vertical access: starting from the root atom it
@@ -311,11 +466,13 @@ func (p *Plan) prefetch(src atomSource, root addr.LogicalAddr, cache map[addr.Lo
 // associations, level by level for recursive edges, with cycle protection.
 // Atom reads are batched per level by prefetch; the recursive build then
 // fixes the result structure in depth-first order.
-func (p *Plan) assemble(src atomSource, root addr.LogicalAddr, cache map[addr.LogicalAddr]*access.Atom) (*Molecule, error) {
+func (p *Plan) assemble(src atomSource, root addr.LogicalAddr, cache map[addr.LogicalAddr]*access.Atom, ps *pushState) (*Molecule, error) {
 	// A flat single-node molecule has no fan-out to batch; skip the
 	// prefetch bookkeeping and read the root directly.
 	if len(p.Mol.Root.Children) > 0 || p.Mol.Root.Recursive {
-		p.prefetch(src, root, cache)
+		if p.prefetch(src, root, cache, ps) {
+			return nil, nil // pruned: a pushed conjunct became undecidable-true
+		}
 	}
 	m := &Molecule{
 		Type:   p.Mol,

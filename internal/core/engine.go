@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 
 	"prima/internal/access"
@@ -15,13 +17,16 @@ import (
 // Engine is the data system: it translates MQL statements into access
 // system call sequences and manages molecule materialization.
 type Engine struct {
-	sys      *access.System
-	maxDepth int
+	sys   *access.System
+	plans *planCache
 
 	mu          sync.Mutex
+	maxDepth    int
 	schemaDirty bool // associations not yet re-validated after DDL
 	workers     int  // degree of parallel molecule assembly (1 = serial)
 	chunk       int  // root chunk size for lazy streaming and dispatch
+	predCompile bool // plan-time predicate compilation
+	pushdown    bool // component-conjunct pushdown + range access selection
 }
 
 // DefaultAssemblyWorkers sizes the per-cursor assembly pool when a caller
@@ -44,17 +49,27 @@ func New(sys *access.System) *Engine {
 	return &Engine{
 		sys:         sys,
 		maxDepth:    64,
+		plans:       newPlanCache(DefaultPlanCacheSize),
 		schemaDirty: true,
 		workers:     1,
 		chunk:       64,
+		predCompile: true,
+		pushdown:    true,
 	}
 }
+
+// DefaultPlanCacheSize is the default capacity of the engine's plan cache.
+const DefaultPlanCacheSize = 128
 
 // System exposes the underlying access system.
 func (e *Engine) System() *access.System { return e.sys }
 
 // SetMaxRecursionDepth bounds recursive molecule evaluation.
-func (e *Engine) SetMaxRecursionDepth(d int) { e.maxDepth = d }
+func (e *Engine) SetMaxRecursionDepth(d int) {
+	e.mu.Lock()
+	e.maxDepth = d
+	e.mu.Unlock()
+}
 
 // SetAssemblyWorkers sets the degree of intra-query parallelism of molecule
 // materialization: cursors assemble molecules on a pool of n workers while
@@ -96,6 +111,96 @@ func (e *Engine) assemblyConfig() (workers, chunk int) {
 	return e.workers, e.chunk
 }
 
+// SetPredicateCompilation toggles plan-time predicate compilation (on by
+// default). Off selects the interpreted evaluator of eval.go — the
+// differential baseline for testing and benchmarking.
+func (e *Engine) SetPredicateCompilation(on bool) {
+	e.mu.Lock()
+	e.predCompile = on
+	e.mu.Unlock()
+}
+
+// SetPushdown toggles component-conjunct pushdown into assembly and
+// range-restricted root access selection (on by default). Off restricts
+// planning to the root-SSA/equality-path behavior — the differential
+// baseline.
+func (e *Engine) SetPushdown(on bool) {
+	e.mu.Lock()
+	e.pushdown = on
+	e.mu.Unlock()
+}
+
+// planConfig is the snapshot of every knob that shapes a prepared plan. The
+// cache key and the plan itself are always built from one snapshot, so a
+// concurrent knob flip can never publish a plan under a mismatched key.
+type planConfig struct {
+	depth    int
+	compile  bool
+	pushdown bool
+}
+
+func (e *Engine) planConfig() planConfig {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return planConfig{depth: e.maxDepth, compile: e.predCompile, pushdown: e.pushdown}
+}
+
+// SetPlanCacheSize resizes the engine's plan cache; n <= 0 disables caching
+// and drops all cached plans.
+func (e *Engine) SetPlanCacheSize(n int) { e.plans.resize(n) }
+
+// PlanCacheStats reports plan cache hits, misses and current size. A miss is
+// counted only when a cacheable SELECT was actually planned fresh, so
+// DML/DDL traffic does not dilute the ratio.
+func (e *Engine) PlanCacheStats() (hits, misses uint64, size int) { return e.plans.stats() }
+
+// planKeyFor builds the cache key of a statement: schema version plus the
+// config snapshot that will shape the plan, then the statement text. DDL
+// bumps the schema version, so stale plans miss naturally and age out of
+// the LRU.
+func (e *Engine) planKeyFor(cfg planConfig, src string) string {
+	return fmt.Sprintf("%d\x00%d\x00%t%t\x00%s", e.sys.Schema().Version(), cfg.depth, cfg.compile, cfg.pushdown, src)
+}
+
+// ErrNotSelect is returned by PlanQuery for statements that are not SELECTs.
+var ErrNotSelect = errors.New("core: not a SELECT statement")
+
+// PlanQuery prepares a single SELECT statement, consulting the plan cache
+// keyed by statement text and schema version so repeated queries skip both
+// parsing and planning. Returned plans are immutable and may be shared by
+// concurrent cursors.
+func (e *Engine) PlanQuery(src string) (*Plan, error) {
+	cfg := e.planConfig()
+	key := e.planKeyFor(cfg, src)
+	if p := e.plans.get(key); p != nil {
+		return p, nil
+	}
+	stmt, err := mql.ParseOne(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*mql.Select)
+	if !ok {
+		return nil, ErrNotSelect
+	}
+	p, err := e.planSelect(sel, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.plans.putMiss(key, p)
+	return p, nil
+}
+
+// maybeSelect reports whether the script's first keyword can be SELECT —
+// the cheap pre-filter that keeps DML/DDL scripts off the plan-cache probe.
+func maybeSelect(src string) bool {
+	i := 0
+	for i < len(src) && (src[i] == ' ' || src[i] == '\t' || src[i] == '\n' || src[i] == '\r') {
+		i++
+	}
+	return len(src)-i >= 6 && strings.EqualFold(src[i:i+6], "SELECT")
+}
+
 // ensureResolved re-validates association symmetry after DDL. DDL scripts
 // may declare mutually referencing types in any order (Fig. 2.3 does), so
 // resolution is deferred until the first statement that needs a consistent
@@ -123,21 +228,60 @@ type Result struct {
 }
 
 // ExecuteScript parses and executes a semicolon-separated MQL script,
-// returning one result per statement.
+// returning one result per statement. Single-SELECT scripts are served
+// through the plan cache: a repeated statement skips parsing and planning
+// entirely and goes straight to cursor execution.
 func (e *Engine) ExecuteScript(src string) ([]*Result, error) {
+	var cfg planConfig
+	var key string
+	if maybeSelect(src) {
+		cfg = e.planConfig()
+		key = e.planKeyFor(cfg, src)
+		if p := e.plans.get(key); p != nil {
+			r, err := e.runSelect(p)
+			if err != nil {
+				return nil, fmt.Errorf("statement 1: %w", err)
+			}
+			return []*Result{r}, nil
+		}
+	}
 	stmts, err := mql.Parse(src)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]*Result, 0, len(stmts))
 	for i, s := range stmts {
-		r, err := e.Execute(s)
+		var r *Result
+		var err error
+		if sel, ok := s.(*mql.Select); ok && len(stmts) == 1 && key != "" {
+			var p *Plan
+			if p, err = e.planSelect(sel, cfg); err == nil {
+				e.plans.putMiss(key, p)
+				r, err = e.runSelect(p)
+			}
+		} else {
+			r, err = e.Execute(s)
+		}
 		if err != nil {
 			return out, fmt.Errorf("statement %d: %w", i+1, err)
 		}
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// runSelect opens a cursor over a prepared plan and drains it.
+func (e *Engine) runSelect(p *Plan) (*Result, error) {
+	cur, err := p.Open()
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	mols, err := cur.Collect()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Kind: "molecules", Molecules: mols, Count: len(mols)}, nil
 }
 
 // Execute runs a single parsed statement.
@@ -227,16 +371,7 @@ func (e *Engine) Execute(stmt mql.Stmt) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		cur, err := plan.Open()
-		if err != nil {
-			return nil, err
-		}
-		defer cur.Close()
-		mols, err := cur.Collect()
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Kind: "molecules", Molecules: mols, Count: len(mols)}, nil
+		return e.runSelect(plan)
 
 	case *mql.Insert:
 		return e.execInsert(s)

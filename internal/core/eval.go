@@ -53,19 +53,27 @@ func (e *Engine) eval(x mql.Expr, m *Molecule, bound map[string]*MAtom) (bool, e
 func (e *Engine) evalQuant(q *mql.Quant, m *Molecule, bound map[string]*MAtom) (bool, error) {
 	atoms := m.AtomsOf(q.Var)
 	count := 0
+	// Reuse one binding map across the component atoms instead of copying it
+	// per atom; a shadowed outer binding of the same variable is restored
+	// afterwards.
+	if bound == nil {
+		bound = map[string]*MAtom{}
+	}
+	prev, shadowed := bound[q.Var]
 	for _, ma := range atoms {
-		nb := map[string]*MAtom{}
-		for k, v := range bound {
-			nb[k] = v
-		}
-		nb[q.Var] = ma
-		ok, err := e.eval(q.Cond, m, nb)
+		bound[q.Var] = ma
+		ok, err := e.eval(q.Cond, m, bound)
 		if err != nil {
 			return false, err
 		}
 		if ok {
 			count++
 		}
+	}
+	if shadowed {
+		bound[q.Var] = prev
+	} else {
+		delete(bound, q.Var)
 	}
 	switch q.Kind {
 	case "EXISTS":
@@ -230,6 +238,16 @@ func (e *Engine) applyProjection(p *projection, m *Molecule) error {
 	for typeName, atoms := range m.ByType {
 		tp := p.perType[typeName]
 		t, _ := e.sys.Schema().AtomType(typeName)
+		// Compiled qualified-projection predicates evaluate against one
+		// reusable single-atom pseudo molecule instead of building one per
+		// component atom.
+		var pseudo *Molecule
+		if tp != nil && tp.whereC != nil {
+			pseudo = &Molecule{
+				Type:   tp.subType,
+				ByType: map[string][]*MAtom{typeName: make([]*MAtom, 1)},
+			}
+		}
 		var kept []*MAtom
 		for _, ma := range atoms {
 			if tp == nil {
@@ -238,7 +256,15 @@ func (e *Engine) applyProjection(p *projection, m *Molecule) error {
 				continue
 			}
 			if tp.where != nil {
-				ok, err := e.evalComponentPredicate(tp.where, ma)
+				var ok bool
+				var err error
+				if pseudo != nil {
+					pseudo.ByType[typeName][0] = ma
+					pseudo.Root = ma
+					ok, err = tp.whereC.Eval(pseudo)
+				} else {
+					ok, err = e.evalComponentPredicate(tp.where, ma)
+				}
 				if err != nil {
 					return err
 				}

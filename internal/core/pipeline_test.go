@@ -1,0 +1,384 @@
+package core_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"prima/internal/access"
+	"prima/internal/core"
+	"prima/internal/mql"
+	"prima/internal/workload/brepgen"
+)
+
+// planFor prepares a plan for a single SELECT without executing it.
+func planFor(t testing.TB, e *core.Engine, q string) *core.Plan {
+	t.Helper()
+	stmt, err := mql.ParseOne(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	sel, ok := stmt.(*mql.Select)
+	if !ok {
+		t.Fatalf("%q is not a SELECT", q)
+	}
+	p, err := e.PlanSelect(sel)
+	if err != nil {
+		t.Fatalf("plan %q: %v", q, err)
+	}
+	return p
+}
+
+func TestExtractRootSSANormalization(t *testing.T) {
+	e := newEngine(t)
+
+	// Literal-on-the-left comparisons flip the operator.
+	p := planFor(t, e, `SELECT ALL FROM brep WHERE 5 > brep_no`)
+	if len(p.RootSSA) != 1 || p.RootSSA[0].Attr != "brep_no" || p.RootSSA[0].Op != access.OpLT {
+		t.Fatalf("5 > brep_no: RootSSA = %+v, want brep_no OpLT 5", p.RootSSA)
+	}
+	p = planFor(t, e, `SELECT ALL FROM brep WHERE 5 = brep_no`)
+	if len(p.RootSSA) != 1 || p.RootSSA[0].Op != access.OpEQ {
+		t.Fatalf("5 = brep_no: RootSSA = %+v, want OpEQ", p.RootSSA)
+	}
+	p = planFor(t, e, `SELECT ALL FROM brep WHERE 5 <= brep_no`)
+	if len(p.RootSSA) != 1 || p.RootSSA[0].Op != access.OpGE {
+		t.Fatalf("5 <= brep_no: RootSSA = %+v, want OpGE", p.RootSSA)
+	}
+
+	// = EMPTY / <> EMPTY become the emptiness operators.
+	p = planFor(t, e, `SELECT ALL FROM solid WHERE sub = EMPTY`)
+	if len(p.RootSSA) != 1 || p.RootSSA[0].Attr != "sub" || p.RootSSA[0].Op != access.OpEmpty {
+		t.Fatalf("sub = EMPTY: RootSSA = %+v, want OpEmpty", p.RootSSA)
+	}
+	p = planFor(t, e, `SELECT ALL FROM solid WHERE sub <> EMPTY`)
+	if len(p.RootSSA) != 1 || p.RootSSA[0].Op != access.OpNotEmpty {
+		t.Fatalf("sub <> EMPTY: RootSSA = %+v, want OpNotEmpty", p.RootSSA)
+	}
+
+	// Level-0 seed qualifications restrict the root; deeper levels do not.
+	p = planFor(t, e, `SELECT ALL FROM piece_list WHERE piece_list(0).solid_no = 4711`)
+	if len(p.RootSSA) != 1 || p.RootSSA[0].Attr != "solid_no" || p.RootSSA[0].Op != access.OpEQ {
+		t.Fatalf("piece_list(0): RootSSA = %+v, want solid_no OpEQ", p.RootSSA)
+	}
+	p = planFor(t, e, `SELECT ALL FROM piece_list WHERE piece_list(1).solid_no = 4711`)
+	if len(p.RootSSA) != 0 {
+		t.Fatalf("piece_list(1): RootSSA = %+v, want empty", p.RootSSA)
+	}
+
+	// Non-root conjuncts never reach the root SSA.
+	p = planFor(t, e, `SELECT ALL FROM brep-face-edge-point WHERE edge.length > 1.0`)
+	if len(p.RootSSA) != 0 {
+		t.Fatalf("edge.length: RootSSA = %+v, want empty", p.RootSSA)
+	}
+}
+
+func TestRangeAccessPathSelection(t *testing.T) {
+	e, _ := sceneEngine(t, 20)
+	mustQuery(t, e, `CREATE ACCESS PATH bno ON brep (brep_no) USING BTREE`)
+
+	p := planFor(t, e, `SELECT ALL FROM brep-face-edge-point WHERE brep_no > 5 AND brep_no <= 12`)
+	if p.AccessKind != "pathrange" || p.PathName != "bno" {
+		t.Fatalf("AccessKind = %s (path %s), want pathrange via bno", p.AccessKind, p.PathName)
+	}
+	if p.PathStart == nil || p.PathStart.I != 5 || p.PathStop == nil || p.PathStop.I != 12 {
+		t.Fatalf("bounds = [%v, %v], want [5, 12]", p.PathStart, p.PathStop)
+	}
+
+	// Equality still wins over the range path.
+	p = planFor(t, e, `SELECT ALL FROM brep WHERE brep_no = 7 AND brep_no > 2`)
+	if p.AccessKind != "accesspath" {
+		t.Fatalf("AccessKind = %s, want accesspath for equality", p.AccessKind)
+	}
+
+	// The strict lower bound is a superset; RootSSA must still filter it.
+	r := mustQuery(t, e, `SELECT ALL FROM brep-face-edge-point WHERE brep_no > 5 AND brep_no <= 12`)
+	if len(r.Molecules) != 7 {
+		t.Fatalf("range query returned %d molecules, want 7", len(r.Molecules))
+	}
+
+	// With pushdown disabled the planner falls back to the atom-type scan
+	// and still produces the same result.
+	e.SetPushdown(false)
+	p = planFor(t, e, `SELECT ALL FROM brep-face-edge-point WHERE brep_no > 5 AND brep_no <= 12`)
+	if p.AccessKind != "atomscan" {
+		t.Fatalf("pushdown off: AccessKind = %s, want atomscan", p.AccessKind)
+	}
+	r = mustQuery(t, e, `SELECT ALL FROM brep-face-edge-point WHERE brep_no > 5 AND brep_no <= 12`)
+	if len(r.Molecules) != 7 {
+		t.Fatalf("pushdown off: %d molecules, want 7", len(r.Molecules))
+	}
+	e.SetPushdown(true)
+}
+
+func TestSortOrderRangeSelection(t *testing.T) {
+	e, _ := sceneEngine(t, 20)
+	mustQuery(t, e, `CREATE SORT ORDER sno ON solid (solid_no)`)
+
+	p := planFor(t, e, `SELECT ALL FROM solid WHERE solid_no >= 4 AND solid_no < 9`)
+	if p.AccessKind != "sortrange" || p.SortOrder != "sno" {
+		t.Fatalf("AccessKind = %s (sort order %s), want sortrange via sno", p.AccessKind, p.SortOrder)
+	}
+	r := mustQuery(t, e, `SELECT ALL FROM solid WHERE solid_no >= 4 AND solid_no < 9`)
+	if len(r.Molecules) != 5 {
+		t.Fatalf("sortrange query returned %d molecules, want 5", len(r.Molecules))
+	}
+}
+
+func TestComponentPushdownExtraction(t *testing.T) {
+	e := newEngine(t)
+	mol := `SELECT ALL FROM brep-face-edge-point WHERE `
+
+	// Bare non-root comparisons and explicit EXISTS are pushed.
+	p := planFor(t, e, mol+`edge.length > 1.0 AND brep_no = 3`)
+	if len(p.CompSSA) != 1 || p.CompSSA[0].TypeName != "edge" {
+		t.Fatalf("CompSSA = %+v, want one edge conjunct", p.CompSSA)
+	}
+	if p.CompSSA[0].SSA[0].Op != access.OpGT {
+		t.Fatalf("CompSSA op = %v, want OpGT", p.CompSSA[0].SSA[0].Op)
+	}
+	p = planFor(t, e, mol+`EXISTS edge: 1.0 < edge.length`)
+	if len(p.CompSSA) != 1 || p.CompSSA[0].TypeName != "edge" || p.CompSSA[0].SSA[0].Op != access.OpGT {
+		t.Fatalf("EXISTS: CompSSA = %+v, want edge OpGT (normalized)", p.CompSSA)
+	}
+
+	// Pushdown stays conservative: non-existential quantifiers, OR trees,
+	// RECORD field paths and cross-type EXISTS conditions are not pushed.
+	for _, where := range []string{
+		`FOR_ALL edge: edge.length > 1.0`,
+		`EXISTS_AT_LEAST (2) edge: edge.length > 1.0`,
+		`EXISTS_EXACTLY (12) edge: edge.length > 1.0`,
+		`edge.length > 1.0 OR brep_no = 3`,
+		`point.placement.x_coord > 1.0`,
+		`EXISTS edge: face.square_dim > 1.0`,
+		`NOT (edge.length > 1.0)`,
+	} {
+		p := planFor(t, e, mol+where)
+		if len(p.CompSSA) != 0 {
+			t.Fatalf("%s: CompSSA = %+v, want empty", where, p.CompSSA)
+		}
+	}
+
+	// With pushdown disabled nothing is extracted.
+	e.SetPushdown(false)
+	p = planFor(t, e, mol+`edge.length > 1.0`)
+	if len(p.CompSSA) != 0 {
+		t.Fatalf("pushdown off: CompSSA = %+v, want empty", p.CompSSA)
+	}
+	e.SetPushdown(true)
+}
+
+func TestPushdownPruneSemantics(t *testing.T) {
+	e, _ := sceneEngine(t, 14)
+	// Edge lengths are 1+size variants in [1, 7]; 1000.0 is unsatisfiable.
+	for _, tc := range []struct {
+		q    string
+		want int
+	}{
+		{`SELECT ALL FROM brep-face-edge-point WHERE edge.length > 1000.0`, 0},
+		{`SELECT ALL FROM brep-face-edge-point WHERE EXISTS edge: edge.length > 1000.0`, 0},
+		{`SELECT ALL FROM brep-face-edge-point WHERE edge.length > 5.5`, 4},
+		{`SELECT ALL FROM brep-face-edge-point WHERE FOR_ALL edge: edge.length > 5.5`, 4},
+	} {
+		for _, pushdown := range []bool{true, false} {
+			e.SetPushdown(pushdown)
+			r := mustQuery(t, e, tc.q)
+			if len(r.Molecules) != tc.want {
+				t.Fatalf("pushdown=%v %s: %d molecules, want %d", pushdown, tc.q, len(r.Molecules), tc.want)
+			}
+		}
+	}
+	e.SetPushdown(true)
+}
+
+// renderSet renders a molecule multiset order-independently.
+func renderSet(mols []*core.Molecule) []string {
+	out := make([]string, 0, len(mols))
+	for _, m := range mols {
+		out = append(out, m.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestDifferentialCompiledPipeline runs a query corpus with compilation and
+// pushdown force-disabled vs. enabled and asserts identical result sets —
+// the semantics-preservation gate for the whole compiled pipeline.
+func TestDifferentialCompiledPipeline(t *testing.T) {
+	e, _ := sceneEngine(t, 12)
+	if _, _, err := brepgen.BuildAssembly(e, 4711, 3, 2); err != nil {
+		t.Fatalf("BuildAssembly: %v", err)
+	}
+	mustQuery(t, e, `CREATE ACCESS PATH bno ON brep (brep_no) USING BTREE`)
+	mustQuery(t, e, `CREATE SORT ORDER sno ON solid (solid_no)`)
+
+	corpus := []string{
+		`SELECT ALL FROM brep-face-edge-point WHERE brep_no = 3`,
+		`SELECT ALL FROM brep-face-edge-point WHERE brep_no > 3 AND brep_no <= 7`,
+		`SELECT ALL FROM brep-face-edge-point WHERE 5 > brep_no`,
+		`SELECT ALL FROM brep-face-edge-point WHERE edge.length > 5.5`,
+		`SELECT ALL FROM brep-face-edge-point WHERE edge.length > 5.5 AND brep_no < 9`,
+		`SELECT ALL FROM brep-face-edge-point WHERE edge.length > 1000.0`,
+		`SELECT ALL FROM brep-face-edge-point WHERE FOR_ALL edge: edge.length > 0.5`,
+		`SELECT ALL FROM brep-face-edge-point WHERE EXISTS_AT_LEAST (4) face: face.square_dim > 2.0`,
+		`SELECT ALL FROM brep-face-edge-point WHERE EXISTS_EXACTLY (12) edge: edge.length > 0.5`,
+		`SELECT ALL FROM brep-face-edge-point WHERE EXISTS edge: edge.length > 6.5`,
+		`SELECT ALL FROM brep-face-edge-point WHERE NOT (brep_no = 3)`,
+		`SELECT ALL FROM brep-face-edge-point WHERE brep_no = 2 OR edge.length > 100.0`,
+		`SELECT ALL FROM brep-face-edge-point WHERE point.placement.x_coord > 50.0 AND brep_no < 9`,
+		`SELECT edge, (point, face := SELECT face_id FROM face WHERE square_dim > 10.0)
+		   FROM brep-edge-(face, point) WHERE brep_no = 2`,
+		`SELECT solid_no, description FROM solid WHERE sub = EMPTY`,
+		`SELECT ALL FROM solid WHERE sub <> EMPTY`,
+		`SELECT ALL FROM solid WHERE solid_no >= 4 AND solid_no < 9`,
+		`SELECT ALL FROM piece_list WHERE piece_list(0).solid_no = 4711`,
+		`SELECT ALL FROM piece_list WHERE piece_list(1).solid_no > 4711 AND piece_list(0).solid_no = 4711`,
+	}
+	for _, q := range corpus {
+		e.SetPredicateCompilation(false)
+		e.SetPushdown(false)
+		base := mustQuery(t, e, q)
+		e.SetPredicateCompilation(true)
+		e.SetPushdown(true)
+		got := mustQuery(t, e, q)
+		want, have := renderSet(base.Molecules), renderSet(got.Molecules)
+		if len(want) != len(have) {
+			t.Fatalf("%s: baseline %d molecules, compiled %d", q, len(want), len(have))
+		}
+		for i := range want {
+			if want[i] != have[i] {
+				t.Fatalf("%s: molecule %d differs\nbaseline:\n%s\ncompiled:\n%s", q, i, want[i], have[i])
+			}
+		}
+	}
+}
+
+func TestPlanCache(t *testing.T) {
+	e, _ := sceneEngine(t, 4)
+	q := `SELECT ALL FROM brep-face-edge-point WHERE brep_no = 2`
+
+	h0, _, _ := e.PlanCacheStats()
+	for i := 0; i < 3; i++ {
+		r, err := e.ExecuteScript(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r) != 1 || len(r[0].Molecules) != 1 {
+			t.Fatalf("run %d: unexpected result %+v", i, r)
+		}
+	}
+	h1, _, size := e.PlanCacheStats()
+	if h1-h0 != 2 {
+		t.Fatalf("plan cache hits = %d, want 2", h1-h0)
+	}
+	if size == 0 {
+		t.Fatal("plan cache is empty after caching a SELECT")
+	}
+
+	// DDL bumps the schema version; the stale plan must not be reused.
+	mustQuery(t, e, `CREATE ACCESS PATH bno ON brep (brep_no) USING BTREE`)
+	p, err := e.PlanQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.AccessKind != "accesspath" {
+		t.Fatalf("after DDL: AccessKind = %s, want accesspath (stale cached plan reused?)", p.AccessKind)
+	}
+
+	// Toggling planner knobs changes the key, too.
+	e.SetPredicateCompilation(false)
+	p2, err := e.PlanQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 == p {
+		t.Fatal("knob flip returned the cached plan of the other configuration")
+	}
+	e.SetPredicateCompilation(true)
+
+	// Disabling drops all plans and stops caching.
+	e.SetPlanCacheSize(0)
+	if _, _, size := e.PlanCacheStats(); size != 0 {
+		t.Fatalf("disabled cache still holds %d plans", size)
+	}
+	if _, err := e.ExecuteScript(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, size := e.PlanCacheStats(); size != 0 {
+		t.Fatal("disabled cache cached a plan")
+	}
+	e.SetPlanCacheSize(core.DefaultPlanCacheSize)
+}
+
+// TestPlanCacheConcurrentCursors opens concurrent cursors over one shared
+// cached plan — the sharing contract of the cache (exercised under -race).
+func TestPlanCacheConcurrentCursors(t *testing.T) {
+	e, _ := sceneEngine(t, 8)
+	e.SetAssemblyWorkers(4) // parallel pipeline + pushdown + compiled eval
+	q := `SELECT ALL FROM brep-face-edge-point WHERE edge.length > 1.5 AND brep_no > 1`
+	p, err := e.PlanQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cur, err := p.Open()
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cur.Close()
+			mols, err := cur.Collect()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(mols) != 6 {
+				errs <- fmt.Errorf("got %d molecules, want 6", len(mols))
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestEvalQuantBindingRestore pins the interpreter's scratch-binding reuse:
+// nested quantifiers over the same variable must shadow and restore.
+func TestEvalQuantBindingRestore(t *testing.T) {
+	e, _ := sceneEngine(t, 3)
+	e.SetPredicateCompilation(false)
+	defer e.SetPredicateCompilation(true)
+	// The outer binding must be intact after the inner quantifier ran.
+	q := `SELECT ALL FROM brep-face-edge-point
+	      WHERE EXISTS edge: (EXISTS edge: edge.length > 0.5) AND edge.length > 0.5`
+	r := mustQuery(t, e, q)
+	if len(r.Molecules) != 3 {
+		t.Fatalf("nested same-var quantifier: %d molecules, want 3", len(r.Molecules))
+	}
+}
+
+// TestQualifiedProjectionCompiled checks the compiled qualified-projection
+// predicate path against the interpreted one.
+func TestQualifiedProjectionCompiled(t *testing.T) {
+	e, _ := sceneEngine(t, 6)
+	q := `SELECT edge, (point, face := SELECT face_id, square_dim FROM face WHERE square_dim > 10.0)
+	      FROM brep-edge-(face, point) WHERE brep_no = 4`
+	e.SetPredicateCompilation(false)
+	base := mustQuery(t, e, q)
+	e.SetPredicateCompilation(true)
+	got := mustQuery(t, e, q)
+	want, have := renderSet(base.Molecules), renderSet(got.Molecules)
+	if strings.Join(want, "\n") != strings.Join(have, "\n") {
+		t.Fatalf("qualified projection differs\nbaseline:\n%s\ncompiled:\n%s",
+			strings.Join(want, "\n"), strings.Join(have, "\n"))
+	}
+}

@@ -27,15 +27,37 @@ type Plan struct {
 	Root   *catalog.AtomType
 
 	// Root access choice.
-	AccessKind string // "atomscan" | "accesspath" | "cluster"
+	AccessKind string // "atomscan" | "accesspath" | "pathrange" | "sortrange" | "cluster"
 	PathName   string // access path to use
 	PathKey    atom.Value
-	Cluster    string // cluster type to use
+	// PathStart/PathStop bound "pathrange" and "sortrange" accesses
+	// (inclusive; a superset is fine — RootSSA re-decides every root).
+	PathStart *atom.Value
+	PathStop  *atom.Value
+	SortOrder string // sort order backing a "sortrange" access
+	Cluster   string // cluster type to use
 
-	RootSSA  access.SSA // pushed-down root restrictions
-	Where    mql.Expr   // residual molecule predicate (may be nil)
+	RootSSA access.SSA // pushed-down root restrictions
+	// CompSSA is the pushed-down non-root component restrictions: implicitly
+	// existential single-component conjuncts decided during assembly.
+	CompSSA  []CompCond
+	Where    mql.Expr // residual molecule predicate (may be nil)
 	Project  *projection
 	MaxDepth int
+
+	whereC *compiledPred // compiled residual predicate (nil = interpret)
+	// reach maps each molecule node to the component types of its subtree,
+	// so assembly knows when a pushed conjunct can no longer be satisfied.
+	reach map[*catalog.MolNode]map[string]bool
+}
+
+// CompCond is one pushed-down component conjunct: the molecule is pruned
+// when no atom of TypeName satisfies the (single-condition) SSA. The
+// conjunct also stays in the residual predicate, so pushdown is only ever a
+// fast negative path — semantics never depend on it.
+type CompCond struct {
+	TypeName string
+	SSA      access.SSA
 }
 
 // projection compiled from the SELECT list.
@@ -46,14 +68,22 @@ type projection struct {
 }
 
 type typeProjection struct {
-	whole bool
-	attrs []string // projected attributes (when !whole)
-	where mql.Expr // qualified projection predicate (may be nil)
+	whole   bool
+	attrs   []string // projected attributes (when !whole)
+	where   mql.Expr // qualified projection predicate (may be nil)
+	whereC  *compiledPred
+	subType *catalog.MoleculeType // single-type pseudo molecule for where
 }
 
 // PlanSelect validates a SELECT statement against the schema and prepares
 // an executable plan.
 func (e *Engine) PlanSelect(sel *mql.Select) (*Plan, error) {
+	return e.planSelect(sel, e.planConfig())
+}
+
+// planSelect prepares a plan under one planConfig snapshot — callers that
+// cache the plan pass the same snapshot they keyed it with.
+func (e *Engine) planSelect(sel *mql.Select, cfg planConfig) (*Plan, error) {
 	if err := e.ensureResolved(); err != nil {
 		return nil, err
 	}
@@ -72,32 +102,43 @@ func (e *Engine) PlanSelect(sel *mql.Select) (*Plan, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", catalog.ErrUnknownType, mol.Root.AtomType)
 	}
-	p := &Plan{engine: e, Mol: mol, Root: root, AccessKind: "atomscan", MaxDepth: e.maxDepth}
+	p := &Plan{engine: e, Mol: mol, Root: root, AccessKind: "atomscan", MaxDepth: cfg.depth}
+	compileOn, pushdownOn := cfg.compile, cfg.pushdown
 
 	// Validate and compile the projection.
-	proj, err := e.compileProjection(sel, mol)
+	proj, err := e.compileProjection(sel, mol, compileOn)
 	if err != nil {
 		return nil, err
 	}
 	p.Project = proj
 
-	// Validate the predicate's attribute references.
+	// Validate the predicate's attribute references and lower the residual
+	// predicate to its compiled form.
 	if sel.Where != nil {
 		if err := e.checkExpr(sel.Where, mol); err != nil {
 			return nil, err
 		}
 		p.Where = sel.Where
+		if compileOn {
+			p.whereC = e.compilePredicate(sel.Where, mol)
+		}
 	}
 
-	// Query preparation: extract pushed-down root restrictions and choose
-	// the root access.
+	// Query preparation: extract pushed-down root restrictions, push
+	// single-component conjuncts into assembly, and choose the root access.
 	p.RootSSA = e.extractRootSSA(sel.Where, mol, root)
-	e.chooseRootAccess(p)
+	if pushdownOn {
+		p.CompSSA = e.extractComponentSSA(sel.Where, mol, root)
+		if len(p.CompSSA) > 0 {
+			p.reach = reachability(mol)
+		}
+	}
+	e.chooseRootAccess(p, pushdownOn)
 	return p, nil
 }
 
 // compileProjection lowers the SELECT list.
-func (e *Engine) compileProjection(sel *mql.Select, mol *catalog.MoleculeType) (*projection, error) {
+func (e *Engine) compileProjection(sel *mql.Select, mol *catalog.MoleculeType, compileOn bool) (*projection, error) {
 	proj := &projection{perType: map[string]*typeProjection{}}
 	if sel.All {
 		proj.all = true
@@ -150,6 +191,10 @@ func (e *Engine) compileProjection(sel *mql.Select, mol *catalog.MoleculeType) (
 					return nil, err
 				}
 				tp.where = item.Sub.Where
+				tp.subType = sub
+				if compileOn {
+					tp.whereC = e.compilePredicate(item.Sub.Where, sub)
+				}
 			}
 		case item.Qualifier != "":
 			// type.attr
@@ -357,6 +402,54 @@ func (e *Engine) uniqueOwner(attr string, molTypes []string) (string, error) {
 	return owner, nil
 }
 
+// normalizeCompare matches <ref> op <literal> in either orientation, flipping
+// the operator for literal-on-the-left forms (5 > attr ⇒ attr < 5). ok is
+// false for comparisons that are not a ref/literal pair or whose operator has
+// no SSA equivalent — unrecognized operators are skipped, never mapped to a
+// zero-valued (wrong) condition.
+func normalizeCompare(v *mql.Compare) (ref *mql.AttrRef, op access.Op, val atom.Value, ok bool) {
+	ref, refL := v.L.(*mql.AttrRef)
+	lit, litR := v.R.(*mql.Lit)
+	flip := false
+	if !refL || !litR {
+		ref2, okRef := v.R.(*mql.AttrRef)
+		lit2, okLit := v.L.(*mql.Lit)
+		if !okRef || !okLit {
+			return nil, 0, atom.Value{}, false
+		}
+		ref, lit, flip = ref2, lit2, true
+	}
+	switch v.Op {
+	case mql.CmpEQ:
+		op = access.OpEQ
+	case mql.CmpNE:
+		op = access.OpNE
+	case mql.CmpLT:
+		op = access.OpLT
+	case mql.CmpLE:
+		op = access.OpLE
+	case mql.CmpGT:
+		op = access.OpGT
+	case mql.CmpGE:
+		op = access.OpGE
+	default:
+		return nil, 0, atom.Value{}, false
+	}
+	if flip {
+		switch op {
+		case access.OpLT:
+			op = access.OpGT
+		case access.OpLE:
+			op = access.OpGE
+		case access.OpGT:
+			op = access.OpLT
+		case access.OpGE:
+			op = access.OpLE
+		}
+	}
+	return ref, op, lit.V, true
+}
+
 // extractRootSSA pulls conjuncts of the form <rootAttr> op <literal> out of
 // the WHERE clause — "qualifications 'pushed down' for efficiency reasons".
 // Level-0 references (seed qualification of recursive molecules) also
@@ -372,72 +465,107 @@ func (e *Engine) extractRootSSA(where mql.Expr, mol *catalog.MoleculeType, root 
 				walk(v.R)
 			}
 		case *mql.Compare:
-			ref, refIsL := v.L.(*mql.AttrRef)
-			lit, litIsR := v.R.(*mql.Lit)
-			if !refIsL || !litIsR {
-				// literal op ref form: normalize.
-				if ref2, ok := v.R.(*mql.AttrRef); ok {
-					if lit2, ok := v.L.(*mql.Lit); ok {
-						ref, lit = ref2, lit2
-						// flip operator
-						switch v.Op {
-						case mql.CmpLT:
-							ssaAppend(&ssa, e, ref, mol, root, access.OpGT, lit.V)
-							return
-						case mql.CmpLE:
-							ssaAppend(&ssa, e, ref, mol, root, access.OpGE, lit.V)
-							return
-						case mql.CmpGT:
-							ssaAppend(&ssa, e, ref, mol, root, access.OpLT, lit.V)
-							return
-						case mql.CmpGE:
-							ssaAppend(&ssa, e, ref, mol, root, access.OpLE, lit.V)
-							return
-						case mql.CmpEQ:
-							ssaAppend(&ssa, e, ref, mol, root, access.OpEQ, lit.V)
-							return
-						case mql.CmpNE:
-							ssaAppend(&ssa, e, ref, mol, root, access.OpNE, lit.V)
-							return
-						}
-					}
-				}
-				// attr = EMPTY pushdown.
-				if refIsL {
-					if _, isEmpty := v.R.(*mql.EmptyLit); isEmpty {
-						tgt, err := e.resolveRefTarget(ref, mol)
-						if err == nil && tgt.typeName == root.Name && len(tgt.fields) == 0 {
-							switch v.Op {
-							case mql.CmpEQ:
-								ssa = append(ssa, access.Cond{Attr: tgt.attr, Op: access.OpEmpty})
-							case mql.CmpNE:
-								ssa = append(ssa, access.Cond{Attr: tgt.attr, Op: access.OpNotEmpty})
-							}
-						}
-					}
-				}
+			if ref, op, val, ok := normalizeCompare(v); ok {
+				ssaAppend(&ssa, e, ref, mol, root, op, val)
 				return
 			}
-			var op access.Op
-			switch v.Op {
-			case mql.CmpEQ:
-				op = access.OpEQ
-			case mql.CmpNE:
-				op = access.OpNE
-			case mql.CmpLT:
-				op = access.OpLT
-			case mql.CmpLE:
-				op = access.OpLE
-			case mql.CmpGT:
-				op = access.OpGT
-			case mql.CmpGE:
-				op = access.OpGE
+			// attr = EMPTY pushdown.
+			if ref, refIsL := v.L.(*mql.AttrRef); refIsL {
+				if _, isEmpty := v.R.(*mql.EmptyLit); isEmpty {
+					tgt, err := e.resolveRefTarget(ref, mol)
+					if err == nil && tgt.typeName == root.Name && len(tgt.fields) == 0 &&
+						(!tgt.hasLevel || tgt.level == 0) {
+						switch v.Op {
+						case mql.CmpEQ:
+							ssa = append(ssa, access.Cond{Attr: tgt.attr, Op: access.OpEmpty})
+						case mql.CmpNE:
+							ssa = append(ssa, access.Cond{Attr: tgt.attr, Op: access.OpNotEmpty})
+						}
+					}
+				}
 			}
-			ssaAppend(&ssa, e, ref, mol, root, op, lit.V)
 		}
 	}
 	walk(where)
 	return ssa
+}
+
+// extractComponentSSA pulls implicitly existential single-component
+// conjuncts on NON-root atom types out of the top-level AND tree — both bare
+// comparisons (edge.length > 1.0) and the explicit EXISTS form. Other
+// quantifiers (FOR_ALL, EXISTS_AT_LEAST, ...) are never pushed: their truth
+// is not monotone in "some atom satisfies the condition", so pushdown stays
+// conservative.
+func (e *Engine) extractComponentSSA(where mql.Expr, mol *catalog.MoleculeType, root *catalog.AtomType) []CompCond {
+	var out []CompCond
+	push := func(ref *mql.AttrRef, op access.Op, val atom.Value, mustType string) {
+		if val.IsNull() {
+			return // IS-NULL semantics stay in the residual predicate
+		}
+		tgt, err := e.resolveRefTarget(ref, mol)
+		if err != nil || tgt.typeName == root.Name || len(tgt.fields) != 0 || tgt.hasLevel {
+			return
+		}
+		if mustType != "" && tgt.typeName != mustType {
+			return
+		}
+		out = append(out, CompCond{
+			TypeName: tgt.typeName,
+			SSA:      access.SSA{{Attr: tgt.attr, Op: op, Value: val}},
+		})
+	}
+	var walk func(x mql.Expr)
+	walk = func(x mql.Expr) {
+		switch v := x.(type) {
+		case *mql.Binary:
+			if v.Op == "AND" {
+				walk(v.L)
+				walk(v.R)
+			}
+		case *mql.Compare:
+			if ref, op, val, ok := normalizeCompare(v); ok {
+				push(ref, op, val, "")
+			}
+		case *mql.Quant:
+			// EXISTS t: t.attr op literal is the explicit spelling of the
+			// same existential conjunct; the condition must be on the
+			// quantified type itself.
+			if v.Kind != "EXISTS" {
+				return
+			}
+			if cmp, ok := v.Cond.(*mql.Compare); ok {
+				if ref, op, val, ok := normalizeCompare(cmp); ok {
+					push(ref, op, val, v.Var)
+				}
+			}
+		}
+	}
+	walk(where)
+	return out
+}
+
+// reachability maps each molecule node to the set of component types in its
+// subtree (a recursive self-edge adds nothing beyond the subtree itself), so
+// assembly can decide when a pushed conjunct's type can no longer appear
+// below the current frontier.
+func reachability(mol *catalog.MoleculeType) map[*catalog.MolNode]map[string]bool {
+	reach := map[*catalog.MolNode]map[string]bool{}
+	var walk func(n *catalog.MolNode) map[string]bool
+	walk = func(n *catalog.MolNode) map[string]bool {
+		if r, ok := reach[n]; ok {
+			return r
+		}
+		r := map[string]bool{n.AtomType: true}
+		reach[n] = r
+		for _, c := range n.Children {
+			for t := range walk(c) {
+				r[t] = true
+			}
+		}
+		return r
+	}
+	walk(mol.Root)
+	return reach
 }
 
 func ssaAppend(ssa *access.SSA, e *Engine, ref *mql.AttrRef, mol *catalog.MoleculeType, root *catalog.AtomType, op access.Op, v atom.Value) {
@@ -455,11 +583,12 @@ func ssaAppend(ssa *access.SSA, e *Engine, ref *mql.AttrRef, mol *catalog.Molecu
 }
 
 // chooseRootAccess picks the cheapest root access: an access path for an
-// equality/range restriction on an indexed root attribute, else an atom
+// equality restriction on an indexed root attribute, a range-bounded BTREE
+// access path or sort-order scan for <, <=, >, >= restrictions, else an atom
 // cluster materializing the molecule, else the atom-type scan. This is the
 // molecule-type-specific optimization of §3.1 ("aware of access methods,
 // sort orders, partitions of atom types, and physical clusters").
-func (e *Engine) chooseRootAccess(p *Plan) {
+func (e *Engine) chooseRootAccess(p *Plan, pushdown bool) {
 	schema := e.sys.Schema()
 	// Access path on an EQ-restricted root attribute.
 	for _, c := range p.RootSSA {
@@ -475,6 +604,34 @@ func (e *Engine) chooseRootAccess(p *Plan) {
 			}
 		}
 	}
+	if pushdown {
+		// BTREE access path with start/stop bounds for range conjuncts. The
+		// bounds are an inclusive superset (strict operators keep their
+		// boundary key); RootSSA re-decides every root exactly.
+		for _, ap := range schema.AccessPathsFor(p.Root.Name) {
+			if ap.Method != "BTREE" || len(ap.Attrs) != 1 {
+				continue
+			}
+			if start, stop, ok := rangeBounds(p.RootSSA, ap.Attrs[0]); ok {
+				p.AccessKind = "pathrange"
+				p.PathName = ap.Name
+				p.PathStart, p.PathStop = start, stop
+				return
+			}
+		}
+		// Single-attribute ascending sort order with start/stop bounds.
+		for _, so := range schema.SortOrdersFor(p.Root.Name) {
+			if len(so.Attrs) != 1 || (len(so.Desc) > 0 && so.Desc[0]) {
+				continue
+			}
+			if start, stop, ok := rangeBounds(p.RootSSA, so.Attrs[0]); ok {
+				p.AccessKind = "sortrange"
+				p.SortOrder = so.Name
+				p.PathStart, p.PathStop = start, stop
+				return
+			}
+		}
+	}
 	// Atom cluster whose molecule covers this query's molecule structure.
 	for _, cl := range schema.ClustersForRoot(p.Root.Name) {
 		if covers(cl.Molecule.Root, p.Mol.Root) {
@@ -483,6 +640,32 @@ func (e *Engine) chooseRootAccess(p *Plan) {
 			return
 		}
 	}
+}
+
+// rangeBounds folds the SSA's range conjuncts on one attribute into the
+// tightest inclusive [start, stop] interval (nil bounds stay open). found is
+// false when no range conjunct mentions the attribute.
+func rangeBounds(ssa access.SSA, attr string) (start, stop *atom.Value, found bool) {
+	for _, c := range ssa {
+		if c.Attr != attr {
+			continue
+		}
+		switch c.Op {
+		case access.OpGT, access.OpGE:
+			if start == nil || atom.Compare(c.Value, *start) > 0 {
+				v := c.Value
+				start = &v
+			}
+			found = true
+		case access.OpLT, access.OpLE:
+			if stop == nil || atom.Compare(c.Value, *stop) < 0 {
+				v := c.Value
+				stop = &v
+			}
+			found = true
+		}
+	}
+	return start, stop, found
 }
 
 // covers reports whether the cluster structure c contains the query

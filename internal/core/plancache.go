@@ -1,0 +1,93 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+)
+
+// planCache is an LRU of prepared SELECT plans keyed by statement text plus
+// schema version (and the planner knobs that shaped the plan), so the wire
+// server and ExecuteScript stop re-parsing and re-planning repeated queries.
+// Cached plans are immutable after preparation and shared freely: all
+// per-execution state (root streaming, assembly pipeline, predicate scratch)
+// lives in cursors or pooled scratch, never in the plan.
+type planCache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	byKey  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type planEntry struct {
+	key  string
+	plan *Plan
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{cap: capacity, ll: list.New(), byKey: map[string]*list.Element{}}
+}
+
+// get returns the cached plan for the key, or nil. Misses are not counted
+// here — only putMiss records one, when a cacheable statement was actually
+// planned fresh — so probe traffic never skews the ratio.
+func (c *planCache) get(key string) *Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		return nil
+	}
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*planEntry).plan
+}
+
+// putMiss stores a freshly planned statement and counts the miss that led
+// to it.
+func (c *planCache) putMiss(key string, p *Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		return
+	}
+	c.misses++
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*planEntry).plan = p
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&planEntry{key: key, plan: p})
+	c.evictOverLocked(c.cap)
+}
+
+// resize changes the capacity; n <= 0 disables and clears the cache.
+func (c *planCache) resize(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cap = n
+	if n <= 0 {
+		c.ll.Init()
+		c.byKey = map[string]*list.Element{}
+		return
+	}
+	c.evictOverLocked(n)
+}
+
+func (c *planCache) evictOverLocked(n int) {
+	for c.ll.Len() > n {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.byKey, el.Value.(*planEntry).key)
+	}
+}
+
+func (c *planCache) stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"testing"
+)
+
+// TestCheckoutUsesPlanCache asserts that repeated checkout streams of the
+// same statement text are served from the engine's plan cache — the wire
+// server stops re-parsing and re-planning repeated queries.
+func TestCheckoutUsesPlanCache(t *testing.T) {
+	db, srv := startServer(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const q = `SELECT ALL FROM brep-face-edge-point WHERE brep_no = 2`
+	h0, _, _ := db.Engine().PlanCacheStats()
+	for i := 0; i < 3; i++ {
+		mols, err := c.Checkout(q)
+		if err != nil {
+			t.Fatalf("checkout %d: %v", i, err)
+		}
+		if len(mols) != 1 {
+			t.Fatalf("checkout %d: %d molecules, want 1", i, len(mols))
+		}
+	}
+	h1, _, _ := db.Engine().PlanCacheStats()
+	if h1-h0 < 2 {
+		t.Fatalf("plan cache hits over 3 identical checkouts = %d, want >= 2", h1-h0)
+	}
+
+	// Exec'd single-SELECT scripts share the cache, too.
+	if _, err := c.Exec(q); err != nil {
+		t.Fatal(err)
+	}
+	h2, _, _ := db.Engine().PlanCacheStats()
+	if h2 <= h1 {
+		t.Fatalf("Exec of the cached statement did not hit the plan cache (hits %d -> %d)", h1, h2)
+	}
+
+	// DDL invalidates: the next checkout must re-plan, not reuse stale plans.
+	if _, err := c.Exec(`CREATE ACCESS PATH bno ON brep (brep_no) USING BTREE`); err != nil {
+		t.Fatal(err)
+	}
+	mols, err := c.Checkout(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mols) != 1 {
+		t.Fatalf("post-DDL checkout: %d molecules, want 1", len(mols))
+	}
+}

@@ -74,6 +74,10 @@ type Config struct {
 	// AssemblyChunk is the root chunk size for lazy root streaming and
 	// worker dispatch (default 64).
 	AssemblyChunk int
+	// PlanCacheSize caps the engine's LRU of prepared SELECT plans, keyed
+	// by statement text and schema version (0 keeps the default of
+	// core.DefaultPlanCacheSize; negative disables plan caching).
+	PlanCacheSize int
 }
 
 // DefaultAssemblyWorkers returns the recommended degree of parallel
@@ -110,6 +114,11 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.AssemblyChunk > 0 {
 		engine.SetAssemblyChunk(cfg.AssemblyChunk)
 	}
+	if cfg.PlanCacheSize > 0 {
+		engine.SetPlanCacheSize(cfg.PlanCacheSize)
+	} else if cfg.PlanCacheSize < 0 {
+		engine.SetPlanCacheSize(0)
+	}
 	return &DB{sys: sys, engine: engine, txm: txn.NewManager(sys)}, nil
 }
 
@@ -135,17 +144,14 @@ func (db *DB) ExecOne(src string) (*Result, error) {
 }
 
 // Query prepares a SELECT and returns a one-molecule-at-a-time cursor.
+// Plans are served from the engine's plan cache, so repeated query texts
+// skip parsing and planning.
 func (db *DB) Query(src string) (*Cursor, error) {
-	stmt, err := mql.ParseOne(src)
+	plan, err := db.engine.PlanQuery(src)
 	if err != nil {
-		return nil, err
-	}
-	sel, ok := stmt.(*mql.Select)
-	if !ok {
-		return nil, errors.New("prima: Query requires a SELECT statement")
-	}
-	plan, err := db.engine.PlanSelect(sel)
-	if err != nil {
+		if errors.Is(err, core.ErrNotSelect) {
+			return nil, errors.New("prima: Query requires a SELECT statement")
+		}
 		return nil, err
 	}
 	cur, err := plan.Open()
@@ -159,16 +165,11 @@ func (db *DB) Query(src string) (*Cursor, error) {
 // parallelism (the paper's semantic decomposition into concurrent units of
 // work). Results equal the sequential Query in content and order.
 func (db *DB) QueryParallel(src string, workers int) ([]*Molecule, error) {
-	stmt, err := mql.ParseOne(src)
+	plan, err := db.engine.PlanQuery(src)
 	if err != nil {
-		return nil, err
-	}
-	sel, ok := stmt.(*mql.Select)
-	if !ok {
-		return nil, errors.New("prima: QueryParallel requires a SELECT statement")
-	}
-	plan, err := db.engine.PlanSelect(sel)
-	if err != nil {
+		if errors.Is(err, core.ErrNotSelect) {
+			return nil, errors.New("prima: QueryParallel requires a SELECT statement")
+		}
 		return nil, err
 	}
 	if workers < 1 {
