@@ -1,0 +1,52 @@
+//go:build benchgate
+
+package prima
+
+// The CI allocation gate: run with
+//
+//	go test -tags benchgate -run TestRepeatedCheckoutAllocGate .
+//
+// It re-runs the warm repeated-checkout benchmark with the decoded-atom
+// cache enabled and fails when allocs/op regresses beyond the committed
+// baseline (BENCH_baseline.json) times its headroom factor. Allocation
+// counts are deterministic across machines — unlike wall clock — which is
+// what makes this gate CI-stable. When a PR legitimately changes the
+// allocation profile, re-measure with `go test -run=NONE
+// -bench=BenchmarkRepeatedCheckout -benchmem .` and update the baseline in
+// the same commit.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+type benchBaseline struct {
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Headroom    float64 `json:"headroom"`
+}
+
+func TestRepeatedCheckoutAllocGate(t *testing.T) {
+	data, err := os.ReadFile("BENCH_baseline.json")
+	if err != nil {
+		t.Fatalf("read baseline: %v", err)
+	}
+	var baselines map[string]benchBaseline
+	if err := json.Unmarshal(data, &baselines); err != nil {
+		t.Fatalf("parse baseline: %v", err)
+	}
+	base, ok := baselines["BenchmarkRepeatedCheckout/cache_on"]
+	if !ok || base.AllocsPerOp <= 0 || base.Headroom < 1 {
+		t.Fatalf("baseline missing or malformed: %+v", base)
+	}
+
+	res := testing.Benchmark(func(b *testing.B) { benchRepeatedCheckout(b, 1<<16) })
+	got := float64(res.AllocsPerOp())
+	limit := base.AllocsPerOp * base.Headroom
+	t.Logf("warm repeated checkout: %.0f allocs/op (baseline %.0f, limit %.0f)", got, base.AllocsPerOp, limit)
+	if got > limit {
+		t.Fatalf("allocs/op regression: %.0f > limit %.0f (baseline %.0f x headroom %.2f) — "+
+			"fix the regression or re-measure and update BENCH_baseline.json",
+			got, limit, base.AllocsPerOp, base.Headroom)
+	}
+}

@@ -533,6 +533,47 @@ func BenchmarkSelectivePredicate(b *testing.B) {
 	}
 }
 
+// benchRepeatedCheckout is the repeated-checkout hot loop shared by
+// BenchmarkRepeatedCheckout and the CI allocation gate: the same design
+// objects are checked out over and over (the dominant CAD/FEA access
+// pattern), cycling over the scene so the whole working set stays live.
+// atomCache <= 0 disables the decoded-atom cache (the baseline).
+func benchRepeatedCheckout(b *testing.B, atomCache int) {
+	const n = 32
+	db := benchScene(b, n, "")
+	db.System().SetAtomCacheSize(atomCache)
+	queries := make([]string, n)
+	for i := range queries {
+		queries[i] = fmt.Sprintf(`SELECT ALL FROM brep-face-edge-point WHERE brep_no = %d`, i+1)
+	}
+	// Warm plan cache and (when enabled) atom cache.
+	for _, q := range queries {
+		if _, err := db.Exec(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Exec(queries[i%n])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res[0].Molecules) != 1 {
+			b.Fatal("lost molecule")
+		}
+	}
+}
+
+// BenchmarkRepeatedCheckout measures warm repeated molecule checkout with
+// the decoded-atom cache disabled vs. enabled — the acceptance benchmark of
+// the cache: a hit serves assembly without page fixes or codec runs, so the
+// enabled path must deliver both a wall-clock and an allocs/op win.
+func BenchmarkRepeatedCheckout(b *testing.B) {
+	b.Run("cache_off", func(b *testing.B) { benchRepeatedCheckout(b, 0) })
+	b.Run("cache_on", func(b *testing.B) { benchRepeatedCheckout(b, 1<<16) })
+}
+
 // BenchmarkPlanCache measures repeated-statement execution with and without
 // the plan cache: hits skip parsing and planning entirely and go straight to
 // cursor execution.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"unsafe"
 
 	"prima/internal/access/addr"
 )
@@ -50,8 +51,16 @@ func AppendValue(buf []byte, v Value) []byte {
 }
 
 // DecodeValue decodes one value from data, returning it and the remaining
-// bytes.
+// bytes. Strings are copied out of data, so the caller may reuse the input
+// buffer afterwards.
 func DecodeValue(data []byte) (Value, []byte, error) {
+	return decodeValue(data, false)
+}
+
+// decodeValue decodes one value. When owned is true the input buffer belongs
+// to the decoded result: string payloads alias data instead of being copied
+// (the zero-copy fast path for cache-owned record images).
+func decodeValue(data []byte, owned bool) (Value, []byte, error) {
 	if len(data) < 1 {
 		return Value{}, nil, ErrTruncated
 	}
@@ -84,7 +93,13 @@ func DecodeValue(data []byte) (Value, []byte, error) {
 		if len(data) < n {
 			return Value{}, nil, ErrTruncated
 		}
-		return Value{K: k, S: string(data[:n])}, data[n:], nil
+		var s string
+		if owned {
+			s = aliasString(data[:n])
+		} else {
+			s = string(data[:n])
+		}
+		return Value{K: k, S: s}, data[n:], nil
 	case KindIdent, KindRef:
 		if len(data) < 8 {
 			return Value{}, nil, ErrTruncated
@@ -103,7 +118,7 @@ func DecodeValue(data []byte) (Value, []byte, error) {
 		for i := 0; i < n; i++ {
 			var e Value
 			var err error
-			e, data, err = DecodeValue(data)
+			e, data, err = decodeValue(data, owned)
 			if err != nil {
 				return Value{}, nil, err
 			}
@@ -115,9 +130,26 @@ func DecodeValue(data []byte) (Value, []byte, error) {
 	}
 }
 
+// aliasString views b as a string without copying. Only used for buffers the
+// decoded values own exclusively (fresh record copies): the values are
+// immutable afterwards, so the aliased bytes are never rewritten.
+func aliasString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
 // EncodeAtom serializes a full attribute vector.
 func EncodeAtom(values []Value) []byte {
-	buf := make([]byte, 0, 16+16*len(values))
+	return AppendAtom(make([]byte, 0, 16+16*len(values)), values)
+}
+
+// AppendAtom serializes a full attribute vector onto buf and returns the
+// extended slice — the allocation-free variant of EncodeAtom for callers
+// that pool their encode scratch (the record layers copy the bytes into
+// pages, so the buffer never needs to outlive the call).
+func AppendAtom(buf []byte, values []Value) []byte {
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(values)))
 	for _, v := range values {
 		buf = AppendValue(buf, v)
@@ -125,25 +157,81 @@ func EncodeAtom(values []Value) []byte {
 	return buf
 }
 
-// DecodeAtom deserializes a full attribute vector.
+// DecodeAtom deserializes a full attribute vector. Strings are copied, so
+// the input buffer may be reused.
 func DecodeAtom(data []byte) ([]Value, error) {
+	return decodeAtom(data, false)
+}
+
+// DecodeAtomOwned deserializes a full attribute vector from a buffer the
+// result takes ownership of: string values alias the input bytes instead of
+// copying them. Callers pass freshly read record images (which the container
+// layer already copies out of its pages) and must not modify data afterwards.
+func DecodeAtomOwned(data []byte) ([]Value, error) {
+	return decodeAtom(data, true)
+}
+
+func decodeAtom(data []byte, owned bool) ([]Value, error) {
 	if len(data) < 2 {
 		return nil, ErrTruncated
 	}
 	n := int(binary.BigEndian.Uint16(data))
-	data = data[2:]
 	values := make([]Value, n)
+	return values, decodeAtomInto(values, data[2:], owned)
+}
+
+// decodeAtomInto decodes len(values) attribute values from data (the count
+// header already stripped) into the caller-provided slice.
+func decodeAtomInto(values []Value, data []byte, owned bool) error {
 	var err error
-	for i := 0; i < n; i++ {
-		values[i], data, err = DecodeValue(data)
+	for i := range values {
+		values[i], data, err = decodeValue(data, owned)
 		if err != nil {
-			return nil, fmt.Errorf("atom: attribute %d: %w", i, err)
+			return fmt.Errorf("atom: attribute %d: %w", i, err)
 		}
 	}
 	if len(data) != 0 {
-		return nil, fmt.Errorf("atom: %d trailing bytes", len(data))
+		return fmt.Errorf("atom: %d trailing bytes", len(data))
 	}
-	return values, nil
+	return nil
+}
+
+// DecodeAtomBatch deserializes many record images in one call — the batched
+// entry point behind the access system's ReadBatch path when the decoded
+// results do not outlive the batch. All top-level attribute vectors are
+// carved out of a single arena allocation, and the records are decoded with
+// owned (zero-copy string) semantics, so a whole assembly level costs one
+// slice allocation instead of one per atom. Callers that retain individual
+// atoms (the decoded-atom cache) must decode per record instead: any one
+// survivor would pin the entire arena. A nil record decodes to a nil vector
+// (callers route those through their own error paths).
+func DecodeAtomBatch(recs [][]byte) ([][]Value, error) {
+	out := make([][]Value, len(recs))
+	total := 0
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		if len(r) < 2 {
+			return nil, ErrTruncated
+		}
+		total += int(binary.BigEndian.Uint16(r))
+	}
+	arena := make([]Value, total)
+	off := 0
+	for i, r := range recs {
+		if r == nil {
+			continue
+		}
+		n := int(binary.BigEndian.Uint16(r))
+		values := arena[off : off+n : off+n]
+		off += n
+		if err := decodeAtomInto(values, r[2:], true); err != nil {
+			return nil, err
+		}
+		out[i] = values
+	}
+	return out, nil
 }
 
 // EncodeProjection serializes the chosen attributes (by index) of an atom.
@@ -162,28 +250,42 @@ func EncodeProjection(indices []int, values []Value) []byte {
 // DecodeProjection deserializes a partition record into (attrIndex, value)
 // pairs.
 func DecodeProjection(data []byte) (map[int]Value, error) {
+	out := make(map[int]Value, 4)
+	err := DecodeProjectionFunc(data, false, func(idx int, v Value) {
+		out[idx] = v
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeProjectionFunc streams the (attrIndex, value) pairs of a partition
+// record through fn without building a map — the fast path of
+// partition-covered projected reads. owned selects zero-copy string decoding
+// (see DecodeAtomOwned).
+func DecodeProjectionFunc(data []byte, owned bool, fn func(idx int, v Value)) error {
 	if len(data) < 2 {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	n := int(binary.BigEndian.Uint16(data))
 	data = data[2:]
-	out := make(map[int]Value, n)
 	for i := 0; i < n; i++ {
 		if len(data) < 2 {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		idx := int(binary.BigEndian.Uint16(data))
 		data = data[2:]
 		var v Value
 		var err error
-		v, data, err = DecodeValue(data)
+		v, data, err = decodeValue(data, owned)
 		if err != nil {
-			return nil, fmt.Errorf("atom: projection pair %d: %w", i, err)
+			return fmt.Errorf("atom: projection pair %d: %w", i, err)
 		}
-		out[idx] = v
+		fn(idx, v)
 	}
 	if len(data) != 0 {
-		return nil, fmt.Errorf("atom: %d trailing bytes", len(data))
+		return fmt.Errorf("atom: %d trailing bytes", len(data))
 	}
-	return out, nil
+	return nil
 }

@@ -1,0 +1,250 @@
+package access
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"prima/internal/access/addr"
+)
+
+// Decoded-atom cache (the "atom buffer" above the page buffer that PRIMA's
+// architecture calls for): repeated checkouts of the same design objects —
+// the dominant access pattern of CAD/FEA workloads — must not pay a page fix
+// plus a codec run per atom on every Get. The cache keeps fully decoded,
+// immutable Atom values keyed by logical address, lock-striped like the
+// buffer pool so concurrent molecule assemblers do not serialize on one
+// latch, and bounded by an atom budget with per-shard LRU replacement.
+//
+// Correctness under concurrent DML rests on per-address version stamps:
+// every mutation bumps the address's stamp *before* it drops the cache
+// entry, and readers capture the stamp before touching page bytes and only
+// publish their decode if the stamp is unchanged at insert time (checked
+// under the shard lock). A decode raced by a writer therefore either fails
+// the stamp check, or is inserted before the writer's drop and removed by
+// it — a stale value can never outlive the mutation that made it stale.
+// Stamps are striped over a fixed array (collisions only cause spurious
+// re-decodes, never stale hits), so the stamp table stays O(1) in the
+// database size.
+
+// acStampStripes is the size of the version-stamp array (power of two).
+const acStampStripes = 4096
+
+// DefaultAtomCacheAtoms is the default atom budget of the decoded-atom
+// cache.
+const DefaultAtomCacheAtoms = 8192
+
+// AtomCacheStats is a snapshot of the decoded-atom cache counters.
+type AtomCacheStats struct {
+	Hits          uint64 // reads served without a page fix or codec run
+	Misses        uint64 // reads that went to the buffer pool
+	Invalidations uint64 // cached atoms dropped by writes
+	Evictions     uint64 // cached atoms dropped by the LRU budget
+	Atoms         int    // currently cached atoms
+	Budget        int    // configured atom budget (0 = disabled)
+}
+
+// acCounters is the cache's statistics block. It lives on the System, not
+// the cache instance, so counters stay cumulative across resizes and
+// disable/re-enable cycles.
+type acCounters struct {
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	invalidations atomic.Uint64
+	evictions     atomic.Uint64
+}
+
+// acEntry is one cached decoded atom.
+type acEntry struct {
+	a  addr.LogicalAddr
+	at *Atom
+}
+
+// acShard is one lock stripe: an LRU over its slice of the atom budget.
+type acShard struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[addr.LogicalAddr]*list.Element
+}
+
+// atomCache is the sharded decoded-atom cache. The System holds it through
+// an atomic pointer so resizing (or disabling) swaps the whole structure
+// without locking readers; version stamps and counters move to the new
+// instance so invalidation protection and statistics stay continuous.
+type atomCache struct {
+	shards []*acShard
+	mask   uint32
+	budget int
+	stamps *[acStampStripes]atomic.Uint64
+	stats  *acCounters // owned by the System
+}
+
+// newAtomCache builds a cache of `budget` atoms over n lock stripes
+// (rounded to a power of two; shrunk so every stripe holds at least a few
+// atoms). stamps is carried over from a predecessor cache, if any, so
+// in-flight readers that captured a stamp from the old instance still
+// conflict correctly with writers bumping the new one.
+func newAtomCache(budget, n int, stamps *[acStampStripes]atomic.Uint64, stats *acCounters) *atomCache {
+	if budget <= 0 {
+		return nil
+	}
+	for n > 1 && budget/n < 8 {
+		n /= 2
+	}
+	shards := 1
+	for shards < n {
+		shards <<= 1
+	}
+	if stamps == nil {
+		stamps = new([acStampStripes]atomic.Uint64)
+	}
+	c := &atomCache{
+		shards: make([]*acShard, shards),
+		mask:   uint32(shards - 1),
+		budget: budget,
+		stamps: stamps,
+		stats:  stats,
+	}
+	per := budget / shards
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = &acShard{cap: per, ll: list.New(), entries: make(map[addr.LogicalAddr]*list.Element)}
+	}
+	return c
+}
+
+// acHash mixes a logical address onto the shard/stamp index space.
+func acHash(a addr.LogicalAddr) uint32 {
+	h := uint64(a) * 0x9E3779B97F4A7C15
+	return uint32(h >> 32)
+}
+
+func (c *atomCache) shardOf(a addr.LogicalAddr) *acShard {
+	return c.shards[acHash(a)&c.mask]
+}
+
+func (c *atomCache) stampOf(a addr.LogicalAddr) *atomic.Uint64 {
+	return &c.stamps[acHash(a)&(acStampStripes-1)]
+}
+
+// get returns the cached decode of a, if present. The returned Atom is
+// shared and must be treated as immutable by every caller.
+func (c *atomCache) get(a addr.LogicalAddr) (*Atom, bool) {
+	sh := c.shardOf(a)
+	sh.mu.Lock()
+	el, ok := sh.entries[a]
+	if !ok {
+		sh.mu.Unlock()
+		c.stats.misses.Add(1)
+		return nil, false
+	}
+	sh.ll.MoveToFront(el)
+	at := el.Value.(*acEntry).at
+	sh.mu.Unlock()
+	c.stats.hits.Add(1)
+	return at, true
+}
+
+// stamp captures a's version stamp. Readers call it before fixing any page
+// of the atom's record; put refuses the decode if the stamp moved since.
+func (c *atomCache) stamp(a addr.LogicalAddr) uint64 {
+	return c.stampOf(a).Load()
+}
+
+// put publishes a decoded atom captured under the given stamp. The stamp is
+// re-checked under the shard lock: a concurrent writer has either already
+// bumped it (the decode is discarded) or will drop the entry after its own
+// bump (the transient entry cannot survive the write).
+func (c *atomCache) put(a addr.LogicalAddr, at *Atom, stamp uint64) {
+	sh := c.shardOf(a)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if c.stampOf(a).Load() != stamp {
+		return
+	}
+	if el, ok := sh.entries[a]; ok {
+		el.Value.(*acEntry).at = at
+		sh.ll.MoveToFront(el)
+		return
+	}
+	sh.entries[a] = sh.ll.PushFront(&acEntry{a: a, at: at})
+	for sh.ll.Len() > sh.cap {
+		el := sh.ll.Back()
+		sh.ll.Remove(el)
+		delete(sh.entries, el.Value.(*acEntry).a)
+		c.stats.evictions.Add(1)
+	}
+}
+
+// invalidate is the write barrier: it bumps a's version stamp first (so
+// readers mid-decode cannot publish a pre-write image afterwards) and then
+// drops any cached entry under the shard lock.
+func (c *atomCache) invalidate(a addr.LogicalAddr) {
+	c.stampOf(a).Add(1)
+	sh := c.shardOf(a)
+	sh.mu.Lock()
+	if el, ok := sh.entries[a]; ok {
+		sh.ll.Remove(el)
+		delete(sh.entries, a)
+		c.stats.invalidations.Add(1)
+	}
+	sh.mu.Unlock()
+}
+
+// size returns the number of cached atoms.
+func (c *atomCache) size() int {
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += sh.ll.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// --- System integration -------------------------------------------------------
+
+// cache returns the live cache instance, or nil when disabled.
+func (s *System) cache() *atomCache { return s.atoms.Load() }
+
+// cacheInvalidate is called by every mutation after the primary record
+// changed (update, delete, resurrect); see atomCache.invalidate for why the
+// post-write barrier alone is sufficient.
+func (s *System) cacheInvalidate(a addr.LogicalAddr) {
+	if c := s.atoms.Load(); c != nil {
+		c.invalidate(a)
+	}
+}
+
+// SetAtomCacheSize resizes the decoded-atom cache to the given atom budget;
+// n <= 0 disables it and drops all cached atoms. The counters live on the
+// System, so the statistics stay cumulative across resizes and
+// disable/re-enable cycles.
+func (s *System) SetAtomCacheSize(n int) {
+	old := s.atoms.Load()
+	var stamps *[acStampStripes]atomic.Uint64
+	if old != nil {
+		stamps = old.stamps
+	}
+	s.atoms.Store(newAtomCache(n, s.cfg.BufferShards, stamps, &s.acStats))
+}
+
+// AtomCacheStats returns a snapshot of the decoded-atom cache counters.
+// Counters accumulate over the System's lifetime; Atoms and Budget reflect
+// the live configuration (both 0 while disabled).
+func (s *System) AtomCacheStats() AtomCacheStats {
+	st := AtomCacheStats{
+		Hits:          s.acStats.hits.Load(),
+		Misses:        s.acStats.misses.Load(),
+		Invalidations: s.acStats.invalidations.Load(),
+		Evictions:     s.acStats.evictions.Load(),
+	}
+	if c := s.atoms.Load(); c != nil {
+		st.Atoms = c.size()
+		st.Budget = c.budget
+	}
+	return st
+}

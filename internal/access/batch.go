@@ -8,10 +8,14 @@ import (
 )
 
 // GetBatch reads many atoms in one access-system call, aligned with the
-// input addresses. Fetches are grouped by primary container and by page, so
-// one directory lookup and one buffer fix serve every atom that shares a
-// page — the set-oriented counterpart of Get that molecule assembly uses for
-// each level's fan-out.
+// input addresses. Decoded-atom cache hits are filled in first; the misses
+// are grouped by primary container and by page, so one directory lookup and
+// one buffer fix serve every atom that shares a page — the set-oriented
+// counterpart of Get that molecule assembly uses for each level's fan-out.
+// Missed records are decoded with zero-copy strings — through the batched
+// arena entry point when nothing is retained (cache disabled), per record
+// when publishing to the cache under the version stamps captured before the
+// page reads.
 //
 // attrs follows Get's contract (nil materializes all attributes). Projected
 // reads are routed per atom, because partition coverage is decided per
@@ -32,10 +36,18 @@ func (s *System) GetBatch(addrs []addr.LogicalAddr, attrs []string) ([]*Atom, er
 		return out, nil
 	}
 
-	// Group by atom type: each type owns one primary container.
+	cache := s.cache()
+
+	// Group cache misses by atom type: each type owns one primary container.
 	byType := make(map[addr.TypeID][]int, 2)
 	typeOrder := make([]addr.TypeID, 0, 2)
 	for i, a := range addrs {
+		if cache != nil {
+			if at, ok := cache.get(a); ok {
+				out[i] = at
+				continue
+			}
+		}
 		tid := a.Type()
 		if _, ok := byType[tid]; !ok {
 			typeOrder = append(typeOrder, tid)
@@ -50,12 +62,20 @@ func (s *System) GetBatch(addrs []addr.LogicalAddr, attrs []string) ([]*Atom, er
 		}
 		idxs := byType[tid]
 		rids := make([]addr.RID, len(idxs))
+		var stamps []uint64
+		if cache != nil {
+			stamps = make([]uint64, len(idxs))
+		}
 		for j, i := range idxs {
 			ref, ok := s.dir.LookupStruct(addrs[i], 0)
 			if !ok {
 				return nil, fmt.Errorf("%w: %v", ErrNoAtom, addrs[i])
 			}
 			rids[j] = ref.Where
+			if cache != nil {
+				// Capture before the page read, like Get does.
+				stamps[j] = cache.stamp(addrs[i])
+			}
 		}
 		prim, err := s.primary(t)
 		if err != nil {
@@ -65,12 +85,28 @@ func (s *System) GetBatch(addrs []addr.LogicalAddr, attrs []string) ([]*Atom, er
 		if err != nil {
 			return nil, err
 		}
-		for j, i := range idxs {
-			values, err := atom.DecodeAtom(recs[j])
+		if cache == nil {
+			// No retention: the whole level shares one value arena.
+			vals, err := atom.DecodeAtomBatch(recs)
 			if err != nil {
 				return nil, err
 			}
-			out[i] = &Atom{Type: t, Addr: addrs[i], Values: values}
+			for j, i := range idxs {
+				out[i] = &Atom{Type: t, Addr: addrs[i], Values: vals[j]}
+			}
+			continue
+		}
+		// Atoms may outlive the batch in the cache; decode each against its
+		// own record image so LRU eviction frees memory atom by atom (a
+		// shared arena would stay pinned by any single cached survivor).
+		for j, i := range idxs {
+			values, err := atom.DecodeAtomOwned(recs[j])
+			if err != nil {
+				return nil, err
+			}
+			at := &Atom{Type: t, Addr: addrs[i], Values: values}
+			out[i] = at
+			cache.put(addrs[i], at, stamps[j])
 		}
 	}
 	return out, nil

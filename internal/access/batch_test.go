@@ -79,6 +79,10 @@ func TestGetBatchMatchesGet(t *testing.T) {
 
 func TestGetBatchSavesPageFixes(t *testing.T) {
 	s, addrs := batchSystem(t, 64)
+	// Disable the decoded-atom cache: this test compares page fixes of the
+	// batched vs. single-read paths, and warm cache hits would serve the
+	// single reads without fixing anything.
+	s.SetAtomCacheSize(0)
 	// Drop the spilled entries so every read is one inline record.
 	var inline []addr.LogicalAddr
 	for i, a := range addrs {

@@ -105,8 +105,12 @@ func (s *System) propagateOne(t deferTask) error {
 		if err != nil {
 			return err
 		}
-		nrid, err := so.container.Update(ref.Where, atom.EncodeAtom(at.Values))
-		if err != nil {
+		var nrid addr.RID
+		if err := withEncodedAtom(at.Values, func(rec []byte) error {
+			var err error
+			nrid, err = so.container.Update(ref.Where, rec)
+			return err
+		}); err != nil {
 			return fmt.Errorf("access: propagate sort order %s: %w", so.def.Name, err)
 		}
 		if nrid != ref.Where {

@@ -123,6 +123,7 @@ func (s *System) RawDelete(a addr.LogicalAddr) error {
 	if err != nil {
 		return err
 	}
+	defer s.cacheInvalidate(a)
 	for _, ap := range s.accessPathsOf(t.Name) {
 		if err := s.indexDelete(ap, cur.Values, a); err != nil {
 			return err
@@ -187,12 +188,20 @@ func (s *System) RawResurrect(a addr.LogicalAddr, values []atom.Value) error {
 	if err := s.dir.Revive(a); err != nil {
 		return err
 	}
+	// The address is being re-used: make sure no decode captured before the
+	// delete can be published against the resurrected atom (deferred so
+	// failed resurrections are covered too).
+	defer s.cacheInvalidate(a)
 	prim, err := s.primary(t)
 	if err != nil {
 		return err
 	}
-	rid, err := prim.Insert(atom.EncodeAtom(values))
-	if err != nil {
+	var rid addr.RID
+	if err := withEncodedAtom(values, func(rec []byte) error {
+		var err error
+		rid, err = prim.Insert(rec)
+		return err
+	}); err != nil {
 		return err
 	}
 	if err := s.dir.Register(a, addr.RecordRef{Kind: addr.KindPrimary, Where: rid, Valid: true}); err != nil {

@@ -279,7 +279,7 @@ func (s *System) readSortRecord(so *sortOrderStruct, t *catalog.AtomType, a addr
 	if ok && ref.Valid {
 		data, err := so.container.Read(ref.Where)
 		if err == nil {
-			values, err := atom.DecodeAtom(data)
+			values, err := atom.DecodeAtomOwned(data)
 			if err == nil {
 				return &Atom{Type: t, Addr: a, Values: values}, nil
 			}
@@ -484,7 +484,9 @@ func (s *System) readOccurrence(cl *clusterStruct, root addr.LogicalAddr) (*Clus
 		if err != nil {
 			return nil, err
 		}
-		values, err := atom.DecodeAtom(payload[offs[i] : offs[i]+lens[i]])
+		// The payload is a fresh chained-I/O copy owned by this occurrence;
+		// decode strings zero-copy against it.
+		values, err := atom.DecodeAtomOwned(payload[offs[i] : offs[i]+lens[i]])
 		if err != nil {
 			return nil, err
 		}
@@ -606,7 +608,7 @@ func (s *System) ClusterReadAtom(clusterName string, a addr.LogicalAddr) (*Atom,
 	if _, err := seq.ReadAt(buf, int64(off)); err != nil {
 		return nil, err
 	}
-	values, err := atom.DecodeAtom(buf)
+	values, err := atom.DecodeAtomOwned(buf)
 	if err != nil {
 		return nil, err
 	}

@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"prima/internal/access/addr"
 	"prima/internal/access/btree"
@@ -51,6 +52,12 @@ type Config struct {
 	// so every stripe still holds a useful number of pages; 1 disables
 	// striping.
 	BufferShards int
+	// AtomCacheSize is the atom budget of the decoded-atom cache that sits
+	// between the buffer pool and molecule assembly (0 picks
+	// DefaultAtomCacheAtoms; negative disables the cache). Sized in atoms,
+	// not bytes: a budget of the working set's atom count makes repeated
+	// checkouts serve entirely from decoded memory.
+	AtomCacheSize int
 }
 
 func (c *Config) fill() error {
@@ -87,6 +94,9 @@ func (c *Config) fill() error {
 	}
 	for c.BufferShards > 1 && c.BufferBytes/int64(c.BufferShards) < minPerShard {
 		c.BufferShards /= 2
+	}
+	if c.AtomCacheSize == 0 {
+		c.AtomCacheSize = DefaultAtomCacheAtoms
 	}
 	return nil
 }
@@ -179,6 +189,12 @@ type System struct {
 	pool   *buffer.Pool
 	dir    *addr.Directory
 
+	// atoms is the decoded-atom cache (nil = disabled); swapped atomically
+	// by SetAtomCacheSize. Its counters live here so statistics accumulate
+	// across resizes.
+	atoms   atomic.Pointer[atomCache]
+	acStats acCounters
+
 	mu          sync.RWMutex
 	nextSegID   segment.ID
 	segments    []*segment.Segment
@@ -215,6 +231,7 @@ func Open(cfg Config) (*System, error) {
 		clusters:    make(map[addr.StructID]*clusterStruct),
 		deferq:      newDeferQueue(),
 	}
+	s.atoms.Store(newAtomCache(cfg.AtomCacheSize, cfg.BufferShards, nil, &s.acStats))
 	if cfg.Dir != "" {
 		if _, err := os.Stat(filepath.Join(cfg.Dir, "manifest.json")); err == nil {
 			if err := s.load(); err != nil {

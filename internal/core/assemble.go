@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"prima/internal/access"
@@ -83,6 +84,21 @@ func (p *Plan) Roots() ([]addr.LogicalAddr, error) {
 				return true
 			})
 		return out, err
+	case "gridrange":
+		var out []addr.LogicalAddr
+		err := sys.AccessPathScan(p.PathName, p.PathRanges,
+			func(_ []atom.Value, a addr.LogicalAddr) bool {
+				out = append(out, a)
+				return true
+			})
+		if err != nil {
+			return nil, err
+		}
+		// Grid buckets enumerate in directory order, which is not stable
+		// across runs; sort into system-defined (insertion) order so cursor
+		// delivery stays deterministic like every other access.
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out, nil
 	case "sortrange":
 		return sys.SortOrderAddrs(p.SortOrder, p.PathStart, p.PathStop)
 	case "cluster":
@@ -252,13 +268,15 @@ func (p *Plan) AssembleRoot(a addr.LogicalAddr) (*Molecule, error) {
 }
 
 // pushState tracks the pushed-down component conjuncts during one molecule's
-// assembly. Early pruning (abandoning the remaining assembly levels) is only
-// armed for non-recursive molecule types: their assembly cannot raise
-// recursion-depth errors, so skipping levels never hides an error the full
-// build would have reported.
+// assembly: a satisfying-atom count per conjunct, decided against the
+// conjunct's Min threshold (1 for existentials, n for EXISTS_AT_LEAST).
+// Early pruning (abandoning the remaining assembly levels) is only armed for
+// non-recursive molecule types: their assembly cannot raise recursion-depth
+// errors, so skipping levels never hides an error the full build would have
+// reported.
 type pushState struct {
 	plan      *Plan
-	satisfied []bool
+	counts    []int
 	remaining int
 	canEarly  bool
 	complete  bool // prefetch streamed the whole molecule through observe
@@ -271,19 +289,30 @@ func (p *Plan) newPushState() *pushState {
 	}
 	return &pushState{
 		plan:      p,
-		satisfied: make([]bool, len(p.CompSSA)),
+		counts:    make([]int, len(p.CompSSA)),
 		remaining: len(p.CompSSA),
 		canEarly:  !p.Mol.IsRecursive(),
 	}
 }
 
-// observe folds one streamed atom into the conjunct states.
+// minOf returns a conjunct's required count (old zero-valued conjuncts mean
+// "exists", i.e. 1).
+func minOf(cc CompCond) int {
+	if cc.Min < 1 {
+		return 1
+	}
+	return cc.Min
+}
+
+// observe folds one streamed atom into the conjunct counts. prefetch streams
+// every atom exactly once (its seen set dedupes addresses), so counts are
+// over distinct component atoms — the same set the quantifier counts.
 func (ps *pushState) observe(at *access.Atom) {
 	if ps == nil || ps.remaining == 0 {
 		return
 	}
 	for i, cc := range ps.plan.CompSSA {
-		if ps.satisfied[i] || cc.TypeName != at.Type.Name {
+		if ps.counts[i] >= minOf(cc) || cc.TypeName != at.Type.Name {
 			continue
 		}
 		ok, err := cc.SSA.Eval(at)
@@ -292,21 +321,24 @@ func (ps *pushState) observe(at *access.Atom) {
 			return
 		}
 		if ok {
-			ps.satisfied[i] = true
-			ps.remaining--
+			ps.counts[i]++
+			if ps.counts[i] >= minOf(cc) {
+				ps.remaining--
+			}
 		}
 	}
 }
 
-// unreachable reports whether some unsatisfied conjunct's component type
-// cannot appear at or below any of the frontier nodes — the molecule can be
-// pruned without assembling the remaining levels.
+// unreachable reports whether some undecided conjunct's component type
+// cannot appear at or below any of the frontier nodes — its count can no
+// longer be reached, so the molecule can be pruned without assembling the
+// remaining levels.
 func (ps *pushState) unreachable(frontier []*catalog.MolNode) bool {
 	if ps == nil || !ps.canEarly || ps.disabled || ps.remaining == 0 {
 		return false
 	}
 	for i, cc := range ps.plan.CompSSA {
-		if ps.satisfied[i] {
+		if ps.counts[i] >= minOf(cc) {
 			continue
 		}
 		reachable := false
@@ -324,25 +356,28 @@ func (ps *pushState) unreachable(frontier []*catalog.MolNode) bool {
 }
 
 // pushPruned decides the pushed-down conjuncts on the fully assembled
-// molecule: each is implicitly existential, so the molecule fails as soon as
-// one has no satisfying component atom. A pruned molecule skips residual
-// predicate evaluation entirely; a kept one still runs the full residual
-// (the conjuncts remain part of it), so pruning can only ever be a fast
-// negative.
+// molecule: each is counting-existential, so the molecule fails as soon as
+// one cannot reach its required count of satisfying component atoms. A
+// pruned molecule skips residual predicate evaluation entirely; a kept one
+// still runs the full residual (the conjuncts remain part of it), so pruning
+// can only ever be a fast negative.
 func (p *Plan) pushPruned(m *Molecule) bool {
 	for _, cc := range p.CompSSA {
-		sat := false
+		need := minOf(cc)
 		for _, ma := range m.ByType[cc.TypeName] {
 			ok, err := cc.SSA.Eval(ma.Atom)
 			if err != nil {
-				return false // leave the decision to the residual predicate
-			}
-			if ok {
-				sat = true
+				need = 0 // leave the decision to the residual predicate
 				break
 			}
+			if ok {
+				need--
+				if need <= 0 {
+					break
+				}
+			}
 		}
-		if !sat {
+		if need > 0 {
 			return true
 		}
 	}

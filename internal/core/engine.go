@@ -150,9 +150,18 @@ func (e *Engine) planConfig() planConfig {
 func (e *Engine) SetPlanCacheSize(n int) { e.plans.resize(n) }
 
 // PlanCacheStats reports plan cache hits, misses and current size. A miss is
-// counted only when a cacheable SELECT was actually planned fresh, so
-// DML/DDL traffic does not dilute the ratio.
+// counted only when a cacheable statement (SELECT, DELETE, MODIFY) was
+// actually planned fresh, so DDL and insert traffic does not dilute the
+// ratio.
 func (e *Engine) PlanCacheStats() (hits, misses uint64, size int) { return e.plans.stats() }
+
+// SetAtomCacheSize resizes (or, with n <= 0, disables) the access system's
+// decoded-atom cache.
+func (e *Engine) SetAtomCacheSize(n int) { e.sys.SetAtomCacheSize(n) }
+
+// AtomCacheStats reports the decoded-atom cache counters of the underlying
+// access system.
+func (e *Engine) AtomCacheStats() access.AtomCacheStats { return e.sys.AtomCacheStats() }
 
 // planKeyFor builds the cache key of a statement: schema version plus the
 // config snapshot that will shape the plan, then the statement text. DDL
@@ -172,7 +181,7 @@ var ErrNotSelect = errors.New("core: not a SELECT statement")
 func (e *Engine) PlanQuery(src string) (*Plan, error) {
 	cfg := e.planConfig()
 	key := e.planKeyFor(cfg, src)
-	if p := e.plans.get(key); p != nil {
+	if p, ok := e.plans.get(key).(*Plan); ok {
 		return p, nil
 	}
 	stmt, err := mql.ParseOne(src)
@@ -191,14 +200,18 @@ func (e *Engine) PlanQuery(src string) (*Plan, error) {
 	return p, nil
 }
 
-// maybeSelect reports whether the script's first keyword can be SELECT —
-// the cheap pre-filter that keeps DML/DDL scripts off the plan-cache probe.
-func maybeSelect(src string) bool {
+// maybeCacheable reports whether the script's first keyword can be a
+// plan-cacheable statement (SELECT, DELETE or MODIFY) — the cheap pre-filter
+// that keeps DDL and insert traffic off the plan-cache probe.
+func maybeCacheable(src string) bool {
 	i := 0
 	for i < len(src) && (src[i] == ' ' || src[i] == '\t' || src[i] == '\n' || src[i] == '\r') {
 		i++
 	}
-	return len(src)-i >= 6 && strings.EqualFold(src[i:i+6], "SELECT")
+	rest := len(src) - i
+	return (rest >= 6 && (strings.EqualFold(src[i:i+6], "SELECT") ||
+		strings.EqualFold(src[i:i+6], "DELETE") ||
+		strings.EqualFold(src[i:i+6], "MODIFY")))
 }
 
 // ensureResolved re-validates association symmetry after DDL. DDL scripts
@@ -228,17 +241,27 @@ type Result struct {
 }
 
 // ExecuteScript parses and executes a semicolon-separated MQL script,
-// returning one result per statement. Single-SELECT scripts are served
-// through the plan cache: a repeated statement skips parsing and planning
-// entirely and goes straight to cursor execution.
+// returning one result per statement. Single-statement SELECT, DELETE and
+// MODIFY scripts are served through the plan cache: a repeated statement
+// text skips parsing and planning entirely and goes straight to execution.
 func (e *Engine) ExecuteScript(src string) ([]*Result, error) {
 	var cfg planConfig
 	var key string
-	if maybeSelect(src) {
+	if maybeCacheable(src) {
 		cfg = e.planConfig()
 		key = e.planKeyFor(cfg, src)
-		if p := e.plans.get(key); p != nil {
-			r, err := e.runSelect(p)
+		var r *Result
+		var err error
+		hit := true
+		switch v := e.plans.get(key).(type) {
+		case *Plan:
+			r, err = e.runSelect(v)
+		case *cachedDML:
+			r, err = e.runDML(v)
+		default:
+			hit = false
+		}
+		if hit {
 			if err != nil {
 				return nil, fmt.Errorf("statement 1: %w", err)
 			}
@@ -253,11 +276,29 @@ func (e *Engine) ExecuteScript(src string) ([]*Result, error) {
 	for i, s := range stmts {
 		var r *Result
 		var err error
-		if sel, ok := s.(*mql.Select); ok && len(stmts) == 1 && key != "" {
-			var p *Plan
-			if p, err = e.planSelect(sel, cfg); err == nil {
-				e.plans.putMiss(key, p)
-				r, err = e.runSelect(p)
+		if len(stmts) == 1 && key != "" {
+			// Cacheable single statement that missed: prepare, publish, run.
+			switch v := s.(type) {
+			case *mql.Select:
+				var p *Plan
+				if p, err = e.planSelect(v, cfg); err == nil {
+					e.plans.putMiss(key, p)
+					r, err = e.runSelect(p)
+				}
+			case *mql.Delete:
+				var c *cachedDML
+				if c, err = e.prepareDelete(v, cfg); err == nil {
+					e.plans.putMiss(key, c)
+					r, err = e.runDML(c)
+				}
+			case *mql.Modify:
+				var c *cachedDML
+				if c, err = e.prepareModify(v, cfg); err == nil {
+					e.plans.putMiss(key, c)
+					r, err = e.runDML(c)
+				}
+			default:
+				r, err = e.Execute(s)
 			}
 		} else {
 			r, err = e.Execute(s)
@@ -439,40 +480,31 @@ func (e *Engine) execInsert(s *mql.Insert) (*Result, error) {
 	return res, nil
 }
 
-// execDelete deletes all component atoms of every qualified molecule
-// ("removal of single components as well as of whole component sets,
-// thereby automatically disconnecting these parts").
-func (e *Engine) execDelete(s *mql.Delete) (*Result, error) {
-	plan, err := e.PlanSelect(&mql.Select{All: true, From: s.From, Where: s.Where})
-	if err != nil {
-		return nil, err
-	}
-	cur, err := plan.Open()
-	if err != nil {
-		return nil, err
-	}
-	defer cur.Close()
-	mols, err := cur.Collect()
-	if err != nil {
-		return nil, err
-	}
-	deleted := map[addr.LogicalAddr]bool{}
-	for _, m := range mols {
-		for _, a := range m.SortedAddrs() {
-			if deleted[a] || !e.sys.Directory().Exists(a) {
-				continue
-			}
-			if err := e.sys.Delete(a); err != nil {
-				return nil, err
-			}
-			deleted[a] = true
-		}
-	}
-	return &Result{Kind: "count", Count: len(deleted), Message: fmt.Sprintf("%d atoms deleted", len(deleted))}, nil
+// cachedDML is a prepared DELETE or MODIFY statement: the qualification is a
+// prepared molecule plan (the same object the plan cache shares between
+// SELECT cursors) plus, for MODIFY, the lowered SET values. Like cached
+// SELECT plans it is immutable after preparation — changes is read-only —
+// and safe for concurrent execution.
+type cachedDML struct {
+	kind    string // "delete" | "modify"
+	plan    *Plan
+	changes map[string]atom.Value // modify only
 }
 
-func (e *Engine) execModify(s *mql.Modify) (*Result, error) {
-	plan, err := e.PlanSelect(&mql.Select{All: true, From: &mql.MolComponent{Name: s.AtomType}, Where: s.Where})
+// prepareDelete lowers a DELETE into its prepared form under one planConfig
+// snapshot.
+func (e *Engine) prepareDelete(s *mql.Delete, cfg planConfig) (*cachedDML, error) {
+	plan, err := e.planSelect(&mql.Select{All: true, From: s.From, Where: s.Where}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &cachedDML{kind: "delete", plan: plan}, nil
+}
+
+// prepareModify lowers a MODIFY into its prepared form: qualification plan
+// plus the SET values, lowered once.
+func (e *Engine) prepareModify(s *mql.Modify, cfg planConfig) (*cachedDML, error) {
+	plan, err := e.planSelect(&mql.Select{All: true, From: &mql.MolComponent{Name: s.AtomType}, Where: s.Where}, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -484,7 +516,12 @@ func (e *Engine) execModify(s *mql.Modify) (*Result, error) {
 		}
 		changes[as.Attr] = v
 	}
-	cur, err := plan.Open()
+	return &cachedDML{kind: "modify", plan: plan, changes: changes}, nil
+}
+
+// runDML executes a prepared DELETE or MODIFY.
+func (e *Engine) runDML(c *cachedDML) (*Result, error) {
+	cur, err := c.plan.Open()
 	if err != nil {
 		return nil, err
 	}
@@ -493,14 +530,48 @@ func (e *Engine) execModify(s *mql.Modify) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c.kind == "delete" {
+		deleted := map[addr.LogicalAddr]bool{}
+		for _, m := range mols {
+			for _, a := range m.SortedAddrs() {
+				if deleted[a] || !e.sys.Directory().Exists(a) {
+					continue
+				}
+				if err := e.sys.Delete(a); err != nil {
+					return nil, err
+				}
+				deleted[a] = true
+			}
+		}
+		return &Result{Kind: "count", Count: len(deleted), Message: fmt.Sprintf("%d atoms deleted", len(deleted))}, nil
+	}
 	n := 0
 	for _, m := range mols {
-		if err := e.sys.Update(m.Root.Addr(), changes); err != nil {
+		if err := e.sys.Update(m.Root.Addr(), c.changes); err != nil {
 			return nil, err
 		}
 		n++
 	}
 	return &Result{Kind: "count", Count: n, Message: fmt.Sprintf("%d atoms modified", n)}, nil
+}
+
+// execDelete deletes all component atoms of every qualified molecule
+// ("removal of single components as well as of whole component sets,
+// thereby automatically disconnecting these parts").
+func (e *Engine) execDelete(s *mql.Delete) (*Result, error) {
+	c, err := e.prepareDelete(s, e.planConfig())
+	if err != nil {
+		return nil, err
+	}
+	return e.runDML(c)
+}
+
+func (e *Engine) execModify(s *mql.Modify) (*Result, error) {
+	c, err := e.prepareModify(s, e.planConfig())
+	if err != nil {
+		return nil, err
+	}
+	return e.runDML(c)
 }
 
 func (e *Engine) execConnect(from, to mql.Expr, via string, connect bool) (*Result, error) {

@@ -144,11 +144,17 @@ func TestComponentPushdownExtraction(t *testing.T) {
 		t.Fatalf("EXISTS: CompSSA = %+v, want edge OpGT (normalized)", p.CompSSA)
 	}
 
-	// Pushdown stays conservative: non-existential quantifiers, OR trees,
+	// EXISTS_AT_LEAST is pushed count-aware: the conjunct carries its
+	// threshold so assembly can prune once the count cannot be reached.
+	p = planFor(t, e, mol+`EXISTS_AT_LEAST (2) edge: edge.length > 1.0`)
+	if len(p.CompSSA) != 1 || p.CompSSA[0].TypeName != "edge" || p.CompSSA[0].Min != 2 {
+		t.Fatalf("EXISTS_AT_LEAST: CompSSA = %+v, want edge conjunct with Min 2", p.CompSSA)
+	}
+
+	// Pushdown stays conservative: non-monotone quantifiers, OR trees,
 	// RECORD field paths and cross-type EXISTS conditions are not pushed.
 	for _, where := range []string{
 		`FOR_ALL edge: edge.length > 1.0`,
-		`EXISTS_AT_LEAST (2) edge: edge.length > 1.0`,
 		`EXISTS_EXACTLY (12) edge: edge.length > 1.0`,
 		`edge.length > 1.0 OR brep_no = 3`,
 		`point.placement.x_coord > 1.0`,

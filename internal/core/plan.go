@@ -6,6 +6,7 @@ import (
 
 	"prima/internal/access"
 	"prima/internal/access/atom"
+	"prima/internal/access/mdindex"
 	"prima/internal/catalog"
 	"prima/internal/mql"
 )
@@ -27,15 +28,18 @@ type Plan struct {
 	Root   *catalog.AtomType
 
 	// Root access choice.
-	AccessKind string // "atomscan" | "accesspath" | "pathrange" | "sortrange" | "cluster"
+	AccessKind string // "atomscan" | "accesspath" | "pathrange" | "gridrange" | "sortrange" | "cluster"
 	PathName   string // access path to use
 	PathKey    atom.Value
 	// PathStart/PathStop bound "pathrange" and "sortrange" accesses
 	// (inclusive; a superset is fine — RootSSA re-decides every root).
 	PathStart *atom.Value
 	PathStop  *atom.Value
-	SortOrder string // sort order backing a "sortrange" access
-	Cluster   string // cluster type to use
+	// PathRanges bounds a "gridrange" access: one (possibly open) inclusive
+	// interval per grid dimension, again a superset re-decided by RootSSA.
+	PathRanges []mdindex.Range
+	SortOrder  string // sort order backing a "sortrange" access
+	Cluster    string // cluster type to use
 
 	RootSSA access.SSA // pushed-down root restrictions
 	// CompSSA is the pushed-down non-root component restrictions: implicitly
@@ -52,12 +56,15 @@ type Plan struct {
 }
 
 // CompCond is one pushed-down component conjunct: the molecule is pruned
-// when no atom of TypeName satisfies the (single-condition) SSA. The
-// conjunct also stays in the residual predicate, so pushdown is only ever a
-// fast negative path — semantics never depend on it.
+// when fewer than Min distinct atoms of TypeName satisfy the
+// (single-condition) SSA — Min is 1 for implicitly existential conjuncts and
+// n for EXISTS_AT_LEAST (n). The conjunct also stays in the residual
+// predicate, so pushdown is only ever a fast negative path — semantics never
+// depend on it.
 type CompCond struct {
 	TypeName string
 	SSA      access.SSA
+	Min      int
 }
 
 // projection compiled from the SELECT list.
@@ -490,15 +497,18 @@ func (e *Engine) extractRootSSA(where mql.Expr, mol *catalog.MoleculeType, root 
 	return ssa
 }
 
-// extractComponentSSA pulls implicitly existential single-component
-// conjuncts on NON-root atom types out of the top-level AND tree — both bare
-// comparisons (edge.length > 1.0) and the explicit EXISTS form. Other
-// quantifiers (FOR_ALL, EXISTS_AT_LEAST, ...) are never pushed: their truth
-// is not monotone in "some atom satisfies the condition", so pushdown stays
+// extractComponentSSA pulls counting-existential single-component conjuncts
+// on NON-root atom types out of the top-level AND tree: bare comparisons
+// (edge.length > 1.0), the explicit EXISTS form, and EXISTS_AT_LEAST (n)
+// with its count threshold. All three are monotone in "one more atom
+// satisfies the condition", so failing to reach the count on the fully
+// observed component set proves the conjunct — and the WHERE — false. Other
+// quantifiers (FOR_ALL, EXISTS_EXACTLY, ...) are never pushed: an extra
+// satisfying atom can flip them back to false, so pushdown stays
 // conservative.
 func (e *Engine) extractComponentSSA(where mql.Expr, mol *catalog.MoleculeType, root *catalog.AtomType) []CompCond {
 	var out []CompCond
-	push := func(ref *mql.AttrRef, op access.Op, val atom.Value, mustType string) {
+	push := func(ref *mql.AttrRef, op access.Op, val atom.Value, mustType string, min int) {
 		if val.IsNull() {
 			return // IS-NULL semantics stay in the residual predicate
 		}
@@ -512,6 +522,7 @@ func (e *Engine) extractComponentSSA(where mql.Expr, mol *catalog.MoleculeType, 
 		out = append(out, CompCond{
 			TypeName: tgt.typeName,
 			SSA:      access.SSA{{Attr: tgt.attr, Op: op, Value: val}},
+			Min:      min,
 		})
 	}
 	var walk func(x mql.Expr)
@@ -524,18 +535,27 @@ func (e *Engine) extractComponentSSA(where mql.Expr, mol *catalog.MoleculeType, 
 			}
 		case *mql.Compare:
 			if ref, op, val, ok := normalizeCompare(v); ok {
-				push(ref, op, val, "")
+				push(ref, op, val, "", 1)
 			}
 		case *mql.Quant:
 			// EXISTS t: t.attr op literal is the explicit spelling of the
-			// same existential conjunct; the condition must be on the
-			// quantified type itself.
-			if v.Kind != "EXISTS" {
+			// implicit existential conjunct; EXISTS_AT_LEAST (n) raises the
+			// required count. The condition must be on the quantified type
+			// itself.
+			min := 1
+			switch v.Kind {
+			case "EXISTS":
+			case "EXISTS_AT_LEAST":
+				if v.N < 1 {
+					return // trivially true, nothing to prune on
+				}
+				min = v.N
+			default:
 				return
 			}
 			if cmp, ok := v.Cond.(*mql.Compare); ok {
 				if ref, op, val, ok := normalizeCompare(cmp); ok {
-					push(ref, op, val, v.Var)
+					push(ref, op, val, v.Var, min)
 				}
 			}
 		}
@@ -584,10 +604,11 @@ func ssaAppend(ssa *access.SSA, e *Engine, ref *mql.AttrRef, mol *catalog.Molecu
 
 // chooseRootAccess picks the cheapest root access: an access path for an
 // equality restriction on an indexed root attribute, a range-bounded BTREE
-// access path or sort-order scan for <, <=, >, >= restrictions, else an atom
-// cluster materializing the molecule, else the atom-type scan. This is the
-// molecule-type-specific optimization of §3.1 ("aware of access methods,
-// sort orders, partitions of atom types, and physical clusters").
+// access path, a multi-attribute GRID box query, or a sort-order scan for
+// <, <=, >, >= restrictions, else an atom cluster materializing the
+// molecule, else the atom-type scan. This is the molecule-type-specific
+// optimization of §3.1 ("aware of access methods, sort orders, partitions
+// of atom types, and physical clusters").
 func (e *Engine) chooseRootAccess(p *Plan, pushdown bool) {
 	schema := e.sys.Schema()
 	// Access path on an EQ-restricted root attribute.
@@ -619,6 +640,37 @@ func (e *Engine) chooseRootAccess(p *Plan, pushdown bool) {
 				return
 			}
 		}
+		// GRID access path: fold equality and range conjuncts on any subset
+		// of the grid's attributes into one inclusive box query — the
+		// multi-dimensional counterpart of the BTREE range above ("start/stop
+		// conditions ... may be specified individually for every key").
+		// Unbounded dimensions stay open; at least one must be bounded or the
+		// grid offers nothing over the atom-type scan.
+		for _, ap := range schema.AccessPathsFor(p.Root.Name) {
+			if ap.Method != "GRID" {
+				continue
+			}
+			ranges := make([]mdindex.Range, len(ap.Attrs))
+			bounded := 0
+			for i, attr := range ap.Attrs {
+				if eq, ok := eqBound(p.RootSSA, attr); ok {
+					ranges[i] = mdindex.Range{Start: eq, Stop: eq}
+					bounded++
+					continue
+				}
+				if start, stop, ok := rangeBounds(p.RootSSA, attr); ok {
+					ranges[i] = mdindex.Range{Start: start, Stop: stop}
+					bounded++
+				}
+			}
+			if bounded == 0 {
+				continue
+			}
+			p.AccessKind = "gridrange"
+			p.PathName = ap.Name
+			p.PathRanges = ranges
+			return
+		}
 		// Single-attribute ascending sort order with start/stop bounds.
 		for _, so := range schema.SortOrdersFor(p.Root.Name) {
 			if len(so.Attrs) != 1 || (len(so.Desc) > 0 && so.Desc[0]) {
@@ -640,6 +692,18 @@ func (e *Engine) chooseRootAccess(p *Plan, pushdown bool) {
 			return
 		}
 	}
+}
+
+// eqBound returns the value of an equality conjunct on the attribute, if
+// one exists.
+func eqBound(ssa access.SSA, attr string) (*atom.Value, bool) {
+	for _, c := range ssa {
+		if c.Attr == attr && c.Op == access.OpEQ {
+			v := c.Value
+			return &v, true
+		}
+	}
+	return nil, false
 }
 
 // rangeBounds folds the SSA's range conjuncts on one attribute into the

@@ -5,12 +5,14 @@ import (
 	"sync"
 )
 
-// planCache is an LRU of prepared SELECT plans keyed by statement text plus
+// planCache is an LRU of prepared statements keyed by statement text plus
 // schema version (and the planner knobs that shaped the plan), so the wire
 // server and ExecuteScript stop re-parsing and re-planning repeated queries.
-// Cached plans are immutable after preparation and shared freely: all
-// per-execution state (root streaming, assembly pipeline, predicate scratch)
-// lives in cursors or pooled scratch, never in the plan.
+// Entries are *Plan for SELECTs and *cachedDML for DELETE/MODIFY statements
+// (whose molecule qualification is itself a prepared plan). Cached entries
+// are immutable after preparation and shared freely: all per-execution state
+// (root streaming, assembly pipeline, predicate scratch) lives in cursors or
+// pooled scratch, never in the plan.
 type planCache struct {
 	mu     sync.Mutex
 	cap    int
@@ -22,17 +24,17 @@ type planCache struct {
 
 type planEntry struct {
 	key  string
-	plan *Plan
+	plan any
 }
 
 func newPlanCache(capacity int) *planCache {
 	return &planCache{cap: capacity, ll: list.New(), byKey: map[string]*list.Element{}}
 }
 
-// get returns the cached plan for the key, or nil. Misses are not counted
+// get returns the cached entry for the key, or nil. Misses are not counted
 // here — only putMiss records one, when a cacheable statement was actually
 // planned fresh — so probe traffic never skews the ratio.
-func (c *planCache) get(key string) *Plan {
+func (c *planCache) get(key string) any {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.cap <= 0 {
@@ -49,7 +51,7 @@ func (c *planCache) get(key string) *Plan {
 
 // putMiss stores a freshly planned statement and counts the miss that led
 // to it.
-func (c *planCache) putMiss(key string, p *Plan) {
+func (c *planCache) putMiss(key string, p any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.cap <= 0 {

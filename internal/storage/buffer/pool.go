@@ -225,6 +225,24 @@ func (p *Pool) Resident() int {
 	return n
 }
 
+// Pinned returns the number of currently pinned frames — the pin-accounting
+// probe behind the decoded-atom cache tests: a cache hit must leave the pool
+// untouched, so reads served above the buffer neither fix pages nor show up
+// here.
+func (p *Pool) Pinned() int {
+	n := 0
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.pins > 0 {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
 // Fix pins the page into the buffer, reading it from its segment on a miss,
 // and returns a handle. The page must exist on disk (use FixNew for pages
 // that were just allocated and never written).

@@ -99,6 +99,19 @@ func (c *Client) Local(addr uint64) (AtomJSON, bool) {
 	return a, ok
 }
 
+// Stats fetches the server's cache-hierarchy counters (decoded-atom cache,
+// buffer pool, plan cache) in one round trip.
+func (c *Client) Stats() (*StatsJSON, error) {
+	resp, err := c.call(&Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return nil, fmt.Errorf("%w: stats response without payload", ErrRemote)
+	}
+	return resp.Stats, nil
+}
+
 // FetchAtom retrieves one atom from the server — the chatty alternative to
 // Checkout used as the baseline in experiment A6.
 func (c *Client) FetchAtom(addr uint64) (AtomJSON, error) {

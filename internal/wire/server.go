@@ -198,6 +198,24 @@ func (s *Server) dispatch(req *Request) *Response {
 		}
 		aj := atomToJSON(at)
 		return &Response{OK: true, Atom: &aj}
+	case OpStats:
+		ac := s.db.System().AtomCacheStats()
+		bs := s.db.System().Pool().Stats()
+		ph, pm, ps := s.db.Engine().PlanCacheStats()
+		return &Response{OK: true, Message: s.db.Stats(), Stats: &StatsJSON{
+			AtomCacheHits:          ac.Hits,
+			AtomCacheMisses:        ac.Misses,
+			AtomCacheInvalidations: ac.Invalidations,
+			AtomCacheEvictions:     ac.Evictions,
+			AtomCacheAtoms:         ac.Atoms,
+			AtomCacheBudget:        ac.Budget,
+			BufferHits:             bs.Hits,
+			BufferMisses:           bs.Misses,
+			BufferEvictions:        bs.Evictions,
+			PlanCacheHits:          ph,
+			PlanCacheMisses:        pm,
+			PlanCacheSize:          ps,
+		}}
 	default:
 		return &Response{Error: "unknown op " + req.Op}
 	}

@@ -1,0 +1,41 @@
+package wire
+
+import (
+	"testing"
+)
+
+// TestStatsOp exercises the stats op end to end: the decoded-atom cache is
+// visible over the wire, and a repeated checkout shows up as cache hits.
+func TestStatsOp(t *testing.T) {
+	_, srv := startServer(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.AtomCacheBudget <= 0 {
+		t.Fatalf("atom cache budget = %d, want enabled by default", st.AtomCacheBudget)
+	}
+
+	const q = `SELECT ALL FROM brep-face-edge-point WHERE brep_no = 2`
+	for i := 0; i < 2; i++ {
+		if _, err := c.Checkout(q); err != nil {
+			t.Fatalf("checkout %d: %v", i, err)
+		}
+	}
+	st2, err := c.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st2.AtomCacheHits <= st.AtomCacheHits {
+		t.Fatalf("repeated checkout produced no atom cache hits (%d -> %d)", st.AtomCacheHits, st2.AtomCacheHits)
+	}
+	if st2.AtomCacheAtoms == 0 {
+		t.Fatalf("no atoms cached after checkout: %+v", st2)
+	}
+}

@@ -28,6 +28,7 @@ const (
 	OpExec     = "exec"     // run an MQL script
 	OpCheckout = "checkout" // run a SELECT, return whole molecules
 	OpGetAtom  = "getatom"  // fetch one atom (the chatty baseline)
+	OpStats    = "stats"    // server cache/buffer statistics
 )
 
 // Request is one client message.
@@ -46,9 +47,27 @@ type Response struct {
 	Inserted  []uint64       `json:"inserted,omitempty"`
 	Molecules []MoleculeJSON `json:"molecules,omitempty"`
 	Atom      *AtomJSON      `json:"atom,omitempty"`
+	Stats     *StatsJSON     `json:"stats,omitempty"`
 	// More marks a continuation frame: further frames of the same response
 	// stream follow on the connection.
 	More bool `json:"more,omitempty"`
+}
+
+// StatsJSON reports the server's cache hierarchy counters: the decoded-atom
+// cache above the page buffer, the buffer pool, and the plan cache.
+type StatsJSON struct {
+	AtomCacheHits          uint64 `json:"atomCacheHits"`
+	AtomCacheMisses        uint64 `json:"atomCacheMisses"`
+	AtomCacheInvalidations uint64 `json:"atomCacheInvalidations"`
+	AtomCacheEvictions     uint64 `json:"atomCacheEvictions"`
+	AtomCacheAtoms         int    `json:"atomCacheAtoms"`
+	AtomCacheBudget        int    `json:"atomCacheBudget"`
+	BufferHits             int64  `json:"bufferHits"`
+	BufferMisses           int64  `json:"bufferMisses"`
+	BufferEvictions        int64  `json:"bufferEvictions"`
+	PlanCacheHits          uint64 `json:"planCacheHits"`
+	PlanCacheMisses        uint64 `json:"planCacheMisses"`
+	PlanCacheSize          int    `json:"planCacheSize"`
 }
 
 // MoleculeJSON is a wire-format molecule: the flat atom set grouped by type

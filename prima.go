@@ -74,10 +74,17 @@ type Config struct {
 	// AssemblyChunk is the root chunk size for lazy root streaming and
 	// worker dispatch (default 64).
 	AssemblyChunk int
-	// PlanCacheSize caps the engine's LRU of prepared SELECT plans, keyed
-	// by statement text and schema version (0 keeps the default of
-	// core.DefaultPlanCacheSize; negative disables plan caching).
+	// PlanCacheSize caps the engine's LRU of prepared SELECT/DELETE/MODIFY
+	// plans, keyed by statement text and schema version (0 keeps the
+	// default of core.DefaultPlanCacheSize; negative disables plan caching).
 	PlanCacheSize int
+	// AtomCacheSize is the atom budget of the decoded-atom cache between
+	// the page buffer and molecule assembly: repeated checkouts of the same
+	// design objects are served from decoded memory without page fixes or
+	// codec runs. 0 keeps the default (access.DefaultAtomCacheAtoms);
+	// negative disables the cache. Size it to the hot working set's atom
+	// count.
+	AtomCacheSize int
 }
 
 // DefaultAssemblyWorkers returns the recommended degree of parallel
@@ -95,11 +102,12 @@ type DB struct {
 // Open creates or opens a database.
 func Open(cfg Config) (*DB, error) {
 	sys, err := access.Open(access.Config{
-		Dir:          cfg.Dir,
-		PageSize:     cfg.PageSize,
-		BufferBytes:  cfg.BufferBytes,
-		Policy:       cfg.Policy,
-		BufferShards: cfg.BufferShards,
+		Dir:           cfg.Dir,
+		PageSize:      cfg.PageSize,
+		BufferBytes:   cfg.BufferBytes,
+		Policy:        cfg.Policy,
+		BufferShards:  cfg.BufferShards,
+		AtomCacheSize: cfg.AtomCacheSize,
 	})
 	if err != nil {
 		return nil, err
@@ -239,10 +247,12 @@ func (db *DB) System() *access.System { return db.sys }
 // Engine exposes the data system.
 func (db *DB) Engine() *core.Engine { return db.engine }
 
-// Stats summarizes buffer and device activity.
+// Stats summarizes atom cache, buffer and device activity.
 func (db *DB) Stats() string {
+	ac := db.sys.AtomCacheStats()
 	bs := db.sys.Pool().Stats()
 	ds := db.sys.Files().Stats()
-	return fmt.Sprintf("buffer: %d hits / %d misses (%.1f%%), %d evictions; io: %s",
+	return fmt.Sprintf("atoms: %d hits / %d misses, %d invalidations, %d/%d cached; buffer: %d hits / %d misses (%.1f%%), %d evictions; io: %s",
+		ac.Hits, ac.Misses, ac.Invalidations, ac.Atoms, ac.Budget,
 		bs.Hits, bs.Misses, 100*bs.HitRatio(), bs.Evictions, ds)
 }
