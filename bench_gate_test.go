@@ -2,18 +2,21 @@
 
 package prima
 
-// The CI allocation gate: run with
+// The CI bench gate: run with
 //
-//	go test -tags benchgate -run TestRepeatedCheckoutAllocGate .
+//	go test -tags benchgate -run TestBenchGate .
 //
-// It re-runs the warm repeated-checkout benchmark with the decoded-atom
-// cache enabled and fails when allocs/op regresses beyond the committed
-// baseline (BENCH_baseline.json) times its headroom factor. Allocation
-// counts are deterministic across machines — unlike wall clock — which is
-// what makes this gate CI-stable. When a PR legitimately changes the
-// allocation profile, re-measure with `go test -run=NONE
-// -bench=BenchmarkRepeatedCheckout -benchmem .` and update the baseline in
-// the same commit.
+// It re-runs the warm repeated-checkout and the parallel-materialization
+// benchmarks and fails when allocs/op or ns/op regresses beyond the
+// committed baseline (BENCH_baseline.json) times its headroom factor.
+// Allocation counts are deterministic across machines — unlike wall clock —
+// so the allocs headroom is tight (1.25x); the ns/op entries exist to catch
+// order-of-magnitude wall-clock cliffs and carry a wide CI-stability
+// headroom (3x). When a PR legitimately changes a profile, re-measure with
+//
+//	go test -run=NONE -bench='BenchmarkRepeatedCheckout|BenchmarkParallelMaterialization' -benchmem .
+//
+// and update the baseline in the same commit.
 
 import (
 	"encoding/json"
@@ -22,11 +25,20 @@ import (
 )
 
 type benchBaseline struct {
-	AllocsPerOp float64 `json:"allocs_per_op"`
-	Headroom    float64 `json:"headroom"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Headroom    float64 `json:"headroom,omitempty"` // allocs/op headroom factor
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	NsHeadroom  float64 `json:"ns_headroom,omitempty"`
 }
 
-func TestRepeatedCheckoutAllocGate(t *testing.T) {
+// gatedBenchmarks maps baseline keys to the benchmark bodies they gate.
+var gatedBenchmarks = map[string]func(b *testing.B){
+	"BenchmarkRepeatedCheckout/cache_on":         func(b *testing.B) { benchRepeatedCheckout(b, 1<<16) },
+	"BenchmarkParallelMaterialization/serial":    func(b *testing.B) { benchParallelMaterialization(b, 1) },
+	"BenchmarkParallelMaterialization/parallel8": func(b *testing.B) { benchParallelMaterialization(b, 8) },
+}
+
+func TestBenchGate(t *testing.T) {
 	data, err := os.ReadFile("BENCH_baseline.json")
 	if err != nil {
 		t.Fatalf("read baseline: %v", err)
@@ -35,18 +47,38 @@ func TestRepeatedCheckoutAllocGate(t *testing.T) {
 	if err := json.Unmarshal(data, &baselines); err != nil {
 		t.Fatalf("parse baseline: %v", err)
 	}
-	base, ok := baselines["BenchmarkRepeatedCheckout/cache_on"]
-	if !ok || base.AllocsPerOp <= 0 || base.Headroom < 1 {
-		t.Fatalf("baseline missing or malformed: %+v", base)
-	}
-
-	res := testing.Benchmark(func(b *testing.B) { benchRepeatedCheckout(b, 1<<16) })
-	got := float64(res.AllocsPerOp())
-	limit := base.AllocsPerOp * base.Headroom
-	t.Logf("warm repeated checkout: %.0f allocs/op (baseline %.0f, limit %.0f)", got, base.AllocsPerOp, limit)
-	if got > limit {
-		t.Fatalf("allocs/op regression: %.0f > limit %.0f (baseline %.0f x headroom %.2f) — "+
-			"fix the regression or re-measure and update BENCH_baseline.json",
-			got, limit, base.AllocsPerOp, base.Headroom)
+	for name, base := range baselines {
+		fn, ok := gatedBenchmarks[name]
+		if !ok {
+			t.Fatalf("baseline %q has no registered benchmark", name)
+		}
+		if base.AllocsPerOp <= 0 && base.NsPerOp <= 0 {
+			t.Fatalf("baseline %q is empty: %+v", name, base)
+		}
+		res := testing.Benchmark(fn)
+		if base.AllocsPerOp > 0 {
+			if base.Headroom < 1 {
+				t.Fatalf("baseline %q: allocs headroom %v < 1", name, base.Headroom)
+			}
+			got, limit := float64(res.AllocsPerOp()), base.AllocsPerOp*base.Headroom
+			t.Logf("%s: %.0f allocs/op (baseline %.0f, limit %.0f)", name, got, base.AllocsPerOp, limit)
+			if got > limit {
+				t.Errorf("%s: allocs/op regression: %.0f > limit %.0f (baseline %.0f x headroom %.2f) — "+
+					"fix the regression or re-measure and update BENCH_baseline.json",
+					name, got, limit, base.AllocsPerOp, base.Headroom)
+			}
+		}
+		if base.NsPerOp > 0 {
+			if base.NsHeadroom < 1 {
+				t.Fatalf("baseline %q: ns headroom %v < 1", name, base.NsHeadroom)
+			}
+			got, limit := float64(res.NsPerOp()), base.NsPerOp*base.NsHeadroom
+			t.Logf("%s: %.0f ns/op (baseline %.0f, limit %.0f)", name, got, base.NsPerOp, limit)
+			if got > limit {
+				t.Errorf("%s: ns/op regression: %.0f > limit %.0f (baseline %.0f x headroom %.2f) — "+
+					"fix the regression or re-measure and update BENCH_baseline.json",
+					name, got, limit, base.NsPerOp, base.NsHeadroom)
+			}
+		}
 	}
 }

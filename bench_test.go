@@ -7,6 +7,7 @@ package prima
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"prima/internal/access"
@@ -402,40 +403,105 @@ func BenchmarkDeferredUpdate(b *testing.B) {
 	})
 }
 
+// benchParallelMaterialization is the multi-level molecule scan shared by
+// BenchmarkParallelMaterialization and the CI bench gate.
+func benchParallelMaterialization(b *testing.B, workers int) {
+	db := benchScene(b, 64, "")
+	db.Engine().SetAssemblyWorkers(workers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur, err := db.Query(`SELECT ALL FROM brep-face-edge-point`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mols, err := cur.Collect()
+		cur.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(mols) != 64 {
+			b.Fatal("lost molecules")
+		}
+	}
+}
+
 // BenchmarkParallelMaterialization pits the streaming, parallel molecule
 // materialization pipeline against the serial cursor on a multi-level
 // molecule scan — the acceptance benchmark of the pipeline refactor: on a
 // multi-core host the parallel cursor should deliver the same molecule set
-// at a multiple of the serial rate.
+// at a multiple of the serial rate (speedup requires multiple CPUs; see
+// EXPERIMENTS.md).
 func BenchmarkParallelMaterialization(b *testing.B) {
-	workers := DefaultAssemblyWorkers()
-	for _, tc := range []struct {
-		name    string
-		workers int
-	}{
-		{"serial", 1},
-		{fmt.Sprintf("parallel%d", workers), workers},
-	} {
-		b.Run(tc.name, func(b *testing.B) {
-			db := benchScene(b, 64, "")
-			db.Engine().SetAssemblyWorkers(tc.workers)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				cur, err := db.Query(`SELECT ALL FROM brep-face-edge-point`)
-				if err != nil {
-					b.Fatal(err)
-				}
-				mols, err := cur.Collect()
-				cur.Close()
-				if err != nil {
-					b.Fatal(err)
-				}
-				if len(mols) != 64 {
-					b.Fatal("lost molecules")
-				}
+	b.Run("serial", func(b *testing.B) { benchParallelMaterialization(b, 1) })
+	b.Run("parallel8", func(b *testing.B) { benchParallelMaterialization(b, 8) })
+}
+
+// benchSnapshotScanUnderDML runs the molecule scan while a writer goroutine
+// continuously mutates the scanned atoms and churns unrelated ones: every
+// cursor reads at its open epoch, so the molecule count must hold exactly.
+func benchSnapshotScanUnderDML(b *testing.B, workers int) {
+	db := benchScene(b, 64, "")
+	db.Engine().SetAssemblyWorkers(workers)
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
 			}
-		})
+			script := fmt.Sprintf(
+				`MODIFY face SET square_dim = %d.5 WHERE square_dim > 0.0;
+				 INSERT INTO solid (solid_no) VALUES (%d);
+				 DELETE FROM solid WHERE solid_no = %d`,
+				i%100, 100000+i, 100000+i)
+			if _, err := db.Exec(script); err != nil {
+				select {
+				case errc <- err:
+				default:
+				}
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur, err := db.Query(`SELECT ALL FROM brep-face-edge-point`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mols, err := cur.Collect()
+		cur.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(mols) != 64 {
+			b.Fatalf("scan under DML delivered %d molecules, want 64", len(mols))
+		}
 	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		b.Fatalf("concurrent DML: %v", err)
+	default:
+	}
+}
+
+// BenchmarkSnapshotScanUnderDML is the acceptance benchmark of snapshot-
+// isolated cursors: parallel assembly keeps its read-ahead win while mixed
+// DELETE/MODIFY/INSERT traffic runs against the scanned set, because
+// snapshots make the interleaving safe — no result drift, no torn molecules
+// (speedup requires multiple CPUs; see EXPERIMENTS.md).
+func BenchmarkSnapshotScanUnderDML(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchSnapshotScanUnderDML(b, 1) })
+	b.Run("parallel8", func(b *testing.B) { benchSnapshotScanUnderDML(b, 8) })
 }
 
 // BenchmarkSemanticParallelism (A5): worker sweep over a molecule-set query

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"prima/internal/access/addr"
+	"prima/internal/access/atom"
 )
 
 // Decoded-atom cache (the "atom buffer" above the page buffer that PRIMA's
@@ -14,18 +15,26 @@ import (
 // plus a codec run per atom on every Get. The cache keeps fully decoded,
 // immutable Atom values keyed by logical address, lock-striped like the
 // buffer pool so concurrent molecule assemblers do not serialize on one
-// latch, and bounded by an atom budget with per-shard LRU replacement.
+// latch, and bounded by a byte-accounted budget with per-shard LRU
+// replacement: the budget is configured in atoms (the user-facing unit) but
+// charged by each atom's estimated decoded footprint, so wide CAD atoms
+// displace proportionally more narrow ones instead of blowing the memory
+// envelope. Negative entries remember that an address does not exist —
+// existence probes against deleted atoms (frequent in back-reference
+// maintenance and cursor filtering) then skip the directory miss path.
 //
 // Correctness under concurrent DML rests on per-address version stamps:
 // every mutation bumps the address's stamp *before* it drops the cache
-// entry, and readers capture the stamp before touching page bytes and only
-// publish their decode if the stamp is unchanged at insert time (checked
-// under the shard lock). A decode raced by a writer therefore either fails
-// the stamp check, or is inserted before the writer's drop and removed by
-// it — a stale value can never outlive the mutation that made it stale.
-// Stamps are striped over a fixed array (collisions only cause spurious
-// re-decodes, never stale hits), so the stamp table stays O(1) in the
-// database size.
+// entry, and readers capture the stamp before touching page bytes (or
+// probing the directory, for negative entries) and only publish their
+// result if the stamp is unchanged at insert time (checked under the shard
+// lock). A decode raced by a writer therefore either fails the stamp check,
+// or is inserted before the writer's drop and removed by it — a stale value
+// can never outlive the mutation that made it stale. Inserts and
+// resurrections bump the stamp too, so a negative entry can never outlive
+// the atom coming (back) into existence. Stamps are striped over a fixed
+// array (collisions only cause spurious re-decodes, never stale hits), so
+// the stamp table stays O(1) in the database size.
 
 // acStampStripes is the size of the version-stamp array (power of two).
 const acStampStripes = 4096
@@ -34,14 +43,24 @@ const acStampStripes = 4096
 // cache.
 const DefaultAtomCacheAtoms = 8192
 
+// acMinAtomCost is the byte floor charged per cached atom. It converts the
+// atom-denominated budget into bytes (budget × acMinAtomCost) and
+// guarantees the cache never holds more atoms than its configured budget,
+// however narrow they are.
+const acMinAtomCost = 256
+
+// acNegCost is the bytes charged for a negative entry.
+const acNegCost = 64
+
 // AtomCacheStats is a snapshot of the decoded-atom cache counters.
 type AtomCacheStats struct {
 	Hits          uint64 // reads served without a page fix or codec run
 	Misses        uint64 // reads that went to the buffer pool
 	Invalidations uint64 // cached atoms dropped by writes
 	Evictions     uint64 // cached atoms dropped by the LRU budget
-	Atoms         int    // currently cached atoms
+	Atoms         int    // currently cached atoms (excluding negative entries)
 	Budget        int    // configured atom budget (0 = disabled)
+	Bytes         int    // accounted bytes currently cached
 }
 
 // acCounters is the cache's statistics block. It lives on the System, not
@@ -54,18 +73,22 @@ type acCounters struct {
 	evictions     atomic.Uint64
 }
 
-// acEntry is one cached decoded atom.
+// acEntry is one cached result: a decoded atom, or — with at == nil — the
+// negative fact that the address does not exist. size is the accounted
+// footprint.
 type acEntry struct {
-	a  addr.LogicalAddr
-	at *Atom
+	a    addr.LogicalAddr
+	at   *Atom
+	size int
 }
 
-// acShard is one lock stripe: an LRU over its slice of the atom budget.
+// acShard is one lock stripe: an LRU over its slice of the byte budget.
 type acShard struct {
-	mu      sync.Mutex
-	cap     int
-	ll      *list.List // front = most recently used
-	entries map[addr.LogicalAddr]*list.Element
+	mu       sync.Mutex
+	capBytes int
+	bytes    int
+	ll       *list.List // front = most recently used
+	entries  map[addr.LogicalAddr]*list.Element
 }
 
 // atomCache is the sharded decoded-atom cache. The System holds it through
@@ -106,12 +129,12 @@ func newAtomCache(budget, n int, stamps *[acStampStripes]atomic.Uint64, stats *a
 		stamps: stamps,
 		stats:  stats,
 	}
-	per := budget / shards
-	if per < 1 {
-		per = 1
+	per := budget * acMinAtomCost / shards
+	if per < acMinAtomCost {
+		per = acMinAtomCost
 	}
 	for i := range c.shards {
-		c.shards[i] = &acShard{cap: per, ll: list.New(), entries: make(map[addr.LogicalAddr]*list.Element)}
+		c.shards[i] = &acShard{capBytes: per, ll: list.New(), entries: make(map[addr.LogicalAddr]*list.Element)}
 	}
 	return c
 }
@@ -130,8 +153,32 @@ func (c *atomCache) stampOf(a addr.LogicalAddr) *atomic.Uint64 {
 	return &c.stamps[acHash(a)&(acStampStripes-1)]
 }
 
-// get returns the cached decode of a, if present. The returned Atom is
-// shared and must be treated as immutable by every caller.
+// valueFootprint estimates the decoded in-memory bytes of one value.
+func valueFootprint(v atom.Value) int {
+	n := 48 + len(v.S)
+	for _, e := range v.E {
+		n += valueFootprint(e)
+	}
+	return n
+}
+
+// atomFootprint estimates the decoded in-memory bytes of an atom, floored at
+// acMinAtomCost so the byte budget never admits more atoms than the
+// configured atom budget.
+func atomFootprint(at *Atom) int {
+	n := 96
+	for _, v := range at.Values {
+		n += valueFootprint(v)
+	}
+	if n < acMinAtomCost {
+		n = acMinAtomCost
+	}
+	return n
+}
+
+// get returns the cached result for a, if present: ok with a non-nil Atom is
+// a decode hit (shared, immutable — callers must not modify it); ok with a
+// nil Atom is a negative hit (the address is known not to exist).
 func (c *atomCache) get(a addr.LogicalAddr) (*Atom, bool) {
 	sh := c.shardOf(a)
 	sh.mu.Lock()
@@ -149,16 +196,22 @@ func (c *atomCache) get(a addr.LogicalAddr) (*Atom, bool) {
 }
 
 // stamp captures a's version stamp. Readers call it before fixing any page
-// of the atom's record; put refuses the decode if the stamp moved since.
+// of the atom's record (or probing the directory); put refuses the result if
+// the stamp moved since.
 func (c *atomCache) stamp(a addr.LogicalAddr) uint64 {
 	return c.stampOf(a).Load()
 }
 
-// put publishes a decoded atom captured under the given stamp. The stamp is
-// re-checked under the shard lock: a concurrent writer has either already
-// bumped it (the decode is discarded) or will drop the entry after its own
-// bump (the transient entry cannot survive the write).
+// put publishes a result captured under the given stamp: a decoded atom, or
+// a negative entry with at == nil. The stamp is re-checked under the shard
+// lock: a concurrent writer has either already bumped it (the result is
+// discarded) or will drop the entry after its own bump (the transient entry
+// cannot survive the write).
 func (c *atomCache) put(a addr.LogicalAddr, at *Atom, stamp uint64) {
+	size := acNegCost
+	if at != nil {
+		size = atomFootprint(at)
+	}
 	sh := c.shardOf(a)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -166,43 +219,57 @@ func (c *atomCache) put(a addr.LogicalAddr, at *Atom, stamp uint64) {
 		return
 	}
 	if el, ok := sh.entries[a]; ok {
-		el.Value.(*acEntry).at = at
+		e := el.Value.(*acEntry)
+		sh.bytes += size - e.size
+		e.at, e.size = at, size
 		sh.ll.MoveToFront(el)
-		return
+	} else {
+		sh.entries[a] = sh.ll.PushFront(&acEntry{a: a, at: at, size: size})
+		sh.bytes += size
 	}
-	sh.entries[a] = sh.ll.PushFront(&acEntry{a: a, at: at})
-	for sh.ll.Len() > sh.cap {
+	// Evict from the cold end; the entry just touched sits at the front, so
+	// even one over-budget atom stays cached alone.
+	for sh.bytes > sh.capBytes && sh.ll.Len() > 1 {
 		el := sh.ll.Back()
 		sh.ll.Remove(el)
-		delete(sh.entries, el.Value.(*acEntry).a)
+		e := el.Value.(*acEntry)
+		delete(sh.entries, e.a)
+		sh.bytes -= e.size
 		c.stats.evictions.Add(1)
 	}
 }
 
 // invalidate is the write barrier: it bumps a's version stamp first (so
-// readers mid-decode cannot publish a pre-write image afterwards) and then
-// drops any cached entry under the shard lock.
+// readers mid-decode cannot publish a pre-write image — or a pre-insert
+// negative entry — afterwards) and then drops any cached entry under the
+// shard lock.
 func (c *atomCache) invalidate(a addr.LogicalAddr) {
 	c.stampOf(a).Add(1)
 	sh := c.shardOf(a)
 	sh.mu.Lock()
 	if el, ok := sh.entries[a]; ok {
 		sh.ll.Remove(el)
+		sh.bytes -= el.Value.(*acEntry).size
 		delete(sh.entries, a)
 		c.stats.invalidations.Add(1)
 	}
 	sh.mu.Unlock()
 }
 
-// size returns the number of cached atoms.
-func (c *atomCache) size() int {
-	n := 0
+// size returns the number of cached atoms (negative entries excluded) and
+// the accounted bytes.
+func (c *atomCache) size() (atoms, bytes int) {
 	for _, sh := range c.shards {
 		sh.mu.Lock()
-		n += sh.ll.Len()
+		for el := sh.ll.Front(); el != nil; el = el.Next() {
+			if el.Value.(*acEntry).at != nil {
+				atoms++
+			}
+		}
+		bytes += sh.bytes
 		sh.mu.Unlock()
 	}
-	return n
+	return atoms, bytes
 }
 
 // --- System integration -------------------------------------------------------
@@ -211,8 +278,8 @@ func (c *atomCache) size() int {
 func (s *System) cache() *atomCache { return s.atoms.Load() }
 
 // cacheInvalidate is called by every mutation after the primary record
-// changed (update, delete, resurrect); see atomCache.invalidate for why the
-// post-write barrier alone is sufficient.
+// changed (insert, update, delete, resurrect); see atomCache.invalidate for
+// why the post-write barrier alone is sufficient.
 func (s *System) cacheInvalidate(a addr.LogicalAddr) {
 	if c := s.atoms.Load(); c != nil {
 		c.invalidate(a)
@@ -233,8 +300,8 @@ func (s *System) SetAtomCacheSize(n int) {
 }
 
 // AtomCacheStats returns a snapshot of the decoded-atom cache counters.
-// Counters accumulate over the System's lifetime; Atoms and Budget reflect
-// the live configuration (both 0 while disabled).
+// Counters accumulate over the System's lifetime; Atoms, Bytes and Budget
+// reflect the live configuration (all 0 while disabled).
 func (s *System) AtomCacheStats() AtomCacheStats {
 	st := AtomCacheStats{
 		Hits:          s.acStats.hits.Load(),
@@ -243,7 +310,7 @@ func (s *System) AtomCacheStats() AtomCacheStats {
 		Evictions:     s.acStats.evictions.Load(),
 	}
 	if c := s.atoms.Load(); c != nil {
-		st.Atoms = c.size()
+		st.Atoms, st.Bytes = c.size()
 		st.Budget = c.budget
 	}
 	return st

@@ -44,6 +44,10 @@ func (s *System) GetBatch(addrs []addr.LogicalAddr, attrs []string) ([]*Atom, er
 	for i, a := range addrs {
 		if cache != nil {
 			if at, ok := cache.get(a); ok {
+				if at == nil {
+					// Negative hit: the address is known not to exist.
+					return nil, fmt.Errorf("%w: %v", ErrNoAtom, a)
+				}
 				out[i] = at
 				continue
 			}
@@ -67,15 +71,20 @@ func (s *System) GetBatch(addrs []addr.LogicalAddr, attrs []string) ([]*Atom, er
 			stamps = make([]uint64, len(idxs))
 		}
 		for j, i := range idxs {
+			if cache != nil {
+				// Capture before the directory probe and page read, like Get
+				// does.
+				stamps[j] = cache.stamp(addrs[i])
+			}
 			ref, ok := s.dir.LookupStruct(addrs[i], 0)
 			if !ok {
+				if cache != nil {
+					// Publish the negative fact, like Get does.
+					cache.put(addrs[i], nil, stamps[j])
+				}
 				return nil, fmt.Errorf("%w: %v", ErrNoAtom, addrs[i])
 			}
 			rids[j] = ref.Where
-			if cache != nil {
-				// Capture before the page read, like Get does.
-				stamps[j] = cache.stamp(addrs[i])
-			}
 		}
 		prim, err := s.primary(t)
 		if err != nil {

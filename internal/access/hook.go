@@ -123,6 +123,7 @@ func (s *System) RawDelete(a addr.LogicalAddr) error {
 	if err != nil {
 		return err
 	}
+	defer s.mvBegin(a, cur)()
 	defer s.cacheInvalidate(a)
 	for _, ap := range s.accessPathsOf(t.Name) {
 		if err := s.indexDelete(ap, cur.Values, a); err != nil {
@@ -185,12 +186,16 @@ func (s *System) RawResurrect(a addr.LogicalAddr, values []atom.Value) error {
 	if err != nil {
 		return err
 	}
+	// Snapshot readers from before the resurrection must keep seeing the
+	// address as absent: install a tombstone pre-image before reviving.
+	defer s.mvBegin(a, nil)()
 	if err := s.dir.Revive(a); err != nil {
 		return err
 	}
 	// The address is being re-used: make sure no decode captured before the
 	// delete can be published against the resurrected atom (deferred so
-	// failed resurrections are covered too).
+	// failed resurrections are covered too; the bump also drops any negative
+	// cache entry recorded while the atom was deleted).
 	defer s.cacheInvalidate(a)
 	prim, err := s.primary(t)
 	if err != nil {

@@ -1,0 +1,506 @@
+package access
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"prima/internal/access/addr"
+)
+
+// Multi-version atom store: the generalization of the decoded-atom cache's
+// per-address version stamps into real snapshot isolation. Writers install
+// the immutable pre-image of every atom they touch before mutating any
+// physical record; readers that opened a Snapshot resolve each address
+// against the epoch they captured at open, so a cursor that reads ahead of
+// its consumer (the parallel assembly pipeline) can never observe a writer's
+// mutation mid-iteration. Old versions are reclaimed as soon as no open
+// snapshot can reach them — GC is driven by write completion and by
+// Snapshot.Close, so a write-only or snapshot-free workload keeps every
+// chain empty and pays a single atomic load per read.
+//
+// Epochs come from one global write counter (the generalized version stamp):
+// a write span gets id w = nextW+1 and stays "active" until its mutation is
+// complete; a snapshot opens at epoch e = min(active)-1 (or nextW when no
+// write is in flight), so every write that could still change state has
+// w > e and every write with w <= e had fully finished before the snapshot
+// existed. A chain entry {w, pre} means "pre was the atom's image before
+// write w"; nil pre is a tombstone ("the atom did not exist before w",
+// installed by inserts and resurrections). Resolving address a at epoch e
+// takes the image of the first chain entry with w > e; an undecided chain
+// means the current state already is the epoch's state.
+
+// mvShardCount is the number of chain-map lock stripes (power of two).
+const mvShardCount = 64
+
+// mvSweepThreshold triggers a full sweep from writeEnd when the total number
+// of chain entries exceeds it — a safety net against long-lived snapshots
+// accumulating unbounded history while targeted pruning is blocked.
+const mvSweepThreshold = 512
+
+// mvVersion is one chain entry: the atom image visible at epochs < w.
+// at == nil records that the atom did not exist before write w.
+type mvVersion struct {
+	w  uint64
+	at *Atom
+}
+
+// mvShard is one lock stripe of the chain map.
+type mvShard struct {
+	mu     sync.Mutex
+	chains map[addr.LogicalAddr][]mvVersion
+}
+
+// mvStore is the multi-version store: sharded pre-image chains plus the
+// epoch registry (write counter, in-flight writes, open snapshots).
+type mvStore struct {
+	// entries counts chain entries across all shards. It is incremented
+	// before an entry is installed and decremented after removal, so
+	// entries == 0 proves no chain entry exists or is being installed —
+	// the read fast path is a single atomic load.
+	entries atomic.Int64
+
+	shards [mvShardCount]mvShard
+
+	mu      sync.Mutex
+	nextW   uint64              // last write id handed out
+	active  map[uint64]struct{} // write ids still mutating
+	snaps   map[uint64]int      // open snapshots per epoch (refcounted)
+	minSnap uint64              // min key of snaps (valid while len(snaps) > 0)
+}
+
+func newMVStore() *mvStore {
+	m := &mvStore{
+		active: make(map[uint64]struct{}),
+		snaps:  make(map[uint64]int),
+	}
+	for i := range m.shards {
+		m.shards[i].chains = make(map[addr.LogicalAddr][]mvVersion)
+	}
+	return m
+}
+
+func (m *mvStore) shardOf(a addr.LogicalAddr) *mvShard {
+	return &m.shards[acHash(a)&(mvShardCount-1)]
+}
+
+// epochLocked returns the current snapshot epoch: the newest write id whose
+// effects (and those of every older write) are fully applied.
+func (m *mvStore) epochLocked() uint64 {
+	e := m.nextW
+	for w := range m.active {
+		if w-1 < e {
+			e = w - 1
+		}
+	}
+	return e
+}
+
+// reclaimLimitLocked returns the highest write id whose pre-images no open
+// snapshot can reach: entries with w <= limit are dead.
+func (m *mvStore) reclaimLimitLocked() uint64 {
+	limit := m.epochLocked()
+	if len(m.snaps) > 0 && m.minSnap < limit {
+		limit = m.minSnap
+	}
+	return limit
+}
+
+// writeBegin opens a write span for atom a and installs its pre-image
+// (nil = the atom does not exist yet). It must be called before any physical
+// record of the atom changes; the returned id closes the span via writeEnd.
+func (m *mvStore) writeBegin(a addr.LogicalAddr, pre *Atom) uint64 {
+	m.mu.Lock()
+	m.nextW++
+	w := m.nextW
+	m.active[w] = struct{}{}
+	m.mu.Unlock()
+
+	// Count before installing: a reader that loads entries == 0 after its
+	// record read therefore cannot have raced this span's mutation (the
+	// mutation only starts after the install below).
+	m.entries.Add(1)
+	sh := m.shardOf(a)
+	sh.mu.Lock()
+	chain := sh.chains[a]
+	// Sorted insert: ids are assigned under the registry lock but installed
+	// under the shard lock, so two writers of nearby atoms can interleave.
+	i := len(chain)
+	for i > 0 && chain[i-1].w > w {
+		i--
+	}
+	chain = append(chain, mvVersion{})
+	copy(chain[i+1:], chain[i:])
+	chain[i] = mvVersion{w: w, at: pre}
+	sh.chains[a] = chain
+	sh.mu.Unlock()
+	return w
+}
+
+// writeEnd closes write span w over atom a and reclaims whatever history
+// became unreachable. With no snapshot open this prunes the just-installed
+// entry immediately, so chains stay empty in steady state.
+func (m *mvStore) writeEnd(a addr.LogicalAddr, w uint64) {
+	m.mu.Lock()
+	delete(m.active, w)
+	limit := m.reclaimLimitLocked()
+	m.mu.Unlock()
+	m.pruneChain(a, limit)
+	if m.entries.Load() > mvSweepThreshold {
+		m.sweep(limit)
+	}
+}
+
+// pruneChain drops a's entries with w <= limit (a prefix: chains are sorted).
+func (m *mvStore) pruneChain(a addr.LogicalAddr, limit uint64) {
+	sh := m.shardOf(a)
+	sh.mu.Lock()
+	chain := sh.chains[a]
+	n := 0
+	for n < len(chain) && chain[n].w <= limit {
+		n++
+	}
+	if n > 0 {
+		if n == len(chain) {
+			delete(sh.chains, a)
+		} else {
+			sh.chains[a] = append([]mvVersion(nil), chain[n:]...)
+		}
+	}
+	sh.mu.Unlock()
+	if n > 0 {
+		m.entries.Add(int64(-n))
+	}
+}
+
+// sweep reclaims dead entries across all shards.
+func (m *mvStore) sweep(limit uint64) {
+	var removed int64
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for a, chain := range sh.chains {
+			n := 0
+			for n < len(chain) && chain[n].w <= limit {
+				n++
+			}
+			if n == 0 {
+				continue
+			}
+			removed += int64(n)
+			if n == len(chain) {
+				delete(sh.chains, a)
+			} else {
+				sh.chains[a] = append([]mvVersion(nil), chain[n:]...)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if removed > 0 {
+		m.entries.Add(-removed)
+	}
+}
+
+// versionAt resolves address a at epoch e against the chains. ok reports
+// whether the chains decide the address at all; a decided nil image means
+// the atom did not exist at e.
+func (m *mvStore) versionAt(a addr.LogicalAddr, e uint64) (*Atom, bool) {
+	if m.entries.Load() == 0 {
+		return nil, false
+	}
+	sh := m.shardOf(a)
+	sh.mu.Lock()
+	for _, v := range sh.chains[a] {
+		if v.w > e {
+			at := v.at
+			sh.mu.Unlock()
+			return at, true
+		}
+	}
+	sh.mu.Unlock()
+	return nil, false
+}
+
+// chainAddrsOf collects the addresses of the given type with sequence number
+// in (after, bound] whose chains prove they existed at epoch e — the "ghost"
+// complement a snapshot scan merges with the directory's live range (atoms
+// deleted after e are gone from the directory but must still enumerate).
+func (m *mvStore) chainAddrsOf(tid addr.TypeID, after, bound, e uint64) []addr.LogicalAddr {
+	if m.entries.Load() == 0 {
+		return nil
+	}
+	var out []addr.LogicalAddr
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for a, chain := range sh.chains {
+			if a.Type() != tid {
+				continue
+			}
+			if s := a.Seq(); s <= after || s > bound {
+				continue
+			}
+			for _, v := range chain {
+				if v.w > e {
+					if v.at != nil {
+						out = append(out, a)
+					}
+					break
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq() < out[j].Seq() })
+	return out
+}
+
+// --- write span integration ----------------------------------------------------
+
+// mvBegin opens a write span for a with the given pre-image and returns the
+// closure that closes it; mutation paths use `defer s.mvBegin(a, pre)()` so
+// the span covers exactly the mutation (install happens at the defer
+// statement, before any record changes; the close runs on every exit path).
+func (s *System) mvBegin(a addr.LogicalAddr, pre *Atom) func() {
+	w := s.mv.writeBegin(a, pre)
+	return func() { s.mv.writeEnd(a, w) }
+}
+
+// --- snapshots ------------------------------------------------------------------
+
+// Snapshot is a consistent read view of the atom store: every Get, GetBatch,
+// Exists and address scan resolves against the epoch captured at open, no
+// matter which writes commit concurrently. Snapshots are cheap (no data is
+// copied at open; history accumulates only for atoms actually written while
+// the snapshot is open) and must be Closed so their history can be
+// reclaimed. Safe for concurrent use.
+type Snapshot struct {
+	sys    *System
+	epoch  uint64
+	closed atomic.Bool
+}
+
+// OpenSnapshot captures the current epoch as a consistent read view.
+func (s *System) OpenSnapshot() *Snapshot {
+	m := s.mv
+	m.mu.Lock()
+	e := m.epochLocked()
+	m.snapRefLocked(e)
+	m.mu.Unlock()
+	return &Snapshot{sys: s, epoch: e}
+}
+
+// SnapshotAt pins an additional snapshot at an epoch the caller already
+// holds open through another live snapshot (the transaction layer shares
+// its transaction-begin epoch with the cursors opened inside). Pinning an
+// epoch no live snapshot holds would read reclaimed history and is invalid.
+func (s *System) SnapshotAt(epoch uint64) *Snapshot {
+	m := s.mv
+	m.mu.Lock()
+	m.snapRefLocked(epoch)
+	m.mu.Unlock()
+	return &Snapshot{sys: s, epoch: epoch}
+}
+
+func (m *mvStore) snapRefLocked(e uint64) {
+	if len(m.snaps) == 0 || e < m.minSnap {
+		m.minSnap = e
+	}
+	m.snaps[e]++
+}
+
+// Epoch returns the snapshot's epoch.
+func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
+
+// Close releases the snapshot and reclaims history only it kept alive.
+// Idempotent; nil-safe.
+func (sn *Snapshot) Close() {
+	if sn == nil || sn.closed.Swap(true) {
+		return
+	}
+	m := sn.sys.mv
+	m.mu.Lock()
+	if n := m.snaps[sn.epoch]; n > 1 {
+		m.snaps[sn.epoch] = n - 1
+	} else {
+		delete(m.snaps, sn.epoch)
+		if len(m.snaps) > 0 && sn.epoch == m.minSnap {
+			min := uint64(math.MaxUint64)
+			for e := range m.snaps {
+				if e < min {
+					min = e
+				}
+			}
+			m.minSnap = min
+		}
+	}
+	limit := m.reclaimLimitLocked()
+	m.mu.Unlock()
+	if m.entries.Load() > 0 {
+		m.sweep(limit)
+	}
+}
+
+// Resolve reads address a at the snapshot's epoch: a decided chain serves
+// the historic image (or reports the atom as not existing at the epoch);
+// otherwise fetch supplies the current state, re-checked against the chains
+// afterwards. The re-check closes the race with a writer whose span opened
+// after the first check: pre-images are installed before any record changes,
+// so a fetch that observed a mutation always finds the pre-image installed.
+func (sn *Snapshot) Resolve(a addr.LogicalAddr, fetch func() (*Atom, error)) (*Atom, error) {
+	if at, ok := sn.sys.mv.versionAt(a, sn.epoch); ok {
+		if at == nil {
+			return nil, fmt.Errorf("%w: %v", ErrNoAtom, a)
+		}
+		return at, nil
+	}
+	cur, err := fetch()
+	if at, ok := sn.sys.mv.versionAt(a, sn.epoch); ok {
+		if at == nil {
+			return nil, fmt.Errorf("%w: %v", ErrNoAtom, a)
+		}
+		return at, nil
+	}
+	return cur, err
+}
+
+// Get reads one full-width atom at the snapshot's epoch.
+func (sn *Snapshot) Get(a addr.LogicalAddr) (*Atom, error) {
+	return sn.Resolve(a, func() (*Atom, error) { return sn.sys.Get(a, nil) })
+}
+
+// GetBatch reads many full-width atoms at the snapshot's epoch, aligned with
+// the input. Atoms the chains decide are filled from history; the rest go
+// through the system's batched read and are re-checked like Resolve does.
+func (sn *Snapshot) GetBatch(addrs []addr.LogicalAddr) ([]*Atom, error) {
+	out := make([]*Atom, len(addrs))
+	var missIdx []int
+	var miss []addr.LogicalAddr
+	for i, a := range addrs {
+		if at, ok := sn.sys.mv.versionAt(a, sn.epoch); ok {
+			if at == nil {
+				return nil, fmt.Errorf("%w: %v", ErrNoAtom, a)
+			}
+			out[i] = at
+			continue
+		}
+		missIdx = append(missIdx, i)
+		miss = append(miss, a)
+	}
+	if len(miss) == 0 {
+		return out, nil
+	}
+	got, err := sn.sys.GetBatch(miss, nil)
+	if err != nil {
+		return nil, err
+	}
+	for j, i := range missIdx {
+		if at, ok := sn.sys.mv.versionAt(miss[j], sn.epoch); ok {
+			if at == nil {
+				return nil, fmt.Errorf("%w: %v", ErrNoAtom, miss[j])
+			}
+			out[i] = at
+			continue
+		}
+		out[i] = got[j]
+	}
+	return out, nil
+}
+
+// Exists reports whether atom a existed at the snapshot's epoch.
+func (sn *Snapshot) Exists(a addr.LogicalAddr) bool {
+	if at, ok := sn.sys.mv.versionAt(a, sn.epoch); ok {
+		return at != nil
+	}
+	ex := sn.sys.dir.Exists(a)
+	if at, ok := sn.sys.mv.versionAt(a, sn.epoch); ok {
+		return at != nil
+	}
+	return ex
+}
+
+// ScanAddrsAfter enumerates up to limit addresses of the type as of the
+// snapshot's epoch, in sequence order starting strictly after `after`: the
+// directory's live range merged with the "ghosts" — atoms deleted after the
+// epoch, which the directory no longer lists but the chains still prove.
+// Atoms inserted after the epoch may still enumerate (their chains decide
+// them as tombstones, so Exists/Get filter them out downstream).
+func (sn *Snapshot) ScanAddrsAfter(typeName string, after uint64, limit int) ([]addr.LogicalAddr, error) {
+	live, err := sn.sys.ScanAddrsAfter(typeName, after, limit)
+	if err != nil {
+		return nil, err
+	}
+	if sn.sys.mv.entries.Load() == 0 {
+		return live, nil
+	}
+	t, err := sn.sys.typeOf(typeName)
+	if err != nil {
+		return nil, err
+	}
+	// Ghosts beyond the live chunk's last sequence belong to later chunks
+	// (the caller's paging cursor advances by the returned addresses, so the
+	// range must stay gap-free).
+	bound := uint64(math.MaxUint64)
+	if limit > 0 && len(live) == limit {
+		bound = live[len(live)-1].Seq()
+	}
+	ghosts := sn.sys.mv.chainAddrsOf(t.ID, after, bound, sn.epoch)
+	if len(ghosts) == 0 {
+		return live, nil
+	}
+	merged := mergeAddrsBySeq(live, ghosts)
+	if limit > 0 && len(merged) > limit {
+		merged = merged[:limit]
+	}
+	return merged, nil
+}
+
+// MaxSeq returns the highest sequence number of any atom of the type visible
+// at the snapshot's epoch: the directory's live maximum, raised by ghosts the
+// chains still prove (the highest-sequence atoms may have been deleted after
+// the epoch). Cursors use it to bound lazy scans.
+func (sn *Snapshot) MaxSeq(typeName string) (uint64, error) {
+	max, err := sn.sys.MaxSeq(typeName)
+	if err != nil {
+		return 0, err
+	}
+	if sn.sys.mv.entries.Load() == 0 {
+		return max, nil
+	}
+	t, err := sn.sys.typeOf(typeName)
+	if err != nil {
+		return 0, err
+	}
+	ghosts := sn.sys.mv.chainAddrsOf(t.ID, max, math.MaxUint64, sn.epoch)
+	if n := len(ghosts); n > 0 {
+		return ghosts[n-1].Seq(), nil
+	}
+	return max, nil
+}
+
+// mergeAddrsBySeq merges two sequence-ordered address lists, dropping
+// duplicates (an atom can be both live and chained when it was modified, not
+// deleted).
+func mergeAddrsBySeq(x, y []addr.LogicalAddr) []addr.LogicalAddr {
+	out := make([]addr.LogicalAddr, 0, len(x)+len(y))
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		switch {
+		case x[i] == y[j]:
+			out = append(out, x[i])
+			i++
+			j++
+		case x[i].Seq() < y[j].Seq():
+			out = append(out, x[i])
+			i++
+		default:
+			out = append(out, y[j])
+			j++
+		}
+	}
+	out = append(out, x[i:]...)
+	out = append(out, y[j:]...)
+	return out
+}

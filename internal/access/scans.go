@@ -115,15 +115,26 @@ func (ssa SSA) attrsFor(attrs []string) []string {
 	return out
 }
 
+// scanDecodeBatch is the chunk size full-width scans accumulate before one
+// batched page read + arena decode.
+const scanDecodeBatch = 64
+
 // AtomTypeScan successively reads all atoms of one atom type in
 // system-defined order, optionally restricted by a simple search argument
 // and projected to selected attributes — the RSS relation-scan analogue.
+// Full-width scans read their records in chunks through the batch decode
+// arena (one value arena per chunk instead of one allocation per atom);
+// projected scans stay per-atom because partition coverage is decided per
+// record.
 func (s *System) AtomTypeScan(typeName string, ssa SSA, attrs []string, fn func(*Atom) bool) error {
 	t, err := s.typeOf(typeName)
 	if err != nil {
 		return err
 	}
 	fetch := ssa.attrsFor(attrs)
+	if fetch == nil {
+		return s.atomTypeScanBatched(t, ssa, fn)
+	}
 	var scanErr error
 	s.dir.Scan(t.ID, func(a addr.LogicalAddr, _ []addr.RecordRef) bool {
 		at, err := s.Get(a, fetch)
@@ -141,6 +152,88 @@ func (s *System) AtomTypeScan(typeName string, ssa SSA, attrs []string, fn func(
 		}
 		return fn(at)
 	})
+	return scanErr
+}
+
+// atomTypeScanBatched is AtomTypeScan's full-width path: addresses gather in
+// chunks of scanDecodeBatch; each chunk fills cache hits first and serves
+// the misses with one batched primary read decoded into a shared value arena.
+// Scan results are deliberately not published to the cache — a scan touches
+// every atom once and would evict the hot checkout working set.
+func (s *System) atomTypeScanBatched(t *catalog.AtomType, ssa SSA, fn func(*Atom) bool) error {
+	cache := s.cache()
+	var pend []addr.LogicalAddr
+	var scanErr error
+	stopped := false
+	flush := func() bool {
+		if len(pend) == 0 {
+			return true
+		}
+		atoms := make([]*Atom, len(pend))
+		var missIdx []int
+		var rids []addr.RID
+		for i, a := range pend {
+			if cache != nil {
+				if at, ok := cache.get(a); ok && at != nil {
+					atoms[i] = at
+					continue
+				}
+			}
+			ref, ok := s.dir.LookupStruct(a, 0)
+			if !ok {
+				scanErr = fmt.Errorf("%w: %v", ErrNoAtom, a)
+				return false
+			}
+			missIdx = append(missIdx, i)
+			rids = append(rids, ref.Where)
+		}
+		if len(missIdx) > 0 {
+			prim, err := s.primary(t)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			recs, err := prim.ReadBatch(rids)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			vals, err := atom.DecodeAtomBatch(recs)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			for j, i := range missIdx {
+				atoms[i] = &Atom{Type: t, Addr: pend[i], Values: vals[j]}
+			}
+		}
+		for _, at := range atoms {
+			ok, err := ssa.Eval(at)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !ok {
+				continue
+			}
+			if !fn(at) {
+				stopped = true
+				return false
+			}
+		}
+		pend = pend[:0]
+		return true
+	}
+	s.dir.Scan(t.ID, func(a addr.LogicalAddr, _ []addr.RecordRef) bool {
+		pend = append(pend, a)
+		if len(pend) >= scanDecodeBatch {
+			return flush()
+		}
+		return true
+	})
+	if scanErr == nil && !stopped {
+		flush()
+	}
 	return scanErr
 }
 
@@ -217,27 +310,76 @@ func (s *System) SortScan(sortOrderName string, ssa SSA, start, stop []atom.Valu
 		stopKey = &k
 	}
 
+	// Chunked reads through the batch decode arena: valid sort-order copies
+	// of a chunk are read and decoded together; stale or unreadable records
+	// fall back to the per-atom primary path, atom by atom.
+	var pend []addr.LogicalAddr
 	var scanErr error
-	err = so.tree.Scan(startKey, stopKey, so.desc, func(_ atom.Value, a addr.LogicalAddr) bool {
-		at, err := s.readSortRecord(so, t, a)
-		if err != nil {
-			scanErr = err
-			return false
-		}
-		ok, err := ssa.Eval(at)
-		if err != nil {
-			scanErr = err
-			return false
-		}
-		if !ok {
+	stopped := false
+	flush := func() bool {
+		if len(pend) == 0 {
 			return true
 		}
-		return fn(at)
+		atoms := make([]*Atom, len(pend))
+		var validIdx []int
+		var rids []addr.RID
+		for i, a := range pend {
+			if ref, ok := s.dir.LookupStruct(a, so.def.ID); ok && ref.Valid {
+				validIdx = append(validIdx, i)
+				rids = append(rids, ref.Where)
+			}
+		}
+		if len(validIdx) > 0 {
+			if recs, err := so.container.ReadBatch(rids); err == nil {
+				if vals, err := atom.DecodeAtomBatch(recs); err == nil {
+					for j, i := range validIdx {
+						atoms[i] = &Atom{Type: t, Addr: pend[i], Values: vals[j]}
+					}
+				}
+			}
+			// On failure atoms stay nil and re-read per atom below.
+		}
+		for i, at := range atoms {
+			if at == nil {
+				var err error
+				if at, err = s.readSortRecord(so, t, pend[i]); err != nil {
+					scanErr = err
+					return false
+				}
+			}
+			ok, err := ssa.Eval(at)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !ok {
+				continue
+			}
+			if !fn(at) {
+				stopped = true
+				return false
+			}
+		}
+		pend = pend[:0]
+		return true
+	}
+	err = so.tree.Scan(startKey, stopKey, so.desc, func(_ atom.Value, a addr.LogicalAddr) bool {
+		pend = append(pend, a)
+		if len(pend) >= scanDecodeBatch {
+			return flush()
+		}
+		return true
 	})
 	if scanErr != nil {
 		return scanErr
 	}
-	return err
+	if err != nil {
+		return err
+	}
+	if !stopped {
+		flush()
+	}
+	return scanErr
 }
 
 // SortOrderAddrs returns the addresses of all atoms of a single-attribute

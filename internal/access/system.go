@@ -195,6 +195,10 @@ type System struct {
 	atoms   atomic.Pointer[atomCache]
 	acStats acCounters
 
+	// mv is the multi-version atom store backing snapshot reads; always
+	// present (its cost is one atomic counter when no snapshot is open).
+	mv *mvStore
+
 	mu          sync.RWMutex
 	nextSegID   segment.ID
 	segments    []*segment.Segment
@@ -232,6 +236,7 @@ func Open(cfg Config) (*System, error) {
 		deferq:      newDeferQueue(),
 	}
 	s.atoms.Store(newAtomCache(cfg.AtomCacheSize, cfg.BufferShards, nil, &s.acStats))
+	s.mv = newMVStore()
 	if cfg.Dir != "" {
 		if _, err := os.Stat(filepath.Join(cfg.Dir, "manifest.json")); err == nil {
 			if err := s.load(); err != nil {

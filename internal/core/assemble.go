@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -31,14 +32,38 @@ func (s primarySource) getBatch(as []addr.LogicalAddr) ([]*access.Atom, error) {
 	return s.sys.GetBatch(as, nil)
 }
 
+// snapshotSource reads through a snapshot: every atom resolves at the
+// cursor's epoch, so one molecule can never mix pre- and post-DML state no
+// matter which writes land while it assembles.
+type snapshotSource struct{ sn *access.Snapshot }
+
+func (s snapshotSource) get(a addr.LogicalAddr) (*access.Atom, error) { return s.sn.Get(a) }
+
+func (s snapshotSource) getBatch(as []addr.LogicalAddr) ([]*access.Atom, error) {
+	return s.sn.GetBatch(as)
+}
+
 type clusterSource struct {
 	sys *access.System
 	occ *access.ClusterOccurrence
+	sn  *access.Snapshot // non-nil: all reads re-resolve at the cursor epoch
 }
 
 func (s clusterSource) get(a addr.LogicalAddr) (*access.Atom, error) {
+	if s.sn != nil {
+		// Occurrence atoms are current state; the chains override them with
+		// the epoch's pre-image when a writer has since moved on.
+		return s.sn.Resolve(a, func() (*access.Atom, error) { return s.fetch(a) })
+	}
+	return s.fetch(a)
+}
+
+func (s clusterSource) fetch(a addr.LogicalAddr) (*access.Atom, error) {
 	if at, ok := s.occ.Atom(a); ok {
 		return at, nil
+	}
+	if s.sn != nil {
+		return s.sn.Get(a)
 	}
 	return s.sys.Get(a, nil)
 }
@@ -48,6 +73,14 @@ func (s clusterSource) getBatch(as []addr.LogicalAddr) ([]*access.Atom, error) {
 	var missIdx []int
 	var miss []addr.LogicalAddr
 	for i, a := range as {
+		if s.sn != nil {
+			at, err := s.get(a)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = at
+			continue
+		}
 		if at, ok := s.occ.Atom(a); ok {
 			out[i] = at
 		} else {
@@ -117,10 +150,12 @@ type rootSource interface {
 // scanRoots pages through the directory lazily, so an atom-type scan over a
 // huge type never materializes the full address list. The scan is bounded
 // by the highest sequence number at first use: atoms inserted while the
-// cursor runs do not extend it, preserving the snapshot semantics (and
-// termination) of the materialized root list.
+// cursor runs do not extend it, preserving termination under concurrent
+// insert load. With a snapshot the enumeration additionally includes ghosts
+// (atoms deleted after the cursor's epoch), and the bound covers them.
 type scanRoots struct {
 	sys      *access.System
+	sn       *access.Snapshot
 	typeName string
 	after    uint64
 	bound    uint64
@@ -134,13 +169,25 @@ func (s *scanRoots) next() ([]addr.LogicalAddr, error) {
 		return nil, nil
 	}
 	if !s.bounded {
-		bound, err := s.sys.MaxSeq(s.typeName)
+		var bound uint64
+		var err error
+		if s.sn != nil {
+			bound, err = s.sn.MaxSeq(s.typeName)
+		} else {
+			bound, err = s.sys.MaxSeq(s.typeName)
+		}
 		if err != nil {
 			return nil, err
 		}
 		s.bound, s.bounded = bound, true
 	}
-	chunk, err := s.sys.ScanAddrsAfter(s.typeName, s.after, s.chunk)
+	var chunk []addr.LogicalAddr
+	var err error
+	if s.sn != nil {
+		chunk, err = s.sn.ScanAddrsAfter(s.typeName, s.after, s.chunk)
+	} else {
+		chunk, err = s.sys.ScanAddrsAfter(s.typeName, s.after, s.chunk)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -187,18 +234,34 @@ func (l *lazyRoots) next() ([]addr.LogicalAddr, error) {
 }
 
 // rootSource builds the lazy root stream for the plan's access choice.
-func (p *Plan) rootSource(chunk int) rootSource {
+// Atom-type scans enumerate through the snapshot (ghosts included);
+// access-path, sort-order and cluster enumerations read the live index —
+// entries dropped by post-epoch DML no longer enumerate, but every root that
+// does enumerate still assembles at the epoch.
+func (p *Plan) rootSource(chunk int, sn *access.Snapshot) rootSource {
 	if p.AccessKind == "atomscan" {
-		return &scanRoots{sys: p.engine.sys, typeName: p.Root.Name, chunk: chunk}
+		return &scanRoots{sys: p.engine.sys, sn: sn, typeName: p.Root.Name, chunk: chunk}
 	}
 	return &lazyRoots{plan: p, chunk: chunk}
 }
 
 // AssembleRoot materializes, restricts, and projects the molecule rooted at
-// a. It returns (nil, nil) when the root or molecule fails qualification.
+// a against the current database state. It returns (nil, nil) when the root
+// or molecule fails qualification. Semantic decomposition (package du)
+// partitions and assembles outside any cursor, so the epoch-free entry point
+// stays exported; cursors go through assembleRootAt.
 func (p *Plan) AssembleRoot(a addr.LogicalAddr) (*Molecule, error) {
+	return p.assembleRootAt(nil, a)
+}
+
+// assembleRootAt is AssembleRoot resolving every atom read at the snapshot's
+// epoch (sn == nil reads current state).
+func (p *Plan) assembleRootAt(sn *access.Snapshot, a addr.LogicalAddr) (*Molecule, error) {
 	sys := p.engine.sys
 	var src atomSource = primarySource{sys}
+	if sn != nil {
+		src = snapshotSource{sn}
+	}
 	// The cache is only written by the SSA root read and the prefetch;
 	// flat, unrestricted molecules leave it nil (reads of a nil map miss).
 	var cache map[addr.LogicalAddr]*access.Atom
@@ -224,10 +287,16 @@ func (p *Plan) AssembleRoot(a addr.LogicalAddr) (*Molecule, error) {
 
 	if p.AccessKind == "cluster" {
 		occ, err := sys.ClusterOccurrenceOf(p.Cluster, a)
-		if err != nil {
+		switch {
+		case err == nil:
+			src = clusterSource{sys: sys, occ: occ, sn: sn}
+		case sn != nil && errors.Is(err, access.ErrNoAtom):
+			// Ghost root: the occurrence was dropped by post-epoch DML, but
+			// the chains still hold the molecule's pre-images — assemble
+			// through the snapshot alone.
+		default:
 			return nil, err
 		}
-		src = clusterSource{sys: sys, occ: occ}
 	}
 
 	ps := p.newPushState()
@@ -567,6 +636,7 @@ func (p *Plan) assemble(src atomSource, root addr.LogicalAddr, cache map[addr.Lo
 type Cursor struct {
 	plan *Plan
 	src  rootSource
+	snap *access.Snapshot
 	done bool
 
 	// Serial mode: the current root chunk.
@@ -577,20 +647,50 @@ type Cursor struct {
 	pipe *pipeline
 }
 
-// Open prepares a cursor over the plan's molecules. Root enumeration is
-// lazy, so errors of the chosen access surface at the first Next.
-func (p *Plan) Open() (*Cursor, error) {
+// Open prepares a cursor over the plan's molecules, pinned to a snapshot of
+// the current epoch: iteration delivers the state as of Open no matter which
+// DML runs concurrently, so parallel read-ahead is always safe. Root
+// enumeration is lazy, so errors of the chosen access surface at the first
+// Next. Close the cursor so its epoch's history can be reclaimed.
+func (p *Plan) Open() (*Cursor, error) { return p.openAt(nil) }
+
+// OpenAt prepares a cursor resolving every read at the given epoch, which
+// the caller must hold open through a live snapshot (the transaction layer
+// pins one at Begin and reuses its epoch for every cursor it opens).
+func (p *Plan) OpenAt(epoch uint64) (*Cursor, error) { return p.openAt(&epoch) }
+
+func (p *Plan) openAt(epoch *uint64) (*Cursor, error) {
 	workers, chunk := p.engine.assemblyConfig()
-	c := &Cursor{plan: p, src: p.rootSource(chunk)}
-	if workers > 1 {
-		c.pipe = startPipeline(p, c.src, workers)
-		// Safety net for abandoned cursors: the pipeline goroutines do not
-		// reference the Cursor, so when a caller drops it without Close the
-		// finalizer still winds the dispatcher and workers down.
-		runtime.SetFinalizer(c, func(c *Cursor) { c.pipe.shutdown() })
+	var sn *access.Snapshot
+	if epoch != nil {
+		sn = p.engine.sys.SnapshotAt(*epoch)
+	} else {
+		sn = p.engine.sys.OpenSnapshot()
 	}
+	c := &Cursor{plan: p, snap: sn, src: p.rootSource(chunk, sn)}
+	if workers > 1 {
+		c.pipe = startPipeline(p, sn, c.src, workers)
+	}
+	// Safety net for abandoned cursors: neither the snapshot nor the
+	// pipeline goroutines reference the Cursor, so when a caller drops it
+	// without Close the finalizer still releases the epoch (and winds the
+	// workers down first — off the finalizer goroutine, since joining them
+	// can block).
+	pipe := c.pipe
+	runtime.SetFinalizer(c, func(_ *Cursor) {
+		go func() {
+			if pipe != nil {
+				pipe.shutdown()
+				pipe.wg.Wait()
+			}
+			sn.Close()
+		}()
+	})
 	return c, nil
 }
+
+// Epoch returns the snapshot epoch the cursor reads at.
+func (c *Cursor) Epoch() uint64 { return c.snap.Epoch() }
 
 // asmResult is one root's assembly outcome.
 type asmResult struct {
@@ -615,7 +715,7 @@ type asmJob struct {
 	out  chan asmResult
 }
 
-func startPipeline(p *Plan, src rootSource, workers int) *pipeline {
+func startPipeline(p *Plan, sn *access.Snapshot, src rootSource, workers int) *pipeline {
 	pl := &pipeline{
 		ordered: make(chan chan asmResult, workers*2),
 		stop:    make(chan struct{}),
@@ -632,10 +732,11 @@ func startPipeline(p *Plan, src rootSource, workers int) *pipeline {
 					// Closed cursor: fulfill the slot without touching
 					// pages, so no read outlives Close.
 				default:
-					// Roots may have been deleted by concurrent DML between
-					// dispatch and assembly; skip them like the serial path.
-					if p.engine.sys.Directory().Exists(j.root) {
-						res.m, res.err = p.AssembleRoot(j.root)
+					// The snapshot decides membership: roots deleted after
+					// the epoch still assemble (from their pre-images),
+					// roots inserted after it are tombstoned and skipped.
+					if sn.Exists(j.root) {
+						res.m, res.err = p.assembleRootAt(sn, j.root)
 					}
 				}
 				j.out <- res // one-slot buffer: never blocks
@@ -711,12 +812,12 @@ func (c *Cursor) Next() (*Molecule, error) {
 		for c.pos < len(c.pending) {
 			a := c.pending[c.pos]
 			c.pos++
-			// Roots may have been deleted by concurrent DML between Open
-			// and Next; skip them.
-			if !c.plan.engine.sys.Directory().Exists(a) {
+			// The snapshot decides membership: roots deleted after the
+			// cursor's epoch still assemble, later inserts are skipped.
+			if !c.snap.Exists(a) {
 				continue
 			}
-			m, err := c.plan.AssembleRoot(a)
+			m, err := c.plan.assembleRootAt(c.snap, a)
 			if err != nil {
 				c.done = true
 				return nil, err
@@ -738,16 +839,17 @@ func (c *Cursor) Next() (*Molecule, error) {
 	}
 }
 
-// Close releases the cursor. A parallel pipeline is joined: when Close
-// returns, no worker touches buffer pages anymore, so a caller may follow
-// up with DML immediately.
+// Close releases the cursor and its snapshot. A parallel pipeline is joined
+// first: when Close returns, no worker touches buffer pages anymore and the
+// epoch's history is free to be reclaimed.
 func (c *Cursor) Close() {
 	c.done = true
 	if c.pipe != nil {
 		c.pipe.shutdown()
 		c.pipe.wg.Wait()
-		runtime.SetFinalizer(c, nil)
 	}
+	c.snap.Close()
+	runtime.SetFinalizer(c, nil)
 }
 
 // Collect drains the cursor.

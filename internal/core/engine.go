@@ -41,17 +41,17 @@ func DefaultAssemblyWorkers() int {
 }
 
 // New creates a data system over an access system instance. Cursors run
-// serial by default — buffer pages are not latched, so a caller that
-// interleaves cursor iteration with DML relies on assembly happening
-// synchronously inside Next; SetAssemblyWorkers opts read-only workloads
-// into the parallel pipeline.
+// parallel by default (DefaultAssemblyWorkers): every cursor reads through a
+// snapshot of its open epoch, so read-ahead workers and concurrent DML can
+// never produce a torn molecule — SetAssemblyWorkers(1) selects the serial
+// cursor for comparison or for single-core hosts.
 func New(sys *access.System) *Engine {
 	return &Engine{
 		sys:         sys,
 		maxDepth:    64,
 		plans:       newPlanCache(DefaultPlanCacheSize),
 		schemaDirty: true,
-		workers:     1,
+		workers:     DefaultAssemblyWorkers(),
 		chunk:       64,
 		predCompile: true,
 		pushdown:    true,
@@ -73,10 +73,10 @@ func (e *Engine) SetMaxRecursionDepth(d int) {
 
 // SetAssemblyWorkers sets the degree of intra-query parallelism of molecule
 // materialization: cursors assemble molecules on a pool of n workers while
-// preserving delivery order. n <= 1 selects the serial cursor (the
-// default). Parallel cursors read ahead of the consumer, so they are meant
-// for workloads that do not interleave iteration with DML on the scanned
-// data.
+// preserving delivery order. n <= 1 selects the serial cursor; the default
+// is DefaultAssemblyWorkers. Either way cursors read at their open epoch, so
+// interleaving iteration with DML is safe — parallelism only changes how far
+// assembly runs ahead of the consumer.
 func (e *Engine) SetAssemblyWorkers(n int) {
 	if n < 1 {
 		n = 1
@@ -245,6 +245,18 @@ type Result struct {
 // MODIFY scripts are served through the plan cache: a repeated statement
 // text skips parsing and planning entirely and goes straight to execution.
 func (e *Engine) ExecuteScript(src string) ([]*Result, error) {
+	return e.executeScript(src, nil)
+}
+
+// ExecuteScriptAt runs the script with every SELECT reading at the given
+// snapshot epoch, which the caller must hold open through a live snapshot
+// (the transaction layer pins one at Begin). DML statements always run
+// against current state — writes cannot apply to history.
+func (e *Engine) ExecuteScriptAt(src string, epoch uint64) ([]*Result, error) {
+	return e.executeScript(src, &epoch)
+}
+
+func (e *Engine) executeScript(src string, epoch *uint64) ([]*Result, error) {
 	var cfg planConfig
 	var key string
 	if maybeCacheable(src) {
@@ -255,7 +267,7 @@ func (e *Engine) ExecuteScript(src string) ([]*Result, error) {
 		hit := true
 		switch v := e.plans.get(key).(type) {
 		case *Plan:
-			r, err = e.runSelect(v)
+			r, err = e.runSelect(v, epoch)
 		case *cachedDML:
 			r, err = e.runDML(v)
 		default:
@@ -283,7 +295,7 @@ func (e *Engine) ExecuteScript(src string) ([]*Result, error) {
 				var p *Plan
 				if p, err = e.planSelect(v, cfg); err == nil {
 					e.plans.putMiss(key, p)
-					r, err = e.runSelect(p)
+					r, err = e.runSelect(p, epoch)
 				}
 			case *mql.Delete:
 				var c *cachedDML
@@ -298,10 +310,10 @@ func (e *Engine) ExecuteScript(src string) ([]*Result, error) {
 					r, err = e.runDML(c)
 				}
 			default:
-				r, err = e.Execute(s)
+				r, err = e.execute(s, epoch)
 			}
 		} else {
-			r, err = e.Execute(s)
+			r, err = e.execute(s, epoch)
 		}
 		if err != nil {
 			return out, fmt.Errorf("statement %d: %w", i+1, err)
@@ -311,9 +323,16 @@ func (e *Engine) ExecuteScript(src string) ([]*Result, error) {
 	return out, nil
 }
 
-// runSelect opens a cursor over a prepared plan and drains it.
-func (e *Engine) runSelect(p *Plan) (*Result, error) {
-	cur, err := p.Open()
+// runSelect opens a cursor over a prepared plan and drains it; a non-nil
+// epoch pins the cursor to that snapshot epoch instead of the current one.
+func (e *Engine) runSelect(p *Plan, epoch *uint64) (*Result, error) {
+	var cur *Cursor
+	var err error
+	if epoch != nil {
+		cur, err = p.OpenAt(*epoch)
+	} else {
+		cur, err = p.Open()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -326,7 +345,9 @@ func (e *Engine) runSelect(p *Plan) (*Result, error) {
 }
 
 // Execute runs a single parsed statement.
-func (e *Engine) Execute(stmt mql.Stmt) (*Result, error) {
+func (e *Engine) Execute(stmt mql.Stmt) (*Result, error) { return e.execute(stmt, nil) }
+
+func (e *Engine) execute(stmt mql.Stmt, epoch *uint64) (*Result, error) {
 	switch s := stmt.(type) {
 	case *mql.CreateAtomType:
 		at, err := mql.LowerAtomType(s)
@@ -412,7 +433,7 @@ func (e *Engine) Execute(stmt mql.Stmt) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return e.runSelect(plan)
+		return e.runSelect(plan, epoch)
 
 	case *mql.Insert:
 		return e.execInsert(s)

@@ -68,7 +68,10 @@ func NewManager(sys *access.System) *Manager {
 	return m
 }
 
-// Tx is one transaction (top-level or nested).
+// Tx is one transaction (top-level or nested). Every transaction pins a
+// snapshot at Begin: its reads resolve at that epoch, untouched by concurrent
+// committers, and the snapshot advances only when the transaction's own
+// writes land (read-your-writes) — snapshot isolation per sphere.
 type Tx struct {
 	m        *Manager
 	id       uint64
@@ -77,6 +80,7 @@ type Tx struct {
 	done     bool
 	log      []logEntry
 	locks    map[addr.LogicalAddr]bool // locks acquired by this tx itself
+	snap     *access.Snapshot          // the tx's read view (guarded by m.mu)
 }
 
 // Begin starts a top-level transaction.
@@ -84,10 +88,11 @@ func (m *Manager) Begin() *Tx {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.nextID++
-	return &Tx{m: m, id: m.nextID, locks: map[addr.LogicalAddr]bool{}}
+	return &Tx{m: m, id: m.nextID, locks: map[addr.LogicalAddr]bool{}, snap: m.sys.OpenSnapshot()}
 }
 
-// Begin starts a nested child transaction.
+// Begin starts a nested child transaction. The child opens at the current
+// epoch, so it sees the parent's effects committed so far.
 func (t *Tx) Begin() (*Tx, error) {
 	t.m.mu.Lock()
 	defer t.m.mu.Unlock()
@@ -96,11 +101,28 @@ func (t *Tx) Begin() (*Tx, error) {
 	}
 	t.m.nextID++
 	t.children++
-	return &Tx{m: t.m, id: t.m.nextID, parent: t, locks: map[addr.LogicalAddr]bool{}}, nil
+	return &Tx{m: t.m, id: t.m.nextID, parent: t, locks: map[addr.LogicalAddr]bool{}, snap: t.m.sys.OpenSnapshot()}, nil
 }
 
 // ID returns the transaction id.
 func (t *Tx) ID() uint64 { return t.id }
+
+// Epoch returns the snapshot epoch the transaction currently reads at.
+// Cursors opened on the transaction's behalf pin this epoch (OpenAt), so
+// they share its frozen view.
+func (t *Tx) Epoch() uint64 {
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	return t.snap.Epoch()
+}
+
+// refreshLocked advances t's read view to the current epoch; called with
+// m.mu held after t's own sphere changed the database.
+func (t *Tx) refreshLocked() {
+	old := t.snap
+	t.snap = t.m.sys.OpenSnapshot()
+	old.Close()
+}
 
 // Do runs fn with this transaction bound as the mutation scope: every
 // access-system write inside fn is locked for and logged to t.
@@ -110,6 +132,7 @@ func (t *Tx) Do(fn func() error) error {
 		t.m.mu.Unlock()
 		return ErrDone
 	}
+	before := len(t.log)
 	t.m.mu.Unlock()
 
 	t.m.writer.Lock()
@@ -120,6 +143,12 @@ func (t *Tx) Do(fn func() error) error {
 	defer func() {
 		t.m.mu.Lock()
 		t.m.current = nil
+		// Read-your-writes: a transaction that mutated atoms inside fn must
+		// see its own effects on the next read, so its view advances to the
+		// epoch its writes closed. Read-only spheres keep their frozen view.
+		if len(t.log) > before && !t.done {
+			t.refreshLocked()
+		}
 		t.m.mu.Unlock()
 	}()
 	return fn()
@@ -168,8 +197,10 @@ func (t *Tx) Commit() error {
 		return ErrChildActive
 	}
 	t.done = true
+	t.snap.Close()
 	if t.parent != nil {
 		t.parent.children--
+		childWrote := len(t.log) > 0
 		// Log inheritance: parent abort undoes the child too.
 		t.parent.log = append(t.parent.log, t.log...)
 		// Lock inheritance (Moss).
@@ -178,6 +209,11 @@ func (t *Tx) Commit() error {
 				t.m.locks[a] = t.parent
 			}
 			t.parent.locks[a] = true
+		}
+		if childWrote {
+			// The child's effects join the parent's sphere; the parent's
+			// reads must see them from now on.
+			t.parent.refreshLocked()
 		}
 		return nil
 	}
@@ -202,6 +238,7 @@ func (t *Tx) Abort() error {
 		return ErrChildActive
 	}
 	t.done = true
+	t.snap.Close()
 	log := t.log
 	t.m.mu.Unlock()
 

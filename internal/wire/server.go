@@ -114,6 +114,7 @@ type rawFrame struct {
 	OK        bool              `json:"ok"`
 	Count     int               `json:"count,omitempty"`
 	Molecules []json.RawMessage `json:"molecules,omitempty"`
+	Epoch     uint64            `json:"epoch,omitempty"`
 	More      bool              `json:"more,omitempty"`
 }
 
@@ -134,8 +135,9 @@ func (s *Server) streamCheckout(conn net.Conn, req *Request) error {
 	count := 0
 	var pending []json.RawMessage
 	var pendingBytes int
+	epoch := cur.Epoch()
 	flush := func(more bool) error {
-		f := &rawFrame{OK: true, Molecules: pending, More: more}
+		f := &rawFrame{OK: true, Molecules: pending, Epoch: epoch, More: more}
 		if !more {
 			f.Count = count
 		}

@@ -48,6 +48,10 @@ type Response struct {
 	Molecules []MoleculeJSON `json:"molecules,omitempty"`
 	Atom      *AtomJSON      `json:"atom,omitempty"`
 	Stats     *StatsJSON     `json:"stats,omitempty"`
+	// Epoch is the snapshot epoch a checkout stream reads at: every molecule
+	// of the stream reflects the database state as of that epoch, no matter
+	// which DML commits while the stream drains.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// More marks a continuation frame: further frames of the same response
 	// stream follow on the connection.
 	More bool `json:"more,omitempty"`

@@ -66,10 +66,10 @@ type Config struct {
 	// (0 picks one per CPU, capped; 1 disables striping).
 	BufferShards int
 	// AssemblyWorkers is the degree of intra-query parallelism of molecule
-	// materialization. 0 or 1 keeps the serial cursor (the default —
-	// parallel cursors read ahead of the consumer, so they are meant for
-	// workloads that do not interleave iteration with DML). Pass
-	// DefaultAssemblyWorkers() for one worker per CPU.
+	// materialization. 0 keeps the default, DefaultAssemblyWorkers(): every
+	// cursor reads through a snapshot of its open epoch, so parallel
+	// read-ahead is safe even when iteration interleaves with DML. 1 selects
+	// the serial cursor (same snapshot semantics, no read-ahead).
 	AssemblyWorkers int
 	// AssemblyChunk is the root chunk size for lazy root streaming and
 	// worker dispatch (default 64).
@@ -81,15 +81,16 @@ type Config struct {
 	// AtomCacheSize is the atom budget of the decoded-atom cache between
 	// the page buffer and molecule assembly: repeated checkouts of the same
 	// design objects are served from decoded memory without page fixes or
-	// codec runs. 0 keeps the default (access.DefaultAtomCacheAtoms);
-	// negative disables the cache. Size it to the hot working set's atom
-	// count.
+	// codec runs. The budget is charged by each atom's decoded byte
+	// footprint, so wide CAD atoms displace proportionally more narrow ones.
+	// 0 keeps the default (access.DefaultAtomCacheAtoms); negative disables
+	// the cache. Size it to the hot working set's atom count.
 	AtomCacheSize int
 }
 
-// DefaultAssemblyWorkers returns the recommended degree of parallel
-// molecule assembly for read-mostly workloads: one worker per CPU, capped
-// at 8. Use it as Config.AssemblyWorkers to opt into the parallel pipeline.
+// DefaultAssemblyWorkers returns the default degree of parallel molecule
+// assembly: one worker per CPU, capped at 8. It is what Config.
+// AssemblyWorkers = 0 selects.
 func DefaultAssemblyWorkers() int { return core.DefaultAssemblyWorkers() }
 
 // DB is a PRIMA database handle.
@@ -151,9 +152,10 @@ func (db *DB) ExecOne(src string) (*Result, error) {
 	return db.engine.Execute(stmt)
 }
 
-// Query prepares a SELECT and returns a one-molecule-at-a-time cursor.
-// Plans are served from the engine's plan cache, so repeated query texts
-// skip parsing and planning.
+// Query prepares a SELECT and returns a one-molecule-at-a-time cursor. The
+// cursor reads at a snapshot of the epoch it opened over: concurrent DML
+// never tears or shifts its result set. Plans are served from the engine's
+// plan cache, so repeated query texts skip parsing and planning.
 func (db *DB) Query(src string) (*Cursor, error) {
 	plan, err := db.engine.PlanQuery(src)
 	if err != nil {
@@ -192,6 +194,9 @@ type Cursor struct{ inner *core.Cursor }
 // Next returns the next molecule, or (nil, nil) at the end of the set.
 func (c *Cursor) Next() (*Molecule, error) { return c.inner.Next() }
 
+// Epoch returns the snapshot epoch the cursor reads at.
+func (c *Cursor) Epoch() uint64 { return c.inner.Epoch() }
+
 // Close releases the cursor.
 func (c *Cursor) Close() { c.inner.Close() }
 
@@ -221,12 +226,16 @@ func (t *Tx) Begin() (*Tx, error) {
 	return &Tx{db: t.db, inner: child}, nil
 }
 
-// Exec executes an MQL script within the transaction.
+// Exec executes an MQL script within the transaction. SELECTs read at the
+// transaction's snapshot epoch as of the start of the script — concurrent
+// committers stay invisible, and the transaction's own earlier Exec calls
+// are visible (each mutating Exec advances the transaction's view). DML
+// always applies to current state under the transaction's locks.
 func (t *Tx) Exec(src string) ([]*Result, error) {
 	var out []*Result
 	err := t.inner.Do(func() error {
 		var err error
-		out, err = t.db.engine.ExecuteScript(src)
+		out, err = t.db.engine.ExecuteScriptAt(src, t.inner.Epoch())
 		return err
 	})
 	return out, err
