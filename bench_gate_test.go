@@ -36,6 +36,9 @@ var gatedBenchmarks = map[string]func(b *testing.B){
 	"BenchmarkRepeatedCheckout/cache_on":         func(b *testing.B) { benchRepeatedCheckout(b, 1<<16) },
 	"BenchmarkParallelMaterialization/serial":    func(b *testing.B) { benchParallelMaterialization(b, 1) },
 	"BenchmarkParallelMaterialization/parallel8": func(b *testing.B) { benchParallelMaterialization(b, 8) },
+	// Wall-clock only: group-commit batching is timing-dependent, so
+	// allocation counts are not stable enough to gate.
+	"BenchmarkGroupCommit/committers16": func(b *testing.B) { benchGroupCommit(b, 16) },
 }
 
 func TestBenchGate(t *testing.T) {

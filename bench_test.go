@@ -8,6 +8,8 @@ package prima
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 	"testing"
 
 	"prima/internal/access"
@@ -724,5 +726,121 @@ func BenchmarkGISRegionQuery(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchGroupCommit drives concurrent single-insert transactions through a
+// WAL-enabled database and reports how many fsyncs each durable commit cost:
+// group commit lets simultaneous committers share one log flush, so with many
+// committers the ratio falls well below one.
+func benchGroupCommit(b *testing.B, committers int) {
+	db, err := Open(Config{Dir: b.TempDir(), WAL: true, GroupCommitMaxWait: 500 * time.Microsecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(brepgen.SchemaDDL); err != nil {
+		b.Fatal(err)
+	}
+	before, ok := db.System().WALStats()
+	if !ok {
+		b.Fatal("WAL not enabled")
+	}
+	var next int64
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < committers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := atomic.AddInt64(&next, 1)
+				if i > int64(b.N) {
+					return
+				}
+				tx := db.Begin()
+				if _, err := tx.Exec(fmt.Sprintf(`INSERT INTO solid (solid_no) VALUES (%d)`, i)); err != nil {
+					b.Error(err)
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	after, _ := db.System().WALStats()
+	if commits := after.Commits - before.Commits; commits > 0 {
+		b.ReportMetric(float64(after.Syncs-before.Syncs)/float64(commits), "fsyncs/commit")
+	}
+}
+
+// BenchmarkGroupCommit: durable commit throughput as committers scale — the
+// acceptance benchmark of group commit (fsyncs/commit is the headline metric).
+func BenchmarkGroupCommit(b *testing.B) {
+	for _, committers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("committers%d", committers), func(b *testing.B) {
+			benchGroupCommit(b, committers)
+		})
+	}
+}
+
+// TestGroupCommitFsyncAmortization is the group-commit acceptance test: 16
+// concurrent committers must share log flushes heavily enough that a durable
+// commit costs less than half an fsync on average.
+func TestGroupCommitFsyncAmortization(t *testing.T) {
+	db, err := Open(Config{Dir: t.TempDir(), WAL: true, GroupCommitMaxWait: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(brepgen.SchemaDDL); err != nil {
+		t.Fatal(err)
+	}
+	before, ok := db.System().WALStats()
+	if !ok {
+		t.Fatal("WAL not enabled")
+	}
+	const committers, each = 16, 25
+	var wg sync.WaitGroup
+	errc := make(chan error, committers)
+	for g := 0; g < committers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tx := db.Begin()
+				if _, err := tx.Exec(fmt.Sprintf(`INSERT INTO solid (solid_no) VALUES (%d)`, g*each+i)); err != nil {
+					errc <- err
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	after, _ := db.System().WALStats()
+	commits := after.Commits - before.Commits
+	syncs := after.Syncs - before.Syncs
+	if commits != committers*each {
+		t.Fatalf("%d commits recorded, want %d", commits, committers*each)
+	}
+	ratio := float64(syncs) / float64(commits)
+	t.Logf("%d commits in %d batches, %d log syncs: %.3f fsyncs/commit",
+		commits, after.Batches-before.Batches, syncs, ratio)
+	if ratio >= 0.5 {
+		t.Fatalf("fsyncs/commit = %.3f, want < 0.5 (group commit not amortizing)", ratio)
 	}
 }

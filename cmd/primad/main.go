@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	primad [-addr host:port] [-dir path] [-init script.mql]
+//	primad [-addr host:port] [-dir path] [-wal] [-init script.mql]
 package main
 
 import (
@@ -19,10 +19,18 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7487", "listen address")
 	dir := flag.String("dir", "", "database directory (empty = in-memory)")
+	wal := flag.Bool("wal", false, "enable the write-ahead log (durable commits, crash recovery at startup)")
+	groupWait := flag.Duration("group-commit-wait", 0, "max time a commit waits to share an fsync (0 = default)")
+	ckptBytes := flag.Int64("wal-checkpoint-bytes", 0, "log growth between automatic checkpoints (0 = default)")
 	initScript := flag.String("init", "", "MQL script to execute at startup")
 	flag.Parse()
 
-	db, err := prima.Open(prima.Config{Dir: *dir})
+	db, err := prima.Open(prima.Config{
+		Dir:                *dir,
+		WAL:                *wal,
+		GroupCommitMaxWait: *groupWait,
+		WALCheckpointBytes: *ckptBytes,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "primad:", err)
 		os.Exit(1)

@@ -6,6 +6,7 @@ import (
 	"prima/internal/access/addr"
 	"prima/internal/access/atom"
 	"prima/internal/catalog"
+	"prima/internal/storage/wal"
 )
 
 // Hook observes and gates atom mutations. The transaction layer uses it to
@@ -125,25 +126,36 @@ func (s *System) RawDelete(a addr.LogicalAddr) error {
 	}
 	defer s.mvBegin(a, cur)()
 	defer s.cacheInvalidate(a)
+	// Raw operations run during transaction rollback, whose page mutations
+	// must be logged like any others (as compensation under the same
+	// transaction); during recovery replay walAppend is a no-op.
+	if err := s.walAppend(wal.RecDelete, a, t.Name, cur.Values, nil); err != nil {
+		return err
+	}
+	comp := func() { s.walCompensate(wal.RecInsert, a, t.Name, nil, cur.Values) }
 	for _, ap := range s.accessPathsOf(t.Name) {
 		if err := s.indexDelete(ap, cur.Values, a); err != nil {
+			comp()
 			return err
 		}
 	}
 	for _, so := range s.sortOrdersOf(t.Name) {
 		if err := so.tree.Delete(so.sortKey(cur.Values), a); err != nil {
+			comp()
 			return err
 		}
 	}
 	for _, cl := range s.clustersInvolving(t.Name) {
 		if cl.def.RootType() == t.Name {
 			if err := s.dropClusterOccurrence(cl, a); err != nil {
+				comp()
 				return err
 			}
 		}
 	}
 	refs, err := s.dir.Release(a)
 	if err != nil {
+		comp()
 		return err
 	}
 	for _, ref := range refs {
@@ -189,7 +201,12 @@ func (s *System) RawResurrect(a addr.LogicalAddr, values []atom.Value) error {
 	// Snapshot readers from before the resurrection must keep seeing the
 	// address as absent: install a tombstone pre-image before reviving.
 	defer s.mvBegin(a, nil)()
+	if err := s.walAppend(wal.RecInsert, a, t.Name, nil, values); err != nil {
+		return err
+	}
+	comp := func() { s.walCompensate(wal.RecDelete, a, t.Name, values, nil) }
 	if err := s.dir.Revive(a); err != nil {
+		comp()
 		return err
 	}
 	// The address is being re-used: make sure no decode captured before the
@@ -199,6 +216,7 @@ func (s *System) RawResurrect(a addr.LogicalAddr, values []atom.Value) error {
 	defer s.cacheInvalidate(a)
 	prim, err := s.primary(t)
 	if err != nil {
+		comp()
 		return err
 	}
 	var rid addr.RID
@@ -207,29 +225,35 @@ func (s *System) RawResurrect(a addr.LogicalAddr, values []atom.Value) error {
 		rid, err = prim.Insert(rec)
 		return err
 	}); err != nil {
+		comp()
 		return err
 	}
 	if err := s.dir.Register(a, addr.RecordRef{Kind: addr.KindPrimary, Where: rid, Valid: true}); err != nil {
+		comp()
 		return err
 	}
 	for _, ap := range s.accessPathsOf(t.Name) {
 		if err := s.indexInsert(ap, values, a); err != nil {
+			comp()
 			return err
 		}
 	}
 	for _, so := range s.sortOrdersOf(t.Name) {
 		if err := s.sortOrderInsert(so, values, a); err != nil {
+			comp()
 			return err
 		}
 	}
 	for _, p := range s.partitionsOf(t.Name) {
 		if err := s.partitionInsert(p, values, a); err != nil {
+			comp()
 			return err
 		}
 	}
 	for _, cl := range s.clustersInvolving(t.Name) {
 		if cl.def.RootType() == t.Name {
 			if err := s.buildClusterOccurrence(cl, a); err != nil {
+				comp()
 				return err
 			}
 		}

@@ -58,9 +58,17 @@ func New(seg *segment.Segment, pool *buffer.Pool) (*Container, error) {
 	c := &Container{seg: seg, pool: pool, fsi: make(map[uint32]int)}
 
 	var firstErr error
+	raw := make([]byte, seg.PageSize())
 	seg.ForAllocated(func(no uint32) bool {
 		h, err := pool.Fix(segment.PageID{Seg: seg.ID(), No: no})
 		if err != nil {
+			// A crash between a fuzzy checkpoint's bitmap flush and the
+			// formatted page reaching disk leaves the bit set over a
+			// never-written page. Skip it (the page stays allocated but
+			// unused); anything else is real corruption.
+			if rerr := seg.ReadPage(no, raw); rerr == nil && allZero(raw) {
+				return true
+			}
 			firstErr = fmt.Errorf("record: open page %d: %w", no, err)
 			return false
 		}
@@ -77,6 +85,15 @@ func New(seg *segment.Segment, pool *buffer.Pool) (*Container, error) {
 		return nil, firstErr
 	}
 	return c, nil
+}
+
+func allZero(p []byte) bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Segment returns the container's segment.

@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"prima/internal/access/addr"
 	"prima/internal/access/btree"
@@ -25,6 +26,7 @@ import (
 	"prima/internal/storage/device"
 	"prima/internal/storage/pageseq"
 	"prima/internal/storage/segment"
+	"prima/internal/storage/wal"
 )
 
 // Errors returned by the access system.
@@ -58,6 +60,26 @@ type Config struct {
 	// not bytes: a budget of the working set's atom count makes repeated
 	// checkouts serve entirely from decoded memory.
 	AtomCacheSize int
+	// WAL enables the write-ahead log: mutations are logged before they
+	// touch pages, commits become durable via group commit, and Open runs
+	// crash recovery before serving requests.
+	WAL bool
+	// GroupCommitMaxWait bounds how long a committing transaction waits for
+	// companions to share its fsync (default wal.DefaultGroupCommitMaxWait).
+	GroupCommitMaxWait time.Duration
+	// GroupCommitBatch caps how many commits share one fsync (default
+	// wal.DefaultGroupCommitBatch).
+	GroupCommitBatch int
+	// WALSegmentBlocks sets the log segment size in 8K blocks (default
+	// wal.DefaultSegmentBlocks).
+	WALSegmentBlocks int
+	// WALCheckpointBytes is the log growth between automatic checkpoints
+	// (default wal.DefaultCheckpointBytes).
+	WALCheckpointBytes int64
+	// FileWrap, when set, interposes on every device the file manager
+	// opens. Fault-injection tests use it to place crash-simulating
+	// FaultDevices below the whole storage stack.
+	FileWrap func(name string, d device.Device) device.Device
 }
 
 func (c *Config) fill() error {
@@ -199,6 +221,17 @@ type System struct {
 	// present (its cost is one atomic counter when no snapshot is open).
 	mv *mvStore
 
+	// wal is the write-ahead log (nil when Config.WAL is off). txidFn
+	// attributes mutations to top-level transactions; walRecovering is set
+	// only during the single-threaded recovery replay in Open, where the
+	// Raw* operators must not re-log the history they are repeating.
+	wal           *wal.Log
+	walRecovering bool
+	txidFn        atomic.Pointer[func() uint64]
+	ckptMu        sync.Mutex
+	walStop       chan struct{}
+	walDone       chan struct{}
+
 	mu          sync.RWMutex
 	nextSegID   segment.ID
 	segments    []*segment.Segment
@@ -235,21 +268,32 @@ func Open(cfg Config) (*System, error) {
 		clusters:    make(map[addr.StructID]*clusterStruct),
 		deferq:      newDeferQueue(),
 	}
+	if cfg.FileWrap != nil {
+		s.files.SetWrap(cfg.FileWrap)
+	}
 	s.atoms.Store(newAtomCache(cfg.AtomCacheSize, cfg.BufferShards, nil, &s.acStats))
 	s.mv = newMVStore()
+	loaded := false
 	if cfg.Dir != "" {
 		if _, err := os.Stat(filepath.Join(cfg.Dir, "manifest.json")); err == nil {
 			if err := s.load(); err != nil {
 				return nil, err
 			}
-			return s, nil
-		}
-		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			loaded = true
+		} else if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("access: create dir: %w", err)
 		}
 	}
-	s.schema = catalog.NewSchema()
-	s.dir = addr.NewDirectory()
+	if !loaded {
+		s.schema = catalog.NewSchema()
+		s.dir = addr.NewDirectory()
+	}
+	if cfg.WAL {
+		if err := s.openWAL(); err != nil {
+			s.files.Close()
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -372,11 +416,18 @@ type clusterManifest struct {
 	Occurrences map[string]uint32 `json:"occurrences"` // "%d" addr -> header page
 }
 
-// Checkpoint flushes all state to the database directory (no-op in-memory).
-// The directory and grid snapshots are written atomically enough for the
-// single-user prototype; crash recovery is future work (§4), matching the
-// paper's own scope.
+// Checkpoint makes the current state durable: it propagates deferred work,
+// flushes the buffer pool, syncs every segment, snapshots the catalog,
+// directory and manifest (temp-file + rename, so a crash never tears them),
+// and — when the write-ahead log is on — marks the fuzzy checkpoint in the
+// log so recovery can start from it and old segments can be recycled.
 func (s *System) Checkpoint() error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	var token *wal.CheckpointToken
+	if s.wal != nil {
+		token = s.wal.BeginCheckpoint()
+	}
 	if err := s.PropagateDeferred(); err != nil {
 		return err
 	}
@@ -392,16 +443,22 @@ func (s *System) Checkpoint() error {
 		}
 	}
 	if s.cfg.Dir == "" {
+		if err := s.files.Sync(); err != nil {
+			return err
+		}
+		if s.wal != nil {
+			return s.wal.EndCheckpoint(token)
+		}
 		return nil
 	}
 	schemaData, err := s.schema.Save()
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(s.cfg.Dir, "schema.json"), schemaData, 0o644); err != nil {
+	if err := writeFileAtomic(filepath.Join(s.cfg.Dir, "schema.json"), schemaData); err != nil {
 		return fmt.Errorf("access: write schema: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(s.cfg.Dir, "directory.snap"), s.dir.Snapshot(), 0o644); err != nil {
+	if err := writeFileAtomic(filepath.Join(s.cfg.Dir, "directory.snap"), s.dir.Snapshot()); err != nil {
 		return fmt.Errorf("access: write directory: %w", err)
 	}
 
@@ -437,7 +494,7 @@ func (s *System) Checkpoint() error {
 			am.TreeMeta = ap.tree.MetaPage()
 		} else {
 			am.GridFile = "grid_" + name + ".snap"
-			if err := os.WriteFile(filepath.Join(s.cfg.Dir, am.GridFile), ap.grid.Snapshot(), 0o644); err != nil {
+			if err := writeFileAtomic(filepath.Join(s.cfg.Dir, am.GridFile), ap.grid.Snapshot()); err != nil {
 				s.mu.RUnlock()
 				return fmt.Errorf("access: write grid: %w", err)
 			}
@@ -457,10 +514,16 @@ func (s *System) Checkpoint() error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(s.cfg.Dir, "manifest.json"), data, 0o644); err != nil {
+	if err := writeFileAtomic(filepath.Join(s.cfg.Dir, "manifest.json"), data); err != nil {
 		return fmt.Errorf("access: write manifest: %w", err)
 	}
-	return s.files.Sync()
+	if err := s.files.Sync(); err != nil {
+		return err
+	}
+	if s.wal != nil {
+		return s.wal.EndCheckpoint(token)
+	}
+	return nil
 }
 
 // load restores state from the database directory.
@@ -648,15 +711,29 @@ func (s *System) findClusterDef(name string) (*catalog.ClusterDef, bool) {
 	return nil, false
 }
 
-// Close checkpoints and releases all resources.
+// Close checkpoints and releases all resources. It presses on through
+// individual failures — a crashed fault-injected store must still release
+// every goroutine and file handle — and reports them joined.
 func (s *System) Close() error {
+	if s.walStop != nil {
+		close(s.walStop)
+		<-s.walDone
+		s.walStop = nil
+	}
+	var errs []error
 	if err := s.Checkpoint(); err != nil {
-		s.files.Close()
-		return err
+		errs = append(errs, err)
+	}
+	if s.wal != nil {
+		if err := s.wal.Close(); err != nil {
+			errs = append(errs, err)
+		}
 	}
 	if err := s.pool.Close(); err != nil {
-		s.files.Close()
-		return err
+		errs = append(errs, err)
 	}
-	return s.files.Close()
+	if err := s.files.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }

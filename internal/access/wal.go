@@ -1,0 +1,300 @@
+package access
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"prima/internal/access/addr"
+	"prima/internal/access/atom"
+	"prima/internal/storage/wal"
+)
+
+// This file ties the access system to the write-ahead log: every atom
+// mutation appends a logical redo/undo record before the physical record is
+// touched, and recovery replays those records through the same state-tested
+// Raw* operators the transaction layer uses for in-memory rollback.
+
+// openWAL opens the log, recovers the database from it, and re-checkpoints
+// so the recovered state (and the log's new generation) are durable before
+// any new commit is acknowledged. Called once from Open, single-threaded.
+func (s *System) openWAL() error {
+	wl, err := wal.Open(s.files, wal.Options{
+		SegmentBlocks:      s.cfg.WALSegmentBlocks,
+		GroupCommitMaxWait: s.cfg.GroupCommitMaxWait,
+		GroupCommitBatch:   s.cfg.GroupCommitBatch,
+		CheckpointBytes:    s.cfg.WALCheckpointBytes,
+	})
+	if err != nil {
+		return fmt.Errorf("access: open wal: %w", err)
+	}
+	s.wal = wl
+	s.walRecovering = true
+	_, rerr := wl.Recover(&walApplier{s: s})
+	s.walRecovering = false
+	if rerr == nil {
+		// The log gate goes in only after replay: pages dirtied by recovery
+		// carry records that are already durable (they were just read from the
+		// log), and the applier's page writes must not call back into the
+		// still-locked log.
+		s.pool.SetLogGate(wl)
+		rerr = s.Checkpoint()
+	}
+	if rerr != nil {
+		wl.Close()
+		s.wal = nil
+		return fmt.Errorf("access: recover: %w", rerr)
+	}
+	s.walStop = make(chan struct{})
+	s.walDone = make(chan struct{})
+	go s.walCheckpointLoop()
+	return nil
+}
+
+// writeFileAtomic replaces path via a same-directory temp file and rename,
+// so a crash mid-write leaves either the old or the new snapshot — never a
+// torn one.
+func writeFileAtomic(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	} else {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// walTxID asks the installed transaction-id source (the transaction manager)
+// which top-level transaction the current mutation belongs to. 0 is the
+// autocommit scope: always redone, never rolled back.
+func (s *System) walTxID() uint64 {
+	if fn := s.txidFn.Load(); fn != nil {
+		return (*fn)()
+	}
+	return 0
+}
+
+// SetTxIDSource installs the function that attributes mutations to their
+// top-level transaction (the transaction manager's current root id).
+func (s *System) SetTxIDSource(fn func() uint64) {
+	s.txidFn.Store(&fn)
+}
+
+// walAppend logs one atom mutation ahead of its physical application. The
+// images are encoded with the atom codec into pooled scratch buffers — the
+// log copies them into its write buffer before returning. An error means the
+// record could not be logged and the mutation must not proceed.
+func (s *System) walAppend(kind wal.Kind, a addr.LogicalAddr, typeName string, undo, redo []atom.Value) error {
+	w := s.wal
+	if w == nil || s.walRecovering {
+		return nil
+	}
+	rec := wal.Record{Kind: kind, TxID: s.walTxID(), Addr: uint64(a), TypeName: typeName}
+	var ub, rb *[]byte
+	if undo != nil {
+		ub = encScratch.Get().(*[]byte)
+		rec.Undo = atom.AppendAtom((*ub)[:0], undo)
+	}
+	if redo != nil {
+		rb = encScratch.Get().(*[]byte)
+		rec.Redo = atom.AppendAtom((*rb)[:0], redo)
+	}
+	_, err := w.Append(&rec)
+	if ub != nil {
+		*ub = rec.Undo[:0]
+		encScratch.Put(ub)
+	}
+	if rb != nil {
+		*rb = rec.Redo[:0]
+		encScratch.Put(rb)
+	}
+	if err != nil {
+		return fmt.Errorf("access: log %s of %v: %w", kind, a, err)
+	}
+	return nil
+}
+
+// walCompensate appends the logical inverse of an already-logged mutation
+// whose physical application failed, so replaying the pair nets out to
+// nothing. Best effort: if the log itself is failing, recovery re-runs
+// against whatever prefix survived.
+func (s *System) walCompensate(kind wal.Kind, a addr.LogicalAddr, typeName string, undo, redo []atom.Value) {
+	_ = s.walAppend(kind, a, typeName, undo, redo)
+}
+
+// WALCommit durably commits the transaction's log records (group commit).
+// Without a log it is a no-op — the in-memory commit already happened.
+func (s *System) WALCommit(txid uint64) error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Commit(txid)
+}
+
+// WALAbort marks the transaction rolled back in the log. The mark is not
+// forced: losing it just makes the transaction a recovery loser, which rolls
+// back to the very same state.
+func (s *System) WALAbort(txid uint64) error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.AppendAbort(txid)
+}
+
+// WALStats returns the log counters; ok is false when no log is configured.
+func (s *System) WALStats() (wal.Stats, bool) {
+	if s.wal == nil {
+		return wal.Stats{}, false
+	}
+	return s.wal.Stats(), true
+}
+
+// DDLDurable checkpoints after a schema change. The catalog only persists in
+// checkpoint snapshots, and replaying a log record that names a type the
+// loaded schema lacks would fail — so DDL forces its own checkpoint.
+func (s *System) DDLDurable() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.Checkpoint()
+}
+
+// walCheckpointLoop runs checkpoints whenever the log's growth nudge fires,
+// bounding replay work and recycling log segments.
+func (s *System) walCheckpointLoop() {
+	defer close(s.walDone)
+	for {
+		select {
+		case <-s.walStop:
+			return
+		case <-s.wal.Nudge():
+			// Growth-triggered checkpoints are advisory; a failing one
+			// surfaces again at the next commit, close or explicit call.
+			_ = s.Checkpoint()
+		}
+	}
+}
+
+// --- recovery applier --------------------------------------------------------
+
+// walApplier adapts the access system's recovery operators to wal.Recover.
+// Both directions are idempotent and state-tested: they inspect the directory
+// before acting, and degrade to drop-and-recreate when the base state a fuzzy
+// checkpoint left behind disagrees with the directory snapshot (a crash
+// between the per-device syncs of one checkpoint legitimately mixes state
+// from two checkpoints; repeating history converges it).
+type walApplier struct {
+	s *System
+}
+
+// Redo repeats history: the record's post-state is enforced regardless of
+// what the base state already shows.
+func (ap *walApplier) Redo(r *wal.Record) error {
+	s := ap.s
+	a := addr.LogicalAddr(r.Addr)
+	if _, err := s.typeByID(a.Type()); err != nil {
+		// DDL forces a checkpoint, so every replayed record's type is in the
+		// loaded schema; a miss is real corruption.
+		return fmt.Errorf("%w (%s)", err, r.TypeName)
+	}
+	switch r.Kind {
+	case wal.RecInsert, wal.RecUpdate:
+		vals, err := atom.DecodeAtom(r.Redo)
+		if err != nil {
+			return err
+		}
+		return s.applyImage(a, vals)
+	case wal.RecDelete:
+		return s.applyDelete(a)
+	}
+	return nil
+}
+
+// Undo rolls a loser record back to its pre-state.
+func (ap *walApplier) Undo(r *wal.Record) error {
+	s := ap.s
+	a := addr.LogicalAddr(r.Addr)
+	switch r.Kind {
+	case wal.RecInsert:
+		return s.applyDelete(a)
+	case wal.RecUpdate, wal.RecDelete:
+		vals, err := atom.DecodeAtom(r.Undo)
+		if err != nil {
+			return err
+		}
+		return s.applyImage(a, vals)
+	}
+	return nil
+}
+
+// applyImage makes atom a exist with exactly vals. When the directory claims
+// the atom exists but its physical record is stale or unreadable, the entry
+// is dropped and the atom re-created from the log image.
+func (s *System) applyImage(a addr.LogicalAddr, vals []atom.Value) error {
+	if s.dir.Exists(a) {
+		if err := s.RawOverwrite(a, vals); err == nil {
+			return nil
+		}
+		if refs, err := s.dir.Release(a); err == nil {
+			s.reclaimRefs(a, refs)
+		}
+		s.cacheInvalidate(a)
+	}
+	return s.RawResurrect(a, vals)
+}
+
+// applyDelete makes atom a not exist.
+func (s *System) applyDelete(a addr.LogicalAddr) error {
+	if !s.dir.Exists(a) {
+		return nil
+	}
+	if err := s.RawDelete(a); err != nil {
+		// Stale base state: drop the directory entry, reclaim what can be
+		// reclaimed and move on — the log, not the heap, is authoritative.
+		if refs, rerr := s.dir.Release(a); rerr == nil {
+			s.reclaimRefs(a, refs)
+			s.cacheInvalidate(a)
+			return nil
+		}
+		if !s.dir.Exists(a) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// reclaimRefs best-effort frees the physical records of a released directory
+// entry whose normal teardown failed against a stale base state.
+func (s *System) reclaimRefs(a addr.LogicalAddr, refs []addr.RecordRef) {
+	t, err := s.typeByID(a.Type())
+	if err != nil {
+		return
+	}
+	for _, ref := range refs {
+		if ref.Kind != addr.KindPrimary {
+			continue
+		}
+		if prim, err := s.primary(t); err == nil {
+			_ = prim.Delete(ref.Where)
+		}
+	}
+}

@@ -348,6 +348,31 @@ func (e *Engine) runSelect(p *Plan, epoch *uint64) (*Result, error) {
 func (e *Engine) Execute(stmt mql.Stmt) (*Result, error) { return e.execute(stmt, nil) }
 
 func (e *Engine) execute(stmt mql.Stmt, epoch *uint64) (*Result, error) {
+	res, err := e.executeInner(stmt, epoch)
+	if err == nil && isDDL(stmt) {
+		// Schema changes only persist in checkpoint snapshots — log records
+		// replayed against a pre-DDL schema would name unknown types — so
+		// every successful DDL statement checkpoints before acknowledging.
+		if derr := e.sys.DDLDurable(); derr != nil {
+			return res, fmt.Errorf("core: DDL checkpoint: %w", derr)
+		}
+	}
+	return res, err
+}
+
+// isDDL reports whether stmt changes the schema or the set of LDL-declared
+// storage structures.
+func isDDL(stmt mql.Stmt) bool {
+	switch stmt.(type) {
+	case *mql.CreateAtomType, *mql.DefineMoleculeType, *mql.Drop,
+		*mql.CreateAccessPath, *mql.CreateSortOrder, *mql.CreatePartition,
+		*mql.CreateCluster:
+		return true
+	}
+	return false
+}
+
+func (e *Engine) executeInner(stmt mql.Stmt, epoch *uint64) (*Result, error) {
 	switch s := stmt.(type) {
 	case *mql.CreateAtomType:
 		at, err := mql.LowerAtomType(s)

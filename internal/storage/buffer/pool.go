@@ -33,12 +33,26 @@ var (
 	ErrStillPinned   = errors.New("buffer: page still pinned")
 )
 
+// LogGate is the write-ahead-log side of the WAL-before-page protocol. The
+// pool stamps every dirtied frame with the log's current append position and
+// forces the log up to that position before the frame's bytes can reach the
+// device — so no page version ever becomes durable before the log records
+// that produced it.
+type LogGate interface {
+	// WriteLSN returns the current append position: all records of
+	// mutations performed so far lie strictly below it.
+	WriteLSN() uint64
+	// FlushTo makes the log durable up to (at least) lsn.
+	FlushTo(lsn uint64) error
+}
+
 // frame is a resident page.
 type frame struct {
 	pid     segment.PageID
 	data    []byte
 	pins    int
 	dirty   bool
+	pageLSN uint64 // log position that must be durable before writeback
 	lruElem *list.Element
 }
 
@@ -57,9 +71,19 @@ func (h *Handle) Page() page.Page { return page.Page(h.frame.data) }
 func (h *Handle) PageID() segment.PageID { return h.frame.pid }
 
 // MarkDirty records that the page content changed and must be written back.
+// With a log gate installed, the frame is stamped with the log's current
+// append position: the mutation's log records lie below it, so forcing the
+// log to the stamp before writeback preserves WAL-before-page.
 func (h *Handle) MarkDirty() {
+	var lsn uint64
+	if g := h.shard.pool.gate; g != nil {
+		lsn = g.WriteLSN()
+	}
 	h.shard.mu.Lock()
 	h.frame.dirty = true
+	if lsn > h.frame.pageLSN {
+		h.frame.pageLSN = lsn
+	}
 	h.shard.mu.Unlock()
 }
 
@@ -126,7 +150,15 @@ type Pool struct {
 
 	segMu    sync.RWMutex
 	segments map[segment.ID]*segment.Segment
+
+	// gate, when set, enforces WAL-before-page on every writeback. Installed
+	// once at open time, before the pool sees concurrent traffic.
+	gate LogGate
 }
+
+// SetLogGate installs the write-ahead log the pool must force before writing
+// dirty pages. Call before the pool is used concurrently.
+func (p *Pool) SetLogGate(g LogGate) { p.gate = g }
 
 // NewPool creates a single-shard buffer pool with the given replacement
 // policy — the fully serialized configuration, kept for tools and tests that
@@ -283,6 +315,9 @@ func (sh *shard) fix(pid segment.PageID, fresh bool) (*Handle, error) {
 	f := &frame{pid: pid, data: make([]byte, size), pins: 1}
 	if fresh {
 		f.dirty = true
+		if g := sh.pool.gate; g != nil {
+			f.pageLSN = g.WriteLSN()
+		}
 	} else {
 		if err := seg.ReadPage(pid.No, f.data); err != nil {
 			return nil, fmt.Errorf("buffer: fix %v: %w", pid, err)
@@ -320,6 +355,11 @@ func (sh *shard) writebackLocked(f *frame) error {
 	seg, ok := sh.pool.segment(f.pid.Seg)
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrNotRegistered, f.pid)
+	}
+	if g := sh.pool.gate; g != nil && f.pageLSN > 0 {
+		if err := g.FlushTo(f.pageLSN); err != nil {
+			return fmt.Errorf("buffer: force log for %v: %w", f.pid, err)
+		}
 	}
 	page.Page(f.data).SealChecksum()
 	if err := seg.WritePage(f.pid.No, f.data); err != nil {

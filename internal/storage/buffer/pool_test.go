@@ -400,3 +400,86 @@ func BenchmarkPolicies(b *testing.B) {
 		})
 	}
 }
+
+// fakeGate is a LogGate that records the highest position it was asked to
+// force and can fail on demand.
+type fakeGate struct {
+	lsn     uint64
+	forced  uint64
+	flushes int
+	fail    error
+}
+
+func (g *fakeGate) WriteLSN() uint64 { return g.lsn }
+func (g *fakeGate) FlushTo(lsn uint64) error {
+	if g.fail != nil {
+		return g.fail
+	}
+	g.flushes++
+	if lsn > g.forced {
+		g.forced = lsn
+	}
+	return nil
+}
+
+func TestLogGateForcedBeforeWriteback(t *testing.T) {
+	seg, pages := newSeg(t, 1, device.B1K, 2)
+	pool := NewPool(NewSizeAwareLRU(64 * 1024))
+	gate := &fakeGate{lsn: 700}
+	pool.SetLogGate(gate)
+	pool.Register(seg)
+
+	pid := segment.PageID{Seg: 1, No: pages[0]}
+	h, err := pool.Fix(pid)
+	if err != nil {
+		t.Fatalf("Fix: %v", err)
+	}
+	if _, err := h.Page().Insert([]byte("logged-write")); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	h.MarkDirty() // stamps pageLSN = 700
+	h.Release()
+
+	// A failing log force must block the page write entirely.
+	gate.fail = errors.New("log device down")
+	if err := pool.Flush(pid); err == nil {
+		t.Fatal("Flush succeeded with the log unforceable")
+	}
+	buf := make([]byte, device.B1K)
+	if err := seg.ReadPage(pages[0], buf); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	found := false
+	page.Page(buf).ForEach(func(_ int, rec []byte) bool {
+		if string(rec) == "logged-write" {
+			found = true
+		}
+		return true
+	})
+	if found {
+		t.Fatal("page bytes reached the device before the log was forced")
+	}
+
+	// Once the log can be forced, writeback proceeds — and forces at least
+	// up to the dirty stamp first.
+	gate.fail = nil
+	if err := pool.Flush(pid); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if gate.forced < 700 {
+		t.Fatalf("log forced to %d, want >= 700 (the pageLSN stamp)", gate.forced)
+	}
+	if err := seg.ReadPage(pages[0], buf); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	found = false
+	page.Page(buf).ForEach(func(_ int, rec []byte) bool {
+		if string(rec) == "logged-write" {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("page not written back after successful log force")
+	}
+}

@@ -2,6 +2,7 @@ package device
 
 import (
 	"errors"
+	"sort"
 	"sync"
 )
 
@@ -9,19 +10,126 @@ import (
 // fires. Callers can match it with errors.Is.
 var ErrInjected = errors.New("device: injected fault")
 
+// CrashPlan schedules one simulated machine crash across a set of
+// FaultDevices (typically every device of one file manager, installed via
+// Manager.SetWrap). It counts write and sync operations globally; when the
+// configured operation number is reached the crash "fires": volatile devices
+// lose their unsynced writes and every further operation on any device
+// sharing the plan fails with ErrInjected, exactly as if the process had
+// died. Reopening the underlying files then exercises recovery.
+type CrashPlan struct {
+	mu         sync.Mutex
+	writes     int // write operations observed so far
+	syncs      int // sync operations observed so far
+	crashWrite int // crash at the Nth write (1-based); 0 disables
+	crashSync  int // crash at the Nth sync (1-based); 0 disables
+	tornBytes  int // bytes of the crashing write persisted on torn-eligible devices
+	crashed    bool
+}
+
+// NewCrashPlan returns a plan that never fires until armed with CrashAtSync
+// or CrashAtWrite.
+func NewCrashPlan() *CrashPlan { return &CrashPlan{} }
+
+// CrashAtSync arms the plan to crash at the n-th sync operation (1-based)
+// observed across all devices sharing the plan: that sync persists nothing
+// and fails.
+func (p *CrashPlan) CrashAtSync(n int) {
+	p.mu.Lock()
+	p.crashSync = n
+	p.mu.Unlock()
+}
+
+// CrashAtWrite arms the plan to crash at the n-th write operation (1-based).
+// On torn-eligible devices the crashing write persists only its first
+// tornBytes bytes — the torn write a real disk can leave mid-sector-run.
+func (p *CrashPlan) CrashAtWrite(n, tornBytes int) {
+	p.mu.Lock()
+	p.crashWrite = n
+	p.tornBytes = tornBytes
+	p.mu.Unlock()
+}
+
+// Counts reports the write and sync operations observed so far. A fault-free
+// rehearsal run uses it to learn how many crash points a workload has.
+func (p *CrashPlan) Counts() (writes, syncs int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.writes, p.syncs
+}
+
+// Crashed reports whether the crash has fired.
+func (p *CrashPlan) Crashed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.crashed
+}
+
+// tickWrite counts one write operation. It reports whether the plan is
+// already dead, whether this write is the crash point, and if so how many
+// prefix bytes survive on torn-eligible devices.
+func (p *CrashPlan) tickWrite() (dead, crashNow bool, torn int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.crashed {
+		return true, false, 0
+	}
+	p.writes++
+	if p.crashWrite > 0 && p.writes == p.crashWrite {
+		p.crashed = true
+		return false, true, p.tornBytes
+	}
+	return false, false, 0
+}
+
+// tickSync counts one sync operation and reports (dead, crashNow).
+func (p *CrashPlan) tickSync() (dead, crashNow bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.crashed {
+		return true, false
+	}
+	p.syncs++
+	if p.crashSync > 0 && p.syncs == p.crashSync {
+		p.crashed = true
+		return false, true
+	}
+	return false, false
+}
+
+// dead reports whether the plan has crashed (reads and extends check this
+// without counting).
+func (p *CrashPlan) dead() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.crashed
+}
+
 // FaultDevice wraps another Device and fails selected operations. It is used
-// by tests to verify that upper layers surface and survive I/O errors.
+// by tests to verify that upper layers surface and survive I/O errors, and —
+// in volatile mode with a CrashPlan — to simulate machine crashes that lose
+// every write since the last sync.
 type FaultDevice struct {
 	Device
 
-	mu        sync.Mutex
-	failReads map[int]error // block index -> error to return
-	failAfter int           // fail every operation once countdown reaches zero; -1 disables
+	mu         sync.Mutex
+	failReads  map[int]error // block index -> error to return
+	failWrites map[int]error // block index -> error to return
+	failSyncs  int           // fail the next n syncs; 0 disables
+	failAfter  int           // fail every operation once countdown reaches zero; -1 disables
+
+	// volatile mode: writes are buffered in an overlay and only reach the
+	// underlying device on Sync — the model of a page cache above a disk.
+	volatile bool
+	overlay  map[int][]byte
+
+	plan         *CrashPlan
+	tornEligible bool
 }
 
 // NewFault wraps d with fault injection disabled.
 func NewFault(d Device) *FaultDevice {
-	return &FaultDevice{Device: d, failReads: make(map[int]error), failAfter: -1}
+	return &FaultDevice{Device: d, failReads: make(map[int]error), failWrites: make(map[int]error), failAfter: -1}
 }
 
 // FailBlock arranges for reads of block idx to return ErrInjected.
@@ -38,6 +146,29 @@ func (d *FaultDevice) HealBlock(idx int) {
 	d.mu.Unlock()
 }
 
+// FailWriteBlock arranges for writes touching block idx to return
+// ErrInjected (the write does not happen).
+func (d *FaultDevice) FailWriteBlock(idx int) {
+	d.mu.Lock()
+	d.failWrites[idx] = ErrInjected
+	d.mu.Unlock()
+}
+
+// HealWriteBlock removes a scheduled per-block write fault.
+func (d *FaultDevice) HealWriteBlock(idx int) {
+	d.mu.Lock()
+	delete(d.failWrites, idx)
+	d.mu.Unlock()
+}
+
+// FailNextSyncs arranges for the next n Sync calls to fail with ErrInjected
+// without persisting anything.
+func (d *FaultDevice) FailNextSyncs(n int) {
+	d.mu.Lock()
+	d.failSyncs = n
+	d.mu.Unlock()
+}
+
 // FailAfter arranges for every read and write to fail after n more
 // successful operations. n = 0 fails the next operation. Negative n disables.
 func (d *FaultDevice) FailAfter(n int) {
@@ -46,14 +177,38 @@ func (d *FaultDevice) FailAfter(n int) {
 	d.mu.Unlock()
 }
 
+// SetVolatile switches write buffering on: writes live in an in-memory
+// overlay until Sync applies them to the underlying device. A crash (via the
+// plan) discards the overlay — the writes since the last sync are lost.
+func (d *FaultDevice) SetVolatile(v bool) {
+	d.mu.Lock()
+	d.volatile = v
+	if v && d.overlay == nil {
+		d.overlay = make(map[int][]byte)
+	}
+	d.mu.Unlock()
+}
+
+// SetPlan attaches a shared crash plan. tornEligible marks devices whose
+// crashing write persists a prefix (append-only logs); all others lose the
+// crashing write entirely.
+func (d *FaultDevice) SetPlan(p *CrashPlan, tornEligible bool) {
+	d.mu.Lock()
+	d.plan = p
+	d.tornEligible = tornEligible
+	d.mu.Unlock()
+}
+
 func (d *FaultDevice) tick(first, count int, read bool) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	m := d.failWrites
 	if read {
-		for i := first; i < first+count; i++ {
-			if err, ok := d.failReads[i]; ok {
-				return err
-			}
+		m = d.failReads
+	}
+	for i := first; i < first+count; i++ {
+		if err, ok := m[i]; ok {
+			return err
 		}
 	}
 	if d.failAfter >= 0 {
@@ -65,20 +220,26 @@ func (d *FaultDevice) tick(first, count int, read bool) error {
 	return nil
 }
 
-// ReadBlock fails if a fault is scheduled, otherwise delegates.
+// ReadBlock fails if a fault is scheduled, otherwise delegates (serving
+// overlaid blocks in volatile mode).
 func (d *FaultDevice) ReadBlock(idx int, p []byte) error {
 	if err := d.tick(idx, 1, true); err != nil {
 		return err
 	}
-	return d.Device.ReadBlock(idx, p)
-}
-
-// WriteBlock fails if a fault is scheduled, otherwise delegates.
-func (d *FaultDevice) WriteBlock(idx int, p []byte) error {
-	if err := d.tick(idx, 1, false); err != nil {
-		return err
+	d.mu.Lock()
+	if d.plan != nil && d.plan.dead() {
+		d.mu.Unlock()
+		return ErrInjected
 	}
-	return d.Device.WriteBlock(idx, p)
+	if d.volatile {
+		if b, ok := d.overlay[idx]; ok {
+			copy(p, b)
+			d.mu.Unlock()
+			return nil
+		}
+	}
+	d.mu.Unlock()
+	return d.Device.ReadBlock(idx, p)
 }
 
 // ReadChain fails if a fault is scheduled on any block of the chain.
@@ -86,13 +247,158 @@ func (d *FaultDevice) ReadChain(first, count int, p []byte) error {
 	if err := d.tick(first, count, true); err != nil {
 		return err
 	}
-	return d.Device.ReadChain(first, count, p)
+	d.mu.Lock()
+	if d.plan != nil && d.plan.dead() {
+		d.mu.Unlock()
+		return ErrInjected
+	}
+	overlaid := false
+	if d.volatile {
+		for i := first; i < first+count; i++ {
+			if _, ok := d.overlay[i]; ok {
+				overlaid = true
+				break
+			}
+		}
+	}
+	d.mu.Unlock()
+	if !overlaid {
+		return d.Device.ReadChain(first, count, p)
+	}
+	bs := d.BlockSize()
+	for i := 0; i < count; i++ {
+		if err := d.ReadBlock(first+i, p[i*bs:(i+1)*bs]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// WriteChain fails if a fault is scheduled, otherwise delegates.
+// WriteBlock fails if a fault is scheduled; in volatile mode the write is
+// buffered until Sync.
+func (d *FaultDevice) WriteBlock(idx int, p []byte) error {
+	return d.write(idx, 1, p)
+}
+
+// WriteChain fails if a fault is scheduled; in volatile mode the write is
+// buffered until Sync.
 func (d *FaultDevice) WriteChain(first, count int, p []byte) error {
+	return d.write(first, count, p)
+}
+
+func (d *FaultDevice) write(first, count int, p []byte) error {
 	if err := d.tick(first, count, false); err != nil {
 		return err
 	}
-	return d.Device.WriteChain(first, count, p)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.plan != nil {
+		dead, crashNow, torn := d.plan.tickWrite()
+		if dead {
+			return ErrInjected
+		}
+		if crashNow {
+			if d.tornEligible && torn > 0 && torn < len(p) {
+				d.tornWriteLocked(first, count, p, torn)
+			}
+			return ErrInjected
+		}
+	}
+	if !d.volatile {
+		if count == 1 {
+			return d.Device.WriteBlock(first, p)
+		}
+		return d.Device.WriteChain(first, count, p)
+	}
+	bs := d.BlockSize()
+	for i := 0; i < count; i++ {
+		b, ok := d.overlay[first+i]
+		if !ok {
+			b = make([]byte, bs)
+			d.overlay[first+i] = b
+		}
+		copy(b, p[i*bs:(i+1)*bs])
+	}
+	return nil
+}
+
+// tornWriteLocked persists the first torn bytes of a crashing write straight
+// to the underlying device, splicing the partial block with its previous
+// content — the on-disk picture a crash mid-write leaves behind.
+func (d *FaultDevice) tornWriteLocked(first, count int, p []byte, torn int) {
+	bs := d.BlockSize()
+	whole := torn / bs
+	for i := 0; i < whole && i < count; i++ {
+		_ = d.Device.WriteBlock(first+i, p[i*bs:(i+1)*bs])
+	}
+	rem := torn % bs
+	if rem > 0 && whole < count {
+		blk := make([]byte, bs)
+		_ = d.Device.ReadBlock(first+whole, blk) // best effort: keep old tail
+		copy(blk[:rem], p[whole*bs:whole*bs+rem])
+		_ = d.Device.WriteBlock(first+whole, blk)
+	}
+}
+
+// Extend delegates: block allocation models file-system metadata, which the
+// crash simulation treats as durable (fresh blocks read as zeros either way).
+func (d *FaultDevice) Extend(n int) (int, error) {
+	d.mu.Lock()
+	if d.plan != nil && d.plan.dead() {
+		d.mu.Unlock()
+		return 0, ErrInjected
+	}
+	d.mu.Unlock()
+	return d.Device.Extend(n)
+}
+
+// Sync applies the overlay (in volatile mode) and flushes the underlying
+// device. A scheduled sync failure or a crash persists nothing.
+func (d *FaultDevice) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.syncLocked()
+}
+
+func (d *FaultDevice) syncLocked() error {
+	if d.failSyncs > 0 {
+		d.failSyncs--
+		return ErrInjected
+	}
+	if d.plan != nil {
+		dead, crashNow := d.plan.tickSync()
+		if dead || crashNow {
+			return ErrInjected
+		}
+	}
+	if d.volatile && len(d.overlay) > 0 {
+		idxs := make([]int, 0, len(d.overlay))
+		for i := range d.overlay {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		for _, i := range idxs {
+			if err := d.Device.WriteBlock(i, d.overlay[i]); err != nil {
+				return err
+			}
+		}
+		d.overlay = make(map[int][]byte)
+	}
+	return d.Device.Sync()
+}
+
+// Close flushes (counting as a sync, which may crash) and closes the
+// underlying device. After a crash the unsynced overlay is dropped.
+func (d *FaultDevice) Close() error {
+	d.mu.Lock()
+	crashed := d.plan != nil && d.plan.dead()
+	var err error
+	if !crashed {
+		err = d.syncLocked()
+	}
+	d.mu.Unlock()
+	if cerr := d.Device.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -1,0 +1,263 @@
+package device
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func newVolatile(t *testing.T, plan *CrashPlan, torn bool) (*FaultDevice, Device) {
+	t.Helper()
+	base, err := NewMem(B512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.Extend(8); err != nil {
+		t.Fatal(err)
+	}
+	fd := NewFault(base)
+	fd.SetVolatile(true)
+	if plan != nil {
+		fd.SetPlan(plan, torn)
+	}
+	return fd, base
+}
+
+func block(fill byte) []byte {
+	b := make([]byte, B512)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func TestVolatileOverlayLostWithoutSync(t *testing.T) {
+	fd, base := newVolatile(t, nil, false)
+	if err := fd.WriteBlock(0, block('a')); err != nil {
+		t.Fatal(err)
+	}
+	// The fault device serves the overlay...
+	got := make([]byte, B512)
+	if err := fd.ReadBlock(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 'a' {
+		t.Fatalf("overlay read = %q", got[0])
+	}
+	// ...but the underlying device still has the old (zero) content.
+	if err := base.ReadBlock(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Fatalf("unsynced write reached the base device: %q", got[0])
+	}
+	// Sync applies the overlay.
+	if err := fd.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.ReadBlock(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 'a' {
+		t.Fatalf("synced write missing from base device: %q", got[0])
+	}
+}
+
+func TestCrashAtSyncLosesOverlay(t *testing.T) {
+	plan := NewCrashPlan()
+	fd, base := newVolatile(t, plan, false)
+	if err := fd.WriteBlock(0, block('a')); err != nil {
+		t.Fatal(err)
+	}
+	if err := fd.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fd.WriteBlock(0, block('b')); err != nil {
+		t.Fatal(err)
+	}
+	plan.CrashAtSync(2) // sync 1 happened above; the next one crashes
+	if err := fd.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("crashing sync = %v, want ErrInjected", err)
+	}
+	if !plan.Crashed() {
+		t.Fatal("plan not crashed")
+	}
+	// Everything after the crash fails.
+	if err := fd.WriteBlock(1, block('c')); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash write = %v, want ErrInjected", err)
+	}
+	got := make([]byte, B512)
+	if err := fd.ReadBlock(0, got); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash read = %v, want ErrInjected", err)
+	}
+	// The crash must not have flushed the lost overlay.
+	if err := base.ReadBlock(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 'a' {
+		t.Fatalf("base device shows %q after crash, want pre-crash 'a'", got[0])
+	}
+}
+
+func TestCrashAtWriteCountsAndKills(t *testing.T) {
+	plan := NewCrashPlan()
+	fd, base := newVolatile(t, plan, false)
+	plan.CrashAtWrite(3, 0)
+	if err := fd.WriteBlock(0, block('a')); err != nil {
+		t.Fatal(err)
+	}
+	if err := fd.WriteBlock(1, block('b')); err != nil {
+		t.Fatal(err)
+	}
+	if err := fd.WriteBlock(2, block('c')); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third write = %v, want ErrInjected", err)
+	}
+	w, s := plan.Counts()
+	if w != 3 || s != 0 {
+		t.Fatalf("counts = %d writes / %d syncs, want 3/0", w, s)
+	}
+	// The first two writes died with the overlay.
+	got := make([]byte, B512)
+	for i := 0; i < 3; i++ {
+		if err := base.ReadBlock(i, got); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != 0 {
+			t.Fatalf("block %d = %q on base after crash, want zero", i, got[0])
+		}
+	}
+}
+
+func TestTornWritePersistsPrefix(t *testing.T) {
+	plan := NewCrashPlan()
+	fd, base := newVolatile(t, plan, true)
+	// Pre-crash content in block 1 so the splice has an old tail to keep.
+	if err := fd.WriteChain(0, 2, append(block('x'), block('y')...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fd.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash at the next write (each WriteChain call counts as one write
+	// operation), persisting one and a half blocks of it.
+	plan.CrashAtWrite(2, B512+100)
+	p := append(block('n'), block('m')...)
+	if err := fd.WriteChain(0, 2, p); !errors.Is(err, ErrInjected) {
+		t.Fatalf("crashing write = %v, want ErrInjected", err)
+	}
+	got := make([]byte, B512)
+	if err := base.ReadBlock(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, block('n')) {
+		t.Fatalf("whole prefix block not persisted: %q...", got[0])
+	}
+	if err := base.ReadBlock(1, got); err != nil {
+		t.Fatal(err)
+	}
+	want := block('y')
+	copy(want[:100], block('m')[:100])
+	if !bytes.Equal(got, want) {
+		t.Fatalf("torn block splice wrong: head %q tail %q", got[0], got[B512-1])
+	}
+}
+
+func TestTornIneligibleDropsCrashingWrite(t *testing.T) {
+	plan := NewCrashPlan()
+	fd, base := newVolatile(t, plan, false)
+	if err := fd.WriteBlock(0, block('x')); err != nil {
+		t.Fatal(err)
+	}
+	if err := fd.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	plan.CrashAtWrite(2, 100)
+	if err := fd.WriteBlock(0, block('n')); !errors.Is(err, ErrInjected) {
+		t.Fatalf("crashing write = %v, want ErrInjected", err)
+	}
+	got := make([]byte, B512)
+	if err := base.ReadBlock(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 'x' {
+		t.Fatalf("torn-ineligible device persisted part of the crashing write: %q", got[0])
+	}
+}
+
+func TestScheduledWriteAndSyncFaults(t *testing.T) {
+	base, err := NewMem(B512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.Extend(4); err != nil {
+		t.Fatal(err)
+	}
+	fd := NewFault(base)
+	fd.FailWriteBlock(2)
+	if err := fd.WriteBlock(1, block('a')); err != nil {
+		t.Fatal(err)
+	}
+	if err := fd.WriteBlock(2, block('b')); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write of failed block = %v, want ErrInjected", err)
+	}
+	if err := fd.WriteChain(1, 2, append(block('c'), block('d')...)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("chain touching failed block = %v, want ErrInjected", err)
+	}
+	fd.HealWriteBlock(2)
+	if err := fd.WriteBlock(2, block('b')); err != nil {
+		t.Fatal(err)
+	}
+	fd.FailNextSyncs(2)
+	if err := fd.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatal("first sync should fail")
+	}
+	if err := fd.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatal("second sync should fail")
+	}
+	if err := fd.Sync(); err != nil {
+		t.Fatalf("third sync = %v, want nil", err)
+	}
+}
+
+func TestManagerSetWrapAndRemove(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManager(dir)
+	var wrapped []string
+	m.SetWrap(func(name string, d Device) Device {
+		wrapped = append(wrapped, name)
+		return NewFault(d)
+	})
+	d, err := m.Open("a.seg", B512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.(*FaultDevice); !ok {
+		t.Fatalf("wrap not applied: %T", d)
+	}
+	if len(wrapped) != 1 || wrapped[0] != "a.seg" {
+		t.Fatalf("wrapped = %v", wrapped)
+	}
+	if _, err := d.Extend(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("a.seg"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("a.seg"); err != nil {
+		t.Fatalf("double remove = %v, want nil", err)
+	}
+	// The name is free again and starts empty.
+	d2, err := m.Open("a.seg", B512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Blocks() != 0 {
+		t.Fatalf("recreated device has %d blocks", d2.Blocks())
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,6 +2,7 @@ package device
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -16,6 +17,7 @@ type Manager struct {
 
 	mu      sync.Mutex
 	devices map[string]Device
+	wrap    func(name string, d Device) Device
 	closed  bool
 }
 
@@ -27,6 +29,16 @@ func NewManager(dir string) *Manager {
 
 // InMemory reports whether the manager hands out memory-backed devices.
 func (m *Manager) InMemory() bool { return m.dir == "" }
+
+// SetWrap installs a hook applied to every device created after this call:
+// Open returns wrap(name, d) instead of the raw device. Fault-injection
+// tests use it to interpose FaultDevices below the whole storage stack.
+// Devices already open are not rewrapped.
+func (m *Manager) SetWrap(wrap func(name string, d Device) Device) {
+	m.mu.Lock()
+	m.wrap = wrap
+	m.mu.Unlock()
+}
 
 // Open returns the device with the given name, creating it if necessary.
 // Reopening an existing name returns the same device and requires the same
@@ -58,8 +70,36 @@ func (m *Manager) Open(name string, blockSize int) (Device, error) {
 	if err != nil {
 		return nil, err
 	}
+	if m.wrap != nil {
+		d = m.wrap(name, d)
+	}
 	m.devices[name] = d
 	return d, nil
+}
+
+// Remove closes and deletes the named device (dropping the backing file for
+// directory-backed managers). Removing an unknown name is a no-op. The
+// write-ahead log uses it to recycle segments behind the checkpoint.
+func (m *Manager) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	d, ok := m.devices[name]
+	if !ok {
+		return nil
+	}
+	delete(m.devices, name)
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("device: remove %q: %w", name, err)
+	}
+	if m.dir != "" {
+		if err := os.Remove(filepath.Join(m.dir, name)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("device: remove %q: %w", name, err)
+		}
+	}
+	return nil
 }
 
 // Names returns the names of all open devices in sorted order.

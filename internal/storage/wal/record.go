@@ -1,0 +1,205 @@
+// Package wal implements a write-ahead log for the storage system: an
+// append-only, CRC-framed record stream over fixed-capacity segment files
+// handed out by the file manager (device.Manager). The log carries logical
+// redo/undo records at atom granularity — pre- and post-images encoded by
+// the access system's atom codec — plus transaction commit/abort marks and
+// fuzzy-checkpoint records.
+//
+// The paper defers crash recovery to future work (§4: "concepts for ...
+// recovery in such a workstation environment have to be refined"); this
+// package supplies the classical solution PRIMA's architecture anticipates:
+// write-ahead logging with group commit, checkpoint-bounded replay and an
+// ARIES-style redo-all/undo-losers pass (repeating history with idempotent,
+// state-tested logical operators instead of page LSN tests).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Kind tags log records.
+type Kind uint8
+
+const (
+	// RecInsert carries the post-image of a created atom (redo); undo is
+	// implied (delete the address).
+	RecInsert Kind = iota + 1
+	// RecUpdate carries both pre-image (undo) and post-image (redo).
+	RecUpdate
+	// RecDelete carries the pre-image of a removed atom (undo); redo is
+	// implied (delete the address).
+	RecDelete
+	// RecCommit marks a top-level transaction as committed. Once this record
+	// is on stable storage the transaction is a winner.
+	RecCommit
+	// RecAbort marks a top-level transaction as rolled back: its forward
+	// records plus its compensation records replay to a no-op.
+	RecAbort
+	// RecCheckpoint carries the active-transaction table captured by a fuzzy
+	// checkpoint (txid -> first LSN).
+	RecCheckpoint
+)
+
+func (k Kind) String() string {
+	switch k {
+	case RecInsert:
+		return "insert"
+	case RecUpdate:
+		return "update"
+	case RecDelete:
+		return "delete"
+	case RecCommit:
+		return "commit"
+	case RecAbort:
+		return "abort"
+	case RecCheckpoint:
+		return "checkpoint"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Record is one log record. Op records (insert/update/delete) carry the
+// atom's address, type name and encoded images; commit/abort carry only the
+// transaction id; checkpoint records carry the active-transaction table.
+//
+// TxID 0 is the autocommit scope: its records are always replayed and never
+// rolled back.
+type Record struct {
+	Kind     Kind
+	TxID     uint64
+	Addr     uint64
+	TypeName string
+	Undo     []byte // encoded pre-image (atom codec), nil for inserts
+	Redo     []byte // encoded post-image, nil for deletes
+	Active   map[uint64]uint64
+}
+
+// ErrCorrupt reports a record whose checksum passed but whose payload does
+// not parse — real corruption, as opposed to the expected torn tail.
+var ErrCorrupt = errors.New("wal: corrupt record payload")
+
+// castagnoli is the CRC-32C table used for record framing.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// recHeaderSize is the per-record frame: payload length + CRC-32C.
+const recHeaderSize = 8
+
+// padMagic in the CRC field of a zero-length header marks "rest of segment
+// is padding, continue in the next segment". A zero-length header with any
+// other CRC value marks the end of the valid log.
+const padMagic = 0x50414421 // "PAD!"
+
+// recCRC computes the frame checksum. The generation and the record's own
+// LSN are mixed in, so a stale record from an earlier log incarnation (or a
+// record block left behind at a different stream position) can never pass
+// validation.
+func recCRC(gen, lsn uint64, payload []byte) uint32 {
+	var pre [16]byte
+	binary.LittleEndian.PutUint64(pre[0:], gen)
+	binary.LittleEndian.PutUint64(pre[8:], lsn)
+	c := crc32.Update(0, castagnoli, pre[:])
+	return crc32.Update(c, castagnoli, payload)
+}
+
+// appendPayload encodes r's payload (everything behind the frame header)
+// onto b.
+func appendPayload(b []byte, r *Record) []byte {
+	b = append(b, byte(r.Kind))
+	b = binary.LittleEndian.AppendUint64(b, r.TxID)
+	switch r.Kind {
+	case RecInsert, RecUpdate, RecDelete:
+		b = binary.LittleEndian.AppendUint64(b, r.Addr)
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(r.TypeName)))
+		b = append(b, r.TypeName...)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(r.Undo)))
+		b = append(b, r.Undo...)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(r.Redo)))
+		b = append(b, r.Redo...)
+	case RecCheckpoint:
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(r.Active)))
+		for txid, first := range r.Active {
+			b = binary.LittleEndian.AppendUint64(b, txid)
+			b = binary.LittleEndian.AppendUint64(b, first)
+		}
+	}
+	return b
+}
+
+// decodePayload parses one record payload. The returned record's byte
+// slices alias data; callers that retain records across buffer reuse must
+// copy.
+func decodePayload(data []byte) (*Record, error) {
+	if len(data) < 9 {
+		return nil, fmt.Errorf("%w: %d payload bytes", ErrCorrupt, len(data))
+	}
+	r := &Record{Kind: Kind(data[0]), TxID: binary.LittleEndian.Uint64(data[1:9])}
+	rest := data[9:]
+	switch r.Kind {
+	case RecCommit, RecAbort:
+		return r, nil
+	case RecInsert, RecUpdate, RecDelete:
+		if len(rest) < 10 {
+			return nil, fmt.Errorf("%w: truncated op record", ErrCorrupt)
+		}
+		r.Addr = binary.LittleEndian.Uint64(rest[:8])
+		nameLen := int(binary.LittleEndian.Uint16(rest[8:10]))
+		rest = rest[10:]
+		if len(rest) < nameLen+4 {
+			return nil, fmt.Errorf("%w: truncated type name", ErrCorrupt)
+		}
+		r.TypeName = string(rest[:nameLen])
+		rest = rest[nameLen:]
+		undoLen := int(binary.LittleEndian.Uint32(rest[:4]))
+		rest = rest[4:]
+		if len(rest) < undoLen+4 {
+			return nil, fmt.Errorf("%w: truncated undo image", ErrCorrupt)
+		}
+		if undoLen > 0 {
+			r.Undo = rest[:undoLen]
+		}
+		rest = rest[undoLen:]
+		redoLen := int(binary.LittleEndian.Uint32(rest[:4]))
+		rest = rest[4:]
+		if len(rest) < redoLen {
+			return nil, fmt.Errorf("%w: truncated redo image", ErrCorrupt)
+		}
+		if redoLen > 0 {
+			r.Redo = rest[:redoLen]
+		}
+		return r, nil
+	case RecCheckpoint:
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("%w: truncated checkpoint", ErrCorrupt)
+		}
+		n := int(binary.LittleEndian.Uint32(rest[:4]))
+		rest = rest[4:]
+		if len(rest) < n*16 {
+			return nil, fmt.Errorf("%w: truncated active table", ErrCorrupt)
+		}
+		r.Active = make(map[uint64]uint64, n)
+		for i := 0; i < n; i++ {
+			txid := binary.LittleEndian.Uint64(rest[i*16:])
+			first := binary.LittleEndian.Uint64(rest[i*16+8:])
+			r.Active[txid] = first
+		}
+		return r, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, data[0])
+	}
+}
+
+// clone deep-copies a record so it can outlive the scan buffer it was
+// decoded from.
+func (r *Record) clone() *Record {
+	c := *r
+	if r.Undo != nil {
+		c.Undo = append([]byte(nil), r.Undo...)
+	}
+	if r.Redo != nil {
+		c.Redo = append([]byte(nil), r.Redo...)
+	}
+	return &c
+}

@@ -29,6 +29,11 @@ var (
 	ErrChildActive  = errors.New("txn: child transactions still active")
 	ErrLockConflict = errors.New("txn: lock conflict")
 	ErrNotOwner     = errors.New("txn: operation outside transaction scope")
+	// ErrPoisoned means a rollback failed partway: locks were released over
+	// a possibly half-undone sphere, so the in-memory state can no longer be
+	// trusted. New work is refused; reopen the database (whose write-ahead
+	// log replays to a consistent state) to recover.
+	ErrPoisoned = errors.New("txn: manager poisoned by failed rollback, reopen the database")
 )
 
 // opKind tags undo log entries.
@@ -55,16 +60,29 @@ type Manager struct {
 	mu     sync.Mutex
 	nextID uint64
 	locks  map[addr.LogicalAddr]*Tx // exclusive holders
+	// poisoned is set when an abort's undo failed partway (see ErrPoisoned).
+	poisoned error
 	// writer serializes mutating statements so the single system hook can
 	// attribute mutations to the right transaction.
 	writer  sync.Mutex
 	current *Tx
 }
 
-// NewManager creates a transaction manager and installs its hook.
+// NewManager creates a transaction manager and installs its hook. It also
+// becomes the access system's transaction-id source, so write-ahead log
+// records carry the top-level transaction they belong to.
 func NewManager(sys *access.System) *Manager {
 	m := &Manager{sys: sys, locks: map[addr.LogicalAddr]*Tx{}}
 	sys.SetHook((*managerHook)(m))
+	sys.SetTxIDSource(func() uint64 {
+		m.mu.Lock()
+		cur := m.current
+		m.mu.Unlock()
+		if cur == nil {
+			return 0
+		}
+		return cur.rootID()
+	})
 	return m
 }
 
@@ -78,15 +96,20 @@ type Tx struct {
 	parent   *Tx
 	children int
 	done     bool
+	dead     bool // Begin on a poisoned manager: every operation fails
 	log      []logEntry
 	locks    map[addr.LogicalAddr]bool // locks acquired by this tx itself
 	snap     *access.Snapshot          // the tx's read view (guarded by m.mu)
 }
 
-// Begin starts a top-level transaction.
+// Begin starts a top-level transaction. On a poisoned manager the returned
+// transaction is stillborn: every operation on it fails with ErrPoisoned.
 func (m *Manager) Begin() *Tx {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.poisoned != nil {
+		return &Tx{m: m, dead: true, done: true, locks: map[addr.LogicalAddr]bool{}}
+	}
 	m.nextID++
 	return &Tx{m: m, id: m.nextID, locks: map[addr.LogicalAddr]bool{}, snap: m.sys.OpenSnapshot()}
 }
@@ -96,6 +119,9 @@ func (m *Manager) Begin() *Tx {
 func (t *Tx) Begin() (*Tx, error) {
 	t.m.mu.Lock()
 	defer t.m.mu.Unlock()
+	if t.dead || t.m.poisoned != nil {
+		return nil, ErrPoisoned
+	}
 	if t.done {
 		return nil, ErrDone
 	}
@@ -106,6 +132,16 @@ func (t *Tx) Begin() (*Tx, error) {
 
 // ID returns the transaction id.
 func (t *Tx) ID() uint64 { return t.id }
+
+// rootID returns the id of t's top-level ancestor — the scope write-ahead
+// log records are attributed to (parents are immutable after Begin).
+func (t *Tx) rootID() uint64 {
+	cur := t
+	for cur.parent != nil {
+		cur = cur.parent
+	}
+	return cur.id
+}
 
 // Epoch returns the snapshot epoch the transaction currently reads at.
 // Cursors opened on the transaction's behalf pin this epoch (OpenAt), so
@@ -128,6 +164,10 @@ func (t *Tx) refreshLocked() {
 // access-system write inside fn is locked for and logged to t.
 func (t *Tx) Do(fn func() error) error {
 	t.m.mu.Lock()
+	if t.dead || t.m.poisoned != nil {
+		t.m.mu.Unlock()
+		return ErrPoisoned
+	}
 	if t.done {
 		t.m.mu.Unlock()
 		return ErrDone
@@ -185,20 +225,29 @@ func (m *Manager) lock(t *Tx, a addr.LogicalAddr) error {
 }
 
 // Commit finishes t. A nested commit hands its undo log and locks to the
-// parent (the parent's abort can still undo the child); a top-level commit
-// makes the effects durable and releases all locks.
+// parent (the parent's abort can still undo the child). A top-level commit
+// releases all locks and — when the system runs a write-ahead log — blocks
+// until its commit record is on stable storage (group commit), at which
+// point the effects survive a crash. Without a log the effects live in
+// memory and buffered pages only and become durable at the next checkpoint.
 func (t *Tx) Commit() error {
 	t.m.mu.Lock()
-	defer t.m.mu.Unlock()
+	if t.dead {
+		t.m.mu.Unlock()
+		return ErrPoisoned
+	}
 	if t.done {
+		t.m.mu.Unlock()
 		return ErrDone
 	}
 	if t.children > 0 {
+		t.m.mu.Unlock()
 		return ErrChildActive
 	}
 	t.done = true
 	t.snap.Close()
 	if t.parent != nil {
+		defer t.m.mu.Unlock()
 		t.parent.children--
 		childWrote := len(t.log) > 0
 		// Log inheritance: parent abort undoes the child too.
@@ -217,18 +266,43 @@ func (t *Tx) Commit() error {
 		}
 		return nil
 	}
+	wrote := len(t.log) > 0
+	t.m.mu.Unlock()
+	var walErr error
+	if wrote {
+		// Group commit happens outside m.mu so concurrent committers batch
+		// into one fsync — but still holding t's atom locks: were they
+		// released first, a successor could overwrite this write set and
+		// commit durably while a crash makes t a loser, whose undo would
+		// then clobber the successor's committed state.
+		walErr = t.m.sys.WALCommit(t.id)
+	}
+	t.m.mu.Lock()
 	for a := range t.locks {
 		if t.m.locks[a] == t {
 			delete(t.m.locks, a)
 		}
 	}
-	return nil
+	t.m.mu.Unlock()
+	return walErr
 }
 
 // Abort undoes every mutation of t (and of its committed children) in
 // reverse order and releases its locks. Parents and siblings are untouched.
+//
+// Every entry is undone even if some fail: stopping at the first error while
+// still releasing the locks below would expose the skipped, still-applied
+// mutations to other transactions as if committed. Entries that do fail
+// leave the in-memory state inconsistent, so the manager is poisoned —
+// further work is refused until the database is reopened (the write-ahead
+// log, which also records the transaction as a loser, then rolls it back
+// cleanly during recovery).
 func (t *Tx) Abort() error {
 	t.m.mu.Lock()
+	if t.dead {
+		t.m.mu.Unlock()
+		return ErrPoisoned
+	}
 	if t.done {
 		t.m.mu.Unlock()
 		return ErrDone
@@ -242,27 +316,39 @@ func (t *Tx) Abort() error {
 	log := t.log
 	t.m.mu.Unlock()
 
-	// Undo without the hook observing (recovery must not log itself).
+	// Undo without the hook observing (rollback must not lock or log-for-undo
+	// itself), but with t bound as the current scope so the write-ahead log
+	// attributes the rollback's own page writes to this transaction.
 	t.m.writer.Lock()
 	t.m.sys.SetHook(nil)
-	var undoErr error
+	t.m.mu.Lock()
+	prev := t.m.current
+	t.m.current = t
+	t.m.mu.Unlock()
+	var undoErrs []error
 	for i := len(log) - 1; i >= 0; i-- {
 		e := log[i]
+		var err error
 		switch e.kind {
 		case opInsert:
-			undoErr = t.m.sys.RawDelete(e.a)
+			err = t.m.sys.RawDelete(e.a)
 		case opUpdate:
-			undoErr = t.m.sys.RawOverwrite(e.a, e.pre)
+			err = t.m.sys.RawOverwrite(e.a, e.pre)
 		case opDelete:
-			undoErr = t.m.sys.RawResurrect(e.a, e.pre)
+			err = t.m.sys.RawResurrect(e.a, e.pre)
 		}
-		if undoErr != nil {
-			break
+		if err != nil {
+			undoErrs = append(undoErrs, fmt.Errorf("txn: undo %v: %w", e.a, err))
 		}
 	}
+	undoErr := errors.Join(undoErrs...)
+	t.m.mu.Lock()
+	t.m.current = prev
+	t.m.mu.Unlock()
 	t.m.sys.SetHook((*managerHook)(t.m))
 	t.m.writer.Unlock()
 
+	wrote := len(log) > 0
 	t.m.mu.Lock()
 	if t.parent != nil {
 		t.parent.children--
@@ -276,9 +362,18 @@ func (t *Tx) Abort() error {
 			}
 		}
 	}
+	if undoErr != nil && t.m.poisoned == nil {
+		t.m.poisoned = undoErr
+	}
 	t.m.mu.Unlock()
 	if undoErr != nil {
 		return fmt.Errorf("txn: undo failed: %w", undoErr)
+	}
+	if t.parent == nil && wrote {
+		// The rollback is complete in memory and fully compensated in the
+		// log; the abort record just spares recovery the undo work. Losing
+		// it is harmless, so it is appended without forcing a flush.
+		return t.m.sys.WALAbort(t.id)
 	}
 	return nil
 }
@@ -294,7 +389,11 @@ func (h *managerHook) BeforeWrite(a addr.LogicalAddr) error {
 	m := h.m()
 	m.mu.Lock()
 	cur := m.current
+	poisoned := m.poisoned
 	m.mu.Unlock()
+	if poisoned != nil {
+		return ErrPoisoned
+	}
 	if cur == nil {
 		// Autocommit write: it must not bypass existing locks.
 		m.mu.Lock()

@@ -316,3 +316,67 @@ func TestLifecycleErrors(t *testing.T) {
 		t.Fatalf("Begin after commit = %v", err)
 	}
 }
+
+func TestAbortUndoesAllEntriesDespiteFailures(t *testing.T) {
+	sys := newSys(t)
+	m := NewManager(sys)
+
+	base, err := sys.Insert("part", map[string]atom.Value{"no": atom.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tx := m.Begin()
+	var inserted addr.LogicalAddr
+	err = tx.Do(func() error {
+		var err error
+		if inserted, err = sys.Insert("part", map[string]atom.Value{"no": atom.Int(2)}); err != nil {
+			return err
+		}
+		return sys.Update(base, map[string]atom.Value{"no": atom.Int(99)})
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+
+	// Inject an undoable-looking entry whose undo must fail: an update of an
+	// address that does not exist. Undo runs in reverse order, so this entry
+	// fails first — the real entries after it must still be undone.
+	bogus := addr.New(base.Type(), 1<<40)
+	tx.log = append(tx.log, logEntry{kind: opUpdate, a: bogus, typeName: "part"})
+
+	if err := tx.Abort(); err == nil {
+		t.Fatal("Abort succeeded despite an impossible undo entry")
+	}
+
+	// The failing entry did not stop the rest of the rollback.
+	if sys.Directory().Exists(inserted) {
+		t.Fatal("insert after the failing entry was not undone")
+	}
+	at, err := sys.Get(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := at.Value("no"); v.I != 1 {
+		t.Fatalf("update after the failing entry not undone: no = %d", v.I)
+	}
+
+	// The manager is poisoned: all further work is refused.
+	dead := m.Begin()
+	if err := dead.Do(func() error { return nil }); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Do on stillborn tx = %v, want ErrPoisoned", err)
+	}
+	if err := dead.Commit(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Commit on stillborn tx = %v, want ErrPoisoned", err)
+	}
+	if err := dead.Abort(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Abort on stillborn tx = %v, want ErrPoisoned", err)
+	}
+	if _, err := dead.Begin(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("nested Begin on stillborn tx = %v, want ErrPoisoned", err)
+	}
+	// Autocommit writes are blocked too.
+	if _, err := sys.Insert("part", map[string]atom.Value{"no": atom.Int(3)}); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("autocommit insert on poisoned manager = %v, want ErrPoisoned", err)
+	}
+}

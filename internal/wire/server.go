@@ -204,7 +204,7 @@ func (s *Server) dispatch(req *Request) *Response {
 		ac := s.db.System().AtomCacheStats()
 		bs := s.db.System().Pool().Stats()
 		ph, pm, ps := s.db.Engine().PlanCacheStats()
-		return &Response{OK: true, Message: s.db.Stats(), Stats: &StatsJSON{
+		sj := &StatsJSON{
 			AtomCacheHits:          ac.Hits,
 			AtomCacheMisses:        ac.Misses,
 			AtomCacheInvalidations: ac.Invalidations,
@@ -217,7 +217,18 @@ func (s *Server) dispatch(req *Request) *Response {
 			PlanCacheHits:          ph,
 			PlanCacheMisses:        pm,
 			PlanCacheSize:          ps,
-		}}
+		}
+		if ws, ok := s.db.System().WALStats(); ok {
+			sj.WALEnabled = true
+			sj.WALAppends = ws.Appends
+			sj.WALBytes = ws.Bytes
+			sj.WALSyncs = ws.Syncs
+			sj.WALCommits = ws.Commits
+			sj.WALBatches = ws.Batches
+			sj.WALCheckpoints = ws.Checkpoints
+			sj.WALRecoveries = ws.Recoveries
+		}
+		return &Response{OK: true, Message: s.db.Stats(), Stats: sj}
 	default:
 		return &Response{Error: "unknown op " + req.Op}
 	}

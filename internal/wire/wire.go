@@ -72,6 +72,15 @@ type StatsJSON struct {
 	PlanCacheHits          uint64 `json:"planCacheHits"`
 	PlanCacheMisses        uint64 `json:"planCacheMisses"`
 	PlanCacheSize          int    `json:"planCacheSize"`
+	// Write-ahead log counters; all zero when the log is disabled.
+	WALEnabled     bool   `json:"walEnabled"`
+	WALAppends     uint64 `json:"walAppends"`
+	WALBytes       uint64 `json:"walBytes"`
+	WALSyncs       uint64 `json:"walSyncs"`
+	WALCommits     uint64 `json:"walCommits"`
+	WALBatches     uint64 `json:"walBatches"`
+	WALCheckpoints uint64 `json:"walCheckpoints"`
+	WALRecoveries  uint64 `json:"walRecoveries"`
 }
 
 // MoleculeJSON is a wire-format molecule: the flat atom set grouped by type

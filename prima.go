@@ -27,6 +27,7 @@ package prima
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"prima/internal/access"
 	"prima/internal/access/addr"
@@ -86,6 +87,16 @@ type Config struct {
 	// 0 keeps the default (access.DefaultAtomCacheAtoms); negative disables
 	// the cache. Size it to the hot working set's atom count.
 	AtomCacheSize int
+	// WAL enables the write-ahead log: DML is logged before it touches
+	// pages, Tx.Commit blocks until the commit record is on stable storage
+	// (group commit), and Open replays the log after a crash.
+	WAL bool
+	// GroupCommitMaxWait bounds how long a committing transaction waits for
+	// companions to share its fsync (0 keeps the wal package default).
+	GroupCommitMaxWait time.Duration
+	// WALCheckpointBytes is the log growth between automatic checkpoints
+	// (0 keeps the wal package default).
+	WALCheckpointBytes int64
 }
 
 // DefaultAssemblyWorkers returns the default degree of parallel molecule
@@ -103,12 +114,15 @@ type DB struct {
 // Open creates or opens a database.
 func Open(cfg Config) (*DB, error) {
 	sys, err := access.Open(access.Config{
-		Dir:           cfg.Dir,
-		PageSize:      cfg.PageSize,
-		BufferBytes:   cfg.BufferBytes,
-		Policy:        cfg.Policy,
-		BufferShards:  cfg.BufferShards,
-		AtomCacheSize: cfg.AtomCacheSize,
+		Dir:                cfg.Dir,
+		PageSize:           cfg.PageSize,
+		BufferBytes:        cfg.BufferBytes,
+		Policy:             cfg.Policy,
+		BufferShards:       cfg.BufferShards,
+		AtomCacheSize:      cfg.AtomCacheSize,
+		WAL:                cfg.WAL,
+		GroupCommitMaxWait: cfg.GroupCommitMaxWait,
+		WALCheckpointBytes: cfg.WALCheckpointBytes,
 	})
 	if err != nil {
 		return nil, err
@@ -261,7 +275,12 @@ func (db *DB) Stats() string {
 	ac := db.sys.AtomCacheStats()
 	bs := db.sys.Pool().Stats()
 	ds := db.sys.Files().Stats()
-	return fmt.Sprintf("atoms: %d hits / %d misses, %d invalidations, %d/%d cached; buffer: %d hits / %d misses (%.1f%%), %d evictions; io: %s",
+	out := fmt.Sprintf("atoms: %d hits / %d misses, %d invalidations, %d/%d cached; buffer: %d hits / %d misses (%.1f%%), %d evictions; io: %s",
 		ac.Hits, ac.Misses, ac.Invalidations, ac.Atoms, ac.Budget,
 		bs.Hits, bs.Misses, 100*bs.HitRatio(), bs.Evictions, ds)
+	if ws, ok := db.sys.WALStats(); ok {
+		out += fmt.Sprintf("; wal: %d records / %d bytes, %d commits in %d batches (%d syncs), %d checkpoints, %d recoveries",
+			ws.Appends, ws.Bytes, ws.Commits, ws.Batches, ws.Syncs, ws.Checkpoints, ws.Recoveries)
+	}
+	return out
 }
