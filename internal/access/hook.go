@@ -101,6 +101,9 @@ func (s *System) RawOverwrite(a addr.LogicalAddr, values []atom.Value) error {
 	if err != nil {
 		return err
 	}
+	// Checkpoint op span: rollback mutations log like any others, so they
+	// pin the replay start the same way (no-op during recovery replay).
+	defer s.walOpBegin()()
 	cur, err := s.Get(a, nil)
 	if err != nil {
 		return err
@@ -120,6 +123,8 @@ func (s *System) RawDelete(a addr.LogicalAddr) error {
 	if err != nil {
 		return err
 	}
+	// Checkpoint op span: see RawOverwrite.
+	defer s.walOpBegin()()
 	cur, err := s.Get(a, nil)
 	if err != nil {
 		return err
@@ -198,6 +203,8 @@ func (s *System) RawResurrect(a addr.LogicalAddr, values []atom.Value) error {
 	if err != nil {
 		return err
 	}
+	// Checkpoint op span: see RawOverwrite.
+	defer s.walOpBegin()()
 	// Snapshot readers from before the resurrection must keep seeing the
 	// address as absent: install a tombstone pre-image before reviving.
 	defer s.mvBegin(a, nil)()

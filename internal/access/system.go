@@ -231,6 +231,10 @@ type System struct {
 	ckptMu        sync.Mutex
 	walStop       chan struct{}
 	walDone       chan struct{}
+	// walCkptErr holds the outcome of the most recent checkpoint attempt
+	// (nil on success): the operator-visible signal that log truncation has
+	// stalled. See WALCheckpointErr.
+	walCkptErr atomic.Pointer[error]
 
 	mu          sync.RWMutex
 	nextSegID   segment.ID
@@ -422,6 +426,18 @@ type clusterManifest struct {
 // and — when the write-ahead log is on — marks the fuzzy checkpoint in the
 // log so recovery can start from it and old segments can be recycled.
 func (s *System) Checkpoint() error {
+	err := s.checkpoint()
+	if s.wal != nil {
+		if err != nil {
+			s.walCkptErr.Store(&err)
+		} else {
+			s.walCkptErr.Store(nil)
+		}
+	}
+	return err
+}
+
+func (s *System) checkpoint() error {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
 	var token *wal.CheckpointToken

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"prima/internal/access/addr"
 	"prima/internal/access/atom"
@@ -98,6 +99,20 @@ func (s *System) SetTxIDSource(fn func() uint64) {
 	s.txidFn.Store(&fn)
 }
 
+// walOpBegin marks a logged mutation as in flight for checkpointing: until
+// the returned release runs, a fuzzy checkpoint will not truncate the log
+// past the operation's first record, even though the operation's page writes
+// may land after the checkpoint's page flush. Entry points bracket their
+// whole mutation (logging through physical application) with it; without a
+// log, or during recovery replay, it is a no-op.
+func (s *System) walOpBegin() func() {
+	w := s.wal
+	if w == nil || s.walRecovering {
+		return func() {}
+	}
+	return w.OpBegin()
+}
+
 // walAppend logs one atom mutation ahead of its physical application. The
 // images are encoded with the atom codec into pooled scratch buffers — the
 // log copies them into its write buffer before returning. An error means the
@@ -177,8 +192,17 @@ func (s *System) DDLDurable() error {
 	return s.Checkpoint()
 }
 
+// walCheckpointRetry is the delay before a failed growth checkpoint is
+// retried. Without the retry a persistently failing checkpoint would be
+// invisible until the next growth nudge — or forever, if appends stop.
+const walCheckpointRetry = time.Second
+
 // walCheckpointLoop runs checkpoints whenever the log's growth nudge fires,
-// bounding replay work and recycling log segments.
+// bounding replay work and recycling log segments. A failing checkpoint is
+// recorded in the system's checkpoint-health field (see WALCheckpointErr)
+// and retried with a delay until it succeeds or the system closes: nothing
+// on the commit path ever checkpoints, so the loop itself must not let the
+// log grow without bound in silence.
 func (s *System) walCheckpointLoop() {
 	defer close(s.walDone)
 	for {
@@ -186,11 +210,26 @@ func (s *System) walCheckpointLoop() {
 		case <-s.walStop:
 			return
 		case <-s.wal.Nudge():
-			// Growth-triggered checkpoints are advisory; a failing one
-			// surfaces again at the next commit, close or explicit call.
-			_ = s.Checkpoint()
+		}
+		for s.Checkpoint() != nil {
+			select {
+			case <-s.walStop:
+				return
+			case <-time.After(walCheckpointRetry):
+			}
 		}
 	}
+}
+
+// WALCheckpointErr reports the error of the most recent checkpoint attempt,
+// or nil when the last checkpoint succeeded (or none ran yet). A non-nil
+// value means the log's replay prefix is not being truncated: recovery time
+// and disk use grow until the cause is cleared.
+func (s *System) WALCheckpointErr() error {
+	if e := s.walCkptErr.Load(); e != nil {
+		return *e
+	}
+	return nil
 }
 
 // --- recovery applier --------------------------------------------------------

@@ -3,6 +3,7 @@ package device
 import (
 	"bytes"
 	"errors"
+	"os"
 	"path/filepath"
 	"testing"
 	"testing/quick"
@@ -311,6 +312,40 @@ func testManager(t *testing.T, m *Manager) {
 	}
 	if _, err := m.Open("c.seg", B1K); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Open after close = %v, want ErrClosed", err)
+	}
+}
+
+// Remove of a name that is not open must still delete the backing file:
+// stale files left by a failed removal in a previous process (never reopened,
+// so never in the device table) are otherwise leaked forever.
+func TestManagerRemoveUnopenedFile(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManager(dir)
+	d, err := m.Open("stale.seg", B1K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Extend(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// New incarnation: the file exists on disk but is not open.
+	m2 := NewManager(dir)
+	if err := m2.Remove("stale.seg"); err != nil {
+		t.Fatalf("Remove of unopened name: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "stale.seg")); !os.IsNotExist(err) {
+		t.Fatalf("backing file survives Remove (err=%v)", err)
+	}
+	// Entirely unknown names stay a no-op.
+	if err := m2.Remove("never-existed.seg"); err != nil {
+		t.Fatalf("Remove of unknown name: %v", err)
 	}
 }
 

@@ -78,8 +78,10 @@ func (m *Manager) Open(name string, blockSize int) (Device, error) {
 }
 
 // Remove closes and deletes the named device (dropping the backing file for
-// directory-backed managers). Removing an unknown name is a no-op. The
-// write-ahead log uses it to recycle segments behind the checkpoint.
+// directory-backed managers). A name that is not open still has its backing
+// file deleted, so stale files from a previous process — e.g. a log segment
+// whose removal failed before a crash — can be reclaimed. The write-ahead
+// log uses it to recycle segments behind the checkpoint.
 func (m *Manager) Remove(name string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -88,6 +90,11 @@ func (m *Manager) Remove(name string) error {
 	}
 	d, ok := m.devices[name]
 	if !ok {
+		if m.dir != "" {
+			if err := os.Remove(filepath.Join(m.dir, name)); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("device: remove %q: %w", name, err)
+			}
+		}
 		return nil
 	}
 	delete(m.devices, name)

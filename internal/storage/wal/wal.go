@@ -110,11 +110,13 @@ type Log struct {
 	closed    bool
 	gen       uint64            // log incarnation (mixed into record CRCs)
 	start     uint64            // replay starts here (meta-recorded)
+	floor     uint64            // lowest segment index that may still exist (meta-recorded)
 	appendEnd uint64            // next append offset
 	flushed   uint64            // durable prefix end
 	buf       []byte            // unflushed bytes from bufBase (block-aligned)
 	bufBase   uint64            // stream offset of buf[0]
 	active    map[uint64]uint64 // txid -> first LSN, for checkpointing
+	inflight  map[*opSpan]struct{}
 	segs      map[uint64]device.Device
 	meta      device.Device
 	scratch   []byte // payload encode buffer
@@ -141,6 +143,7 @@ func Open(files *device.Manager, opts Options) (*Log, error) {
 		opts:        opts,
 		segBytes:    uint64(opts.SegmentBlocks) * blockSize,
 		active:      make(map[uint64]uint64),
+		inflight:    make(map[*opSpan]struct{}),
 		segs:        make(map[uint64]device.Device),
 		blockBuf:    make([]byte, blockSize),
 		gen:         1,
@@ -161,8 +164,8 @@ func Open(files *device.Manager, opts Options) (*Log, error) {
 	return l, nil
 }
 
-// readMeta loads {generation, start} from the meta device. A missing or
-// invalid meta block means a fresh log (generation 1, start 0) — which is
+// readMeta loads {generation, start, floor} from the meta device. A missing
+// or invalid meta block means a fresh log (generation 1, start 0) — which is
 // also what a crash before the very first checkpoint resolves to.
 func (l *Log) readMeta() error {
 	if l.meta.Blocks() == 0 {
@@ -177,24 +180,27 @@ func (l *Log) readMeta() error {
 	}
 	gen := binary.LittleEndian.Uint64(buf[8:])
 	start := binary.LittleEndian.Uint64(buf[16:])
-	sum := binary.LittleEndian.Uint32(buf[24:])
-	if crcBytes(buf[:24]) != sum {
+	floor := binary.LittleEndian.Uint64(buf[24:])
+	sum := binary.LittleEndian.Uint32(buf[32:])
+	if crcBytes(buf[:32]) != sum {
 		return nil
 	}
 	l.gen = gen
 	l.start = start
+	l.floor = floor
 	return nil
 }
 
-// writeMetaLocked durably records {generation, start}. This is the commit
-// point of a checkpoint: once the meta block is synced, replay begins at the
-// new start.
+// writeMetaLocked durably records {generation, start, floor}. This is the
+// commit point of a checkpoint: once the meta block is synced, replay begins
+// at the new start.
 func (l *Log) writeMetaLocked() error {
 	buf := make([]byte, device.B512)
 	binary.LittleEndian.PutUint64(buf[0:], metaMagic)
 	binary.LittleEndian.PutUint64(buf[8:], l.gen)
 	binary.LittleEndian.PutUint64(buf[16:], l.start)
-	binary.LittleEndian.PutUint32(buf[24:], crcBytes(buf[:24]))
+	binary.LittleEndian.PutUint64(buf[24:], l.floor)
+	binary.LittleEndian.PutUint32(buf[32:], crcBytes(buf[:32]))
 	if l.meta.Blocks() == 0 {
 		if _, err := l.meta.Extend(1); err != nil {
 			return fmt.Errorf("wal: extend meta: %w", err)
@@ -371,11 +377,14 @@ func (l *Log) flushLocked() error {
 func (l *Log) FlushTo(lsn uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.closed {
-		return ErrClosed
-	}
+	// An already-satisfied gate succeeds even on a closed log: the records are
+	// durable, so writeback of the covered pages (e.g. the pool closing after
+	// the log) must not be refused.
 	if lsn <= l.flushed {
 		return nil
+	}
+	if l.closed {
+		return ErrClosed
 	}
 	return l.flushLocked()
 }
@@ -506,14 +515,45 @@ func (l *Log) drainCommitCh() {
 // checkpoint loop off this channel.
 func (l *Log) Nudge() <-chan struct{} { return l.nudgeCh }
 
+// opSpan marks one logical mutation in flight: its records may already be in
+// the log while its page writes are still landing.
+type opSpan struct {
+	start uint64 // append position when the operation began
+}
+
+// OpBegin registers an in-flight logical mutation and returns its release
+// function. A fuzzy checkpoint must not advance the replay start past the
+// position at which any still-running operation began: the operation's
+// records can precede the checkpoint while its page writes land after the
+// checkpoint's page flush, so those records must survive truncation for
+// redo. The owner brackets every mutating entry point (including autocommit
+// ones, which the active-transaction table never sees) with OpBegin/release.
+func (l *Log) OpBegin() func() {
+	l.mu.Lock()
+	sp := &opSpan{start: l.appendEnd}
+	l.inflight[sp] = struct{}{}
+	l.mu.Unlock()
+	return func() {
+		l.mu.Lock()
+		delete(l.inflight, sp)
+		l.mu.Unlock()
+	}
+}
+
 // CheckpointToken snapshots the state a fuzzy checkpoint began with.
 type CheckpointToken struct {
 	active map[uint64]uint64
+	// beginLSN pins the replay start: no record at or above it existed when
+	// the checkpoint began, so everything the checkpoint's page flush can
+	// have missed — mutations logged after this point, and in-flight
+	// operations' earlier records via the min below — stays replayable.
+	beginLSN uint64
 }
 
-// BeginCheckpoint captures the active-transaction table. The owner then
-// makes its base state durable (flush pages, write catalogs) and calls
-// EndCheckpoint.
+// BeginCheckpoint captures the active-transaction table and the append
+// position (lowered to the start of the oldest in-flight operation). The
+// owner then makes its base state durable (flush pages, write catalogs) and
+// calls EndCheckpoint.
 func (l *Log) BeginCheckpoint() *CheckpointToken {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -521,28 +561,36 @@ func (l *Log) BeginCheckpoint() *CheckpointToken {
 	for k, v := range l.active {
 		act[k] = v
 	}
-	return &CheckpointToken{active: act}
+	pin := l.appendEnd
+	for sp := range l.inflight {
+		if sp.start < pin {
+			pin = sp.start
+		}
+	}
+	return &CheckpointToken{active: act, beginLSN: pin}
 }
 
 // EndCheckpoint completes a fuzzy checkpoint: it appends the checkpoint
 // record, forces the whole log, advances the replay start to the oldest LSN
-// still needed (the minimum over the checkpoint LSN and every live
-// transaction's first LSN), durably rewrites the meta block, and drops log
-// segments that fell entirely behind the new start.
+// still needed (never past the position captured at BeginCheckpoint — a
+// transaction that began and committed during the checkpoint dirtied pages
+// the checkpoint's flush never saw, and its records must survive for redo —
+// and no further than the first LSN of any live transaction), durably
+// rewrites the meta block, and drops log segments that fell entirely behind
+// the new start.
 func (l *Log) EndCheckpoint(cp *CheckpointToken) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
-	cpLSN, err := l.appendLocked(&Record{Kind: RecCheckpoint, Active: cp.active})
-	if err != nil {
+	if _, err := l.appendLocked(&Record{Kind: RecCheckpoint, Active: cp.active}); err != nil {
 		return err
 	}
 	if err := l.flushLocked(); err != nil {
 		return err
 	}
-	start := cpLSN
+	start := cp.beginLSN
 	for _, first := range cp.active {
 		if first < start {
 			start = first
@@ -561,17 +609,24 @@ func (l *Log) EndCheckpoint(cp *CheckpointToken) error {
 	}
 	l.sinceCp = 0
 	l.stats.Checkpoints++
-	// Recycle segments wholly behind the new start (Remove closes the
-	// device and deletes the backing file).
-	firstLive := start / l.segBytes
-	for idx := range l.segs {
-		if idx < firstLive {
-			if err := l.files.Remove(segName(idx)); err == nil {
-				delete(l.segs, idx)
-			}
-		}
-	}
+	l.recycleLocked(start / l.segBytes)
 	return nil
+}
+
+// recycleLocked removes segment files below firstLive, sweeping upward from
+// the persisted floor so segments whose removal once failed — even in a
+// previous incarnation, where they are no longer in l.segs — are retried
+// until the disk space is actually reclaimed. The floor only advances past
+// confirmed removals; it becomes durable with the next checkpoint's meta
+// write (a crash in between merely repeats already-idempotent removes).
+func (l *Log) recycleLocked(firstLive uint64) {
+	for idx := l.floor; idx < firstLive; idx++ {
+		if err := l.files.Remove(segName(idx)); err != nil {
+			return
+		}
+		delete(l.segs, idx)
+		l.floor = idx + 1
+	}
 }
 
 // Stats returns a snapshot of the log counters.

@@ -227,6 +227,9 @@ func (s *Server) dispatch(req *Request) *Response {
 			sj.WALBatches = ws.Batches
 			sj.WALCheckpoints = ws.Checkpoints
 			sj.WALRecoveries = ws.Recoveries
+			if cerr := s.db.System().WALCheckpointErr(); cerr != nil {
+				sj.WALCheckpointErr = cerr.Error()
+			}
 		}
 		return &Response{OK: true, Message: s.db.Stats(), Stats: sj}
 	default:

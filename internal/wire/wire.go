@@ -81,6 +81,10 @@ type StatsJSON struct {
 	WALBatches     uint64 `json:"walBatches"`
 	WALCheckpoints uint64 `json:"walCheckpoints"`
 	WALRecoveries  uint64 `json:"walRecoveries"`
+	// WALCheckpointErr carries the most recent checkpoint failure, empty
+	// while checkpoints are healthy. Non-empty means log truncation has
+	// stalled: replay time and disk use grow until the cause clears.
+	WALCheckpointErr string `json:"walCheckpointErr,omitempty"`
 }
 
 // MoleculeJSON is a wire-format molecule: the flat atom set grouped by type

@@ -281,6 +281,9 @@ func (db *DB) Stats() string {
 	if ws, ok := db.sys.WALStats(); ok {
 		out += fmt.Sprintf("; wal: %d records / %d bytes, %d commits in %d batches (%d syncs), %d checkpoints, %d recoveries",
 			ws.Appends, ws.Bytes, ws.Commits, ws.Batches, ws.Syncs, ws.Checkpoints, ws.Recoveries)
+		if cerr := db.sys.WALCheckpointErr(); cerr != nil {
+			out += fmt.Sprintf("; CHECKPOINT FAILING: %v", cerr)
+		}
 	}
 	return out
 }
