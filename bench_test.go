@@ -9,8 +9,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
-	"time"
 	"testing"
+	"time"
 
 	"prima/internal/access"
 	"prima/internal/access/atom"

@@ -4,13 +4,18 @@
 // Usage:
 //
 //	primad [-addr host:port] [-dir path] [-wal] [-init script.mql]
+//	       [-idle-timeout d] [-read-timeout d] [-write-timeout d]
+//	       [-max-conns n] [-max-inflight n] [-queue-wait d] [-drain-timeout d]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"prima"
 	"prima/internal/wire"
@@ -23,6 +28,13 @@ func main() {
 	groupWait := flag.Duration("group-commit-wait", 0, "max time a commit waits to share an fsync (0 = default)")
 	ckptBytes := flag.Int64("wal-checkpoint-bytes", 0, "log growth between automatic checkpoints (0 = default)")
 	initScript := flag.String("init", "", "MQL script to execute at startup")
+	idleTimeout := flag.Duration("idle-timeout", 0, "max silence between requests on a connection (0 = default 10m, negative = none)")
+	readTimeout := flag.Duration("read-timeout", 0, "max time to finish a started request frame (0 = default 30s, negative = none)")
+	writeTimeout := flag.Duration("write-timeout", 0, "max time per response write (0 = default 30s, negative = none)")
+	maxConns := flag.Int("max-conns", 0, "concurrent connection cap (0 = default 1024, negative = unlimited)")
+	maxInFlight := flag.Int("max-inflight", 0, "concurrent request cap (0 = default 64, negative = unlimited)")
+	queueWait := flag.Duration("queue-wait", 0, "max wait for an in-flight slot before shedding (0 = default 1s, negative = shed immediately)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max time to drain in-flight requests at shutdown")
 	flag.Parse()
 
 	db, err := prima.Open(prima.Config{
@@ -49,7 +61,14 @@ func main() {
 		}
 	}
 
-	srv, err := wire.Serve(db, *addr)
+	srv, err := wire.ServeConfig(db, *addr, wire.ServerConfig{
+		IdleTimeout:  *idleTimeout,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		MaxConns:     *maxConns,
+		MaxInFlight:  *maxInFlight,
+		QueueWait:    *queueWait,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "primad:", err)
 		os.Exit(1)
@@ -57,8 +76,14 @@ func main() {
 	fmt.Println("primad listening on", srv.Addr())
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("primad: shutting down")
-	srv.Close()
+	fmt.Printf("primad: draining (up to %v)\n", *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "primad: drain timed out, connections closed hard:", err)
+	} else {
+		fmt.Println("primad: drained cleanly")
+	}
 }

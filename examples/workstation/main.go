@@ -54,7 +54,9 @@ func main() {
 		if a.Type != "face" {
 			continue
 		}
-		client.StageModify("face", a.Addr, "square_dim", "42.0")
+		if err := client.StageModify("face", a.Addr, "square_dim", "42.0"); err != nil {
+			log.Fatal(err)
+		}
 		staged++
 	}
 	fmt.Printf("staged %d local modification(s); round trips still %d\n",

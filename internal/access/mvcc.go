@@ -311,6 +311,20 @@ func (m *mvStore) snapRefLocked(e uint64) {
 	m.snaps[e]++
 }
 
+// OpenSnapshots returns the number of live (unclosed) snapshots — the leak
+// gauge resilience tests assert against: an abandoned cursor that failed to
+// release its snapshot shows up here as a stuck non-zero count.
+func (s *System) OpenSnapshots() int {
+	m := s.mv
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, c := range m.snaps {
+		n += c
+	}
+	return n
+}
+
 // Epoch returns the snapshot's epoch.
 func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
 

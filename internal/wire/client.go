@@ -1,17 +1,80 @@
 package wire
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
+
+	"prima/internal/access/addr"
 )
 
+// Client retry defaults; a ClientConfig field of 0 selects these, a
+// negative value disables the knob.
+const (
+	DefaultMaxRetries  = 4
+	DefaultBackoffBase = 5 * time.Millisecond
+	DefaultBackoffMax  = 500 * time.Millisecond
+	DefaultDialTimeout = 5 * time.Second
+)
+
+// ClientConfig tunes the client's resilience behavior.
+type ClientConfig struct {
+	// MaxRetries is how many times a retryable failure is retried on top
+	// of the first attempt (0 = default, negative = never retry).
+	MaxRetries int
+	// BackoffBase is the first retry delay; it doubles per attempt up to
+	// BackoffMax, with jitter so a fleet of shed clients does not return
+	// in lockstep.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// OpTimeout bounds each frame read/write of one attempt (0 = no
+	// deadline — checkout streams can legitimately run long).
+	OpTimeout time.Duration
+	// DialTimeout bounds connection establishment.
+	DialTimeout time.Duration
+	// Dialer overrides connection establishment — the injection point for
+	// conn-level faults (FaultPlan.Conn) and custom transports.
+	Dialer func(address string) (net.Conn, error)
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.MaxRetries == 0 {
+		c.MaxRetries = DefaultMaxRetries
+	} else if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = DefaultBackoffBase
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = DefaultBackoffMax
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = DefaultDialTimeout
+	}
+	return c
+}
+
 // Client is a workstation-side connection to a PRIMA server with an object
-// buffer for checked-out molecules.
+// buffer for checked-out molecules. It survives an unreliable link: a dead
+// connection is re-established with exponential backoff, idempotent
+// operations (ping, stats, checkout, atom fetch) are retried transparently,
+// and operations the server sheds under load are retried too — a shed
+// request provably executed nothing, so even Exec and Checkin resend after
+// one. A transport failure during Exec/Checkin is NOT retried: the outcome
+// on the server is unknown and replaying DML could double-apply it.
 type Client struct {
 	mu         sync.Mutex
 	conn       net.Conn
+	address    string
+	cfg        ClientConfig
+	rng        *rand.Rand
 	roundTrips int
+	retries    uint64 // retried attempts (any reason)
+	reconnects uint64 // successful re-dials after a lost conn
 
 	// Object buffer: checked-out atoms by address, plus recorded local
 	// changes awaiting checkin.
@@ -19,17 +82,46 @@ type Client struct {
 	pending []string // MQL statements to run at checkin
 }
 
-// Dial connects to a PRIMA server.
+// Dial connects to a PRIMA server with default resilience configuration.
 func Dial(address string) (*Client, error) {
-	conn, err := net.Dial("tcp", address)
+	return DialConfig(address, ClientConfig{})
+}
+
+// DialConfig connects with explicit retry/backoff knobs.
+func DialConfig(address string, cfg ClientConfig) (*Client, error) {
+	cfg = cfg.withDefaults()
+	c := &Client{
+		address: address,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		buffer:  map[uint64]AtomJSON{},
+	}
+	conn, err := c.dial()
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial: %w", err)
 	}
-	return &Client{conn: conn, buffer: map[uint64]AtomJSON{}}, nil
+	c.conn = conn
+	return c, nil
+}
+
+func (c *Client) dial() (net.Conn, error) {
+	if c.cfg.Dialer != nil {
+		return c.cfg.Dialer(c.address)
+	}
+	return net.DialTimeout("tcp", c.address, c.cfg.DialTimeout)
 }
 
 // Close terminates the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
 
 // RoundTrips returns how many request/response cycles this client has
 // performed — the communication-overhead measure of experiment A6.
@@ -39,22 +131,145 @@ func (c *Client) RoundTrips() int {
 	return c.roundTrips
 }
 
-func (c *Client) call(req *Request) (*Response, error) {
+// Retries returns how many attempts were retried (after shed responses or
+// transport failures) and how many times the connection was re-established.
+func (c *Client) Retries() (retries, reconnects uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.retries, c.reconnects
+}
+
+// ensureConn re-establishes the connection if a previous attempt lost it.
+func (c *Client) ensureConn() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := c.dial()
+	if err != nil {
+		return fmt.Errorf("wire: redial: %w", err)
+	}
+	c.conn = conn
+	c.reconnects++
+	return nil
+}
+
+// dropConn discards a connection whose state is unknown.
+func (c *Client) dropConn() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// armDeadline applies the per-attempt frame deadline.
+func (c *Client) armDeadline() {
+	if c.cfg.OpTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.cfg.OpTimeout))
+	}
+}
+
+// backoffSleep sleeps the exponential-backoff delay for the given retry
+// (1-based) with half jitter: d/2 + rand(d/2).
+func (c *Client) backoffSleep(retry int) {
+	d := c.cfg.BackoffBase << (retry - 1)
+	if d > c.cfg.BackoffMax || d <= 0 {
+		d = c.cfg.BackoffMax
+	}
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	time.Sleep(d)
+}
+
+// do runs one request with the retry policy. Idempotent requests retry on
+// any failure; non-idempotent ones only when the server answered with a
+// retryable shed (which guarantees nothing executed). stream collects
+// continuation frames when non-nil (checkout).
+func (c *Client) do(req *Request, idempotent bool) (*Response, []MoleculeJSON, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			c.retries++
+			// Sleep off the lock-free? Holding mu during backoff is fine:
+			// the client is a session handle, ops on it are serialized.
+			c.backoffSleep(attempt)
+		}
+		if err := c.ensureConn(); err != nil {
+			lastErr = err
+			if attempt >= c.cfg.MaxRetries {
+				return nil, nil, lastErr
+			}
+			continue
+		}
+		resp, mols, err := c.attempt(req)
+		if err == nil {
+			return resp, mols, nil
+		}
+		lastErr = err
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			// Server answered: nothing executed, conn intact, retry —
+			// regardless of idempotency.
+		case errors.Is(err, ErrRemote):
+			// Definitive remote failure (bad MQL, missing atom): the
+			// request executed and failed; retrying would repeat it.
+			return resp, nil, err
+		default:
+			// Transport failure: connection state unknown.
+			c.dropConn()
+			if !idempotent {
+				return nil, nil, fmt.Errorf("wire: connection failed mid-request, outcome unknown (not retrying non-idempotent op): %w", err)
+			}
+		}
+		if attempt >= c.cfg.MaxRetries {
+			return nil, nil, lastErr
+		}
+	}
+}
+
+// attempt performs one round trip (plus stream reassembly for checkout) on
+// the current connection.
+func (c *Client) attempt(req *Request) (*Response, []MoleculeJSON, error) {
 	c.roundTrips++
-	return roundTrip(c.conn, req)
+	c.armDeadline()
+	resp, err := roundTrip(c.conn, req)
+	if err != nil {
+		return resp, nil, err
+	}
+	if req.Op != OpCheckout {
+		return resp, nil, nil
+	}
+	mols := resp.Molecules
+	for resp.More {
+		var next Response
+		c.armDeadline()
+		if err := ReadMsg(c.conn, &next); err != nil {
+			return nil, nil, err
+		}
+		if !next.OK {
+			if next.Retryable {
+				return &next, nil, fmt.Errorf("%w: %s", ErrOverloaded, next.Error)
+			}
+			return &next, nil, fmt.Errorf("%w: %s", ErrRemote, next.Error)
+		}
+		mols = append(mols, next.Molecules...)
+		resp = &next
+	}
+	return resp, mols, nil
 }
 
 // Ping checks connectivity.
 func (c *Client) Ping() error {
-	_, err := c.call(&Request{Op: OpPing})
+	_, _, err := c.do(&Request{Op: OpPing}, true)
 	return err
 }
 
-// Exec runs an MQL script on the server.
+// Exec runs an MQL script on the server. It is not retried after a
+// transport failure — the script may or may not have executed — but a shed
+// response (nothing executed) is.
 func (c *Client) Exec(src string) (*Response, error) {
-	return c.call(&Request{Op: OpExec, MQL: src})
+	resp, _, err := c.do(&Request{Op: OpExec, MQL: src}, false)
+	return resp, err
 }
 
 // Checkout runs a SELECT and loads the resulting molecules into the local
@@ -63,26 +278,15 @@ func (c *Client) Exec(src string) (*Response, error) {
 // transferred to an 'object buffer'"). The server streams the result in
 // chunked frames; the stream is reassembled here transparently, so large
 // sets arrive without a server-side buffer and still cost one round trip.
+// A stream cut mid-way by a transport fault is retried from the start
+// (reads are idempotent); partially received molecules are discarded.
 func (c *Client) Checkout(query string) ([]MoleculeJSON, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.roundTrips++
-	resp, err := roundTrip(c.conn, &Request{Op: OpCheckout, MQL: query})
+	_, mols, err := c.do(&Request{Op: OpCheckout, MQL: query}, true)
 	if err != nil {
 		return nil, err
 	}
-	mols := resp.Molecules
-	for resp.More {
-		var next Response
-		if err := ReadMsg(c.conn, &next); err != nil {
-			return nil, err
-		}
-		if !next.OK {
-			return nil, fmt.Errorf("%w: %s", ErrRemote, next.Error)
-		}
-		mols = append(mols, next.Molecules...)
-		resp = &next
-	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, m := range mols {
 		for _, a := range m.Atoms {
 			c.buffer[a.Addr] = a
@@ -99,10 +303,10 @@ func (c *Client) Local(addr uint64) (AtomJSON, bool) {
 	return a, ok
 }
 
-// Stats fetches the server's cache-hierarchy counters (decoded-atom cache,
-// buffer pool, plan cache) in one round trip.
+// Stats fetches the server's cache-hierarchy and wire-health counters in
+// one round trip.
 func (c *Client) Stats() (*StatsJSON, error) {
-	resp, err := c.call(&Request{Op: OpStats})
+	resp, _, err := c.do(&Request{Op: OpStats}, true)
 	if err != nil {
 		return nil, err
 	}
@@ -114,8 +318,8 @@ func (c *Client) Stats() (*StatsJSON, error) {
 
 // FetchAtom retrieves one atom from the server — the chatty alternative to
 // Checkout used as the baseline in experiment A6.
-func (c *Client) FetchAtom(addr uint64) (AtomJSON, error) {
-	resp, err := c.call(&Request{Op: OpGetAtom, Addr: addr})
+func (c *Client) FetchAtom(a uint64) (AtomJSON, error) {
+	resp, _, err := c.do(&Request{Op: OpGetAtom, Addr: a}, true)
 	if err != nil {
 		return AtomJSON{}, err
 	}
@@ -123,18 +327,29 @@ func (c *Client) FetchAtom(addr uint64) (AtomJSON, error) {
 }
 
 // StageModify records a local modification of a buffered atom; it is sent
-// to the server at Checkin time.
-func (c *Client) StageModify(typeName string, addr uint64, attr, valueLiteral string) {
+// to the server at Checkin time. The target atom must be in the object
+// buffer (a prior Checkout put it there): staging against an address that
+// was never checked out is almost certainly a caller bug, and silently
+// guessing a MODIFY target would corrupt somebody else's atom.
+func (c *Client) StageModify(typeName string, a uint64, attr, valueLiteral string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if a, ok := c.buffer[addr]; ok {
-		a.Values[attr] = valueLiteral
-		c.buffer[addr] = a
+	buffered, ok := c.buffer[a]
+	if !ok {
+		return fmt.Errorf("wire: StageModify %s %v: atom not in object buffer (check it out first)", typeName, addr.LogicalAddr(a))
 	}
-	// Address literal keys the MODIFY to exactly this atom.
+	if buffered.Type != typeName {
+		return fmt.Errorf("wire: StageModify: buffered atom %v is a %s, not a %s", addr.LogicalAddr(a), buffered.Type, typeName)
+	}
+	buffered.Values[attr] = valueLiteral
+	c.buffer[a] = buffered
+	// Address literal keys the MODIFY to exactly this atom; the addr
+	// package owns the type/sequence layout of logical addresses.
+	la := addr.LogicalAddr(a)
 	c.pending = append(c.pending,
 		fmt.Sprintf("MODIFY %s SET %s = %s WHERE %s = @%d.%d",
-			typeName, attr, valueLiteral, identAttrGuess(typeName), addr>>48, addr&0xFFFFFFFFFFFF))
+			typeName, attr, valueLiteral, identAttrGuess(typeName), la.Type(), la.Seq()))
+	return nil
 }
 
 // identAttrGuess derives the IDENTIFIER attribute name used in staged
@@ -150,7 +365,9 @@ func (c *Client) Pending() []string {
 
 // Checkin sends all staged modifications in one round trip and clears the
 // buffer ("modified or newly created molecules are moved back to PRIMA at
-// commit time").
+// commit time"). Like Exec, a checkin whose connection died mid-request is
+// not retried; the staged statements are re-queued so the caller can
+// Checkin again once the outcome is known.
 func (c *Client) Checkin() (*Response, error) {
 	c.mu.Lock()
 	stmts := c.pending
@@ -163,5 +380,13 @@ func (c *Client) Checkin() (*Response, error) {
 	for _, s := range stmts {
 		src += s + ";\n"
 	}
-	return c.call(&Request{Op: OpExec, MQL: src})
+	resp, _, err := c.do(&Request{Op: OpExec, MQL: src}, false)
+	if err != nil && !errors.Is(err, ErrRemote) {
+		// Transport failure with unknown outcome: keep the statements
+		// staged for an explicit re-checkin decision.
+		c.mu.Lock()
+		c.pending = append(stmts, c.pending...)
+		c.mu.Unlock()
+	}
+	return resp, err
 }

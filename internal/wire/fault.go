@@ -1,0 +1,206 @@
+package wire
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultPlan drives conn-level fault injection — the network twin of
+// device.FaultDevice. A plan wraps listeners and conns; every wrapped I/O
+// operation consults the plan and may be delayed, stalled, cut short
+// (partial write followed by a reset) or reset outright. Randomness comes
+// from a seeded source, so a chaos run is reproducible from its seed.
+//
+// All knobs may be adjusted while traffic is running; counters report how
+// many of each fault actually fired.
+type FaultPlan struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	latency     time.Duration // upper bound of per-I/O injected delay
+	latencyProb float64
+	stall       time.Duration // a long blocking pause (deadline fodder)
+	stallProb   float64
+	partialProb float64 // on write: deliver a prefix, then reset
+	resetProb   float64 // on read or write: reset the conn
+
+	acceptFails atomic.Int32 // next n Accept calls fail transiently
+	opFails     atomic.Int32 // next n conn I/O ops reset deterministically
+
+	// Fired-fault counters.
+	Latencies atomic.Uint64
+	Stalls    atomic.Uint64
+	Partials  atomic.Uint64
+	Resets    atomic.Uint64
+}
+
+// NewFaultPlan creates a plan with no faults armed; arm them with the Set
+// methods.
+func NewFaultPlan(seed int64) *FaultPlan {
+	return &FaultPlan{rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetLatency injects a random delay up to d before a fraction prob of I/O
+// operations.
+func (p *FaultPlan) SetLatency(prob float64, d time.Duration) {
+	p.mu.Lock()
+	p.latencyProb, p.latency = prob, d
+	p.mu.Unlock()
+}
+
+// SetStall injects a blocking pause of d into a fraction prob of I/O
+// operations — long enough to trip read/write deadlines.
+func (p *FaultPlan) SetStall(prob float64, d time.Duration) {
+	p.mu.Lock()
+	p.stallProb, p.stall = prob, d
+	p.mu.Unlock()
+}
+
+// SetPartialWrite makes a fraction prob of writes deliver only a prefix of
+// the buffer to the peer before resetting the conn — the torn-write of the
+// network world.
+func (p *FaultPlan) SetPartialWrite(prob float64) {
+	p.mu.Lock()
+	p.partialProb = prob
+	p.mu.Unlock()
+}
+
+// SetReset makes a fraction prob of reads and writes reset the conn.
+func (p *FaultPlan) SetReset(prob float64) {
+	p.mu.Lock()
+	p.resetProb = prob
+	p.mu.Unlock()
+}
+
+// FailAccepts makes the next n Accept calls on listeners wrapped by this
+// plan fail with a transient error (the EMFILE scenario).
+func (p *FaultPlan) FailAccepts(n int) { p.acceptFails.Store(int32(n)) }
+
+// FailOps makes the next n reads/writes on conns wrapped by this plan reset
+// deterministically — the precise scalpel where the probabilistic knobs are
+// a shotgun.
+func (p *FaultPlan) FailOps(n int) { p.opFails.Store(int32(n)) }
+
+// Listen wraps a listener so every accepted conn carries this plan's faults.
+func (p *FaultPlan) Listen(ln net.Listener) net.Listener {
+	return &faultListener{Listener: ln, p: p}
+}
+
+// Conn wraps an established conn with this plan's faults — the client-side
+// injection point (plug it into ClientConfig.Dialer).
+func (p *FaultPlan) Conn(c net.Conn) net.Conn { return &faultConn{Conn: c, p: p} }
+
+// roll draws the fault decisions for one I/O operation under the plan lock.
+func (p *FaultPlan) roll(write bool) (delay time.Duration, partial, reset bool) {
+	for {
+		n := p.opFails.Load()
+		if n <= 0 {
+			break
+		}
+		if p.opFails.CompareAndSwap(n, n-1) {
+			p.Resets.Add(1)
+			return 0, false, true
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.latencyProb > 0 && p.rng.Float64() < p.latencyProb && p.latency > 0 {
+		delay = time.Duration(p.rng.Int63n(int64(p.latency))) + 1
+		p.Latencies.Add(1)
+	}
+	if p.stallProb > 0 && p.rng.Float64() < p.stallProb {
+		delay += p.stall
+		p.Stalls.Add(1)
+	}
+	if p.resetProb > 0 && p.rng.Float64() < p.resetProb {
+		p.Resets.Add(1)
+		return delay, false, true
+	}
+	if write && p.partialProb > 0 && p.rng.Float64() < p.partialProb {
+		p.Partials.Add(1)
+		return delay, true, false
+	}
+	return delay, false, false
+}
+
+// partialLen picks how much of an n-byte write survives a partial fault.
+func (p *FaultPlan) partialLen(n int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n <= 1 {
+		return 0
+	}
+	return 1 + p.rng.Intn(n-1)
+}
+
+// ErrInjected marks failures produced by fault injection.
+var ErrInjected = errors.New("wire: injected fault")
+
+type faultListener struct {
+	net.Listener
+	p *FaultPlan
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	for {
+		if n := l.p.acceptFails.Load(); n > 0 {
+			if l.p.acceptFails.CompareAndSwap(n, n-1) {
+				return nil, errInjectedAccept{}
+			}
+			continue
+		}
+		break
+	}
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &faultConn{Conn: c, p: l.p}, nil
+}
+
+// errInjectedAccept is a transient accept failure: net.Error with
+// Timeout() true, like the kernel's momentary resource exhaustion.
+type errInjectedAccept struct{}
+
+func (errInjectedAccept) Error() string   { return "wire: injected accept failure" }
+func (errInjectedAccept) Timeout() bool   { return true }
+func (errInjectedAccept) Temporary() bool { return true }
+
+type faultConn struct {
+	net.Conn
+	p *FaultPlan
+}
+
+func (c *faultConn) Read(b []byte) (int, error) {
+	delay, _, reset := c.p.roll(false)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if reset {
+		c.Conn.Close()
+		return 0, ErrInjected
+	}
+	return c.Conn.Read(b)
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	delay, partial, reset := c.p.roll(true)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if reset {
+		c.Conn.Close()
+		return 0, ErrInjected
+	}
+	if partial {
+		n := c.p.partialLen(len(b))
+		m, _ := c.Conn.Write(b[:n])
+		c.Conn.Close()
+		return m, ErrInjected
+	}
+	return c.Conn.Write(b)
+}

@@ -1,13 +1,17 @@
 package wire
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"prima"
 	"prima/internal/access"
@@ -16,18 +20,148 @@ import (
 	"prima/internal/core"
 )
 
-// Server exposes a PRIMA database over TCP.
-type Server struct {
-	db *prima.DB
-	ln net.Listener
+// Resilience defaults; a ServerConfig field of 0 selects these, a negative
+// value disables the knob entirely.
+const (
+	// DefaultIdleTimeout bounds how long a connection may sit between
+	// requests. Design sessions are long-lived (§4: a workstation keeps
+	// molecules checked out for hours), so the default is generous — it
+	// exists to reclaim conns whose peer is gone, not to cut slow thinkers.
+	DefaultIdleTimeout = 10 * time.Minute
+	// DefaultReadTimeout bounds reading a request body once its frame
+	// header arrived: a peer that starts a frame must finish it promptly.
+	DefaultReadTimeout = 30 * time.Second
+	// DefaultWriteTimeout bounds each response/stream-frame write; it is
+	// what unpins cursors and snapshots when a streaming client dies.
+	DefaultWriteTimeout = 30 * time.Second
+	// DefaultMaxConns caps concurrently open connections.
+	DefaultMaxConns = 1024
+	// DefaultMaxInFlight caps concurrently executing requests.
+	DefaultMaxInFlight = 64
+	// DefaultQueueWait bounds how long an admitted connection's request
+	// waits for an in-flight slot before being shed with a retryable error.
+	DefaultQueueWait = time.Second
+	// acceptRetryLimit bounds consecutive transient accept failures before
+	// the accept loop gives up (a listener that fails this often is dead).
+	acceptRetryLimit = 100
+	// acceptBackoffMax caps the accept retry backoff.
+	acceptBackoffMax = time.Second
+)
 
-	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]bool
+// ServerConfig tunes the server's resilience behavior. The zero value
+// selects the defaults above; negative values disable individual knobs
+// (no timeout / no cap).
+type ServerConfig struct {
+	IdleTimeout  time.Duration // max silence between requests on a conn
+	ReadTimeout  time.Duration // max time to finish a started request frame
+	WriteTimeout time.Duration // max time per response/stream-frame write
+	MaxConns     int           // concurrent connection cap
+	MaxInFlight  int           // concurrent request cap
+	QueueWait    time.Duration // max wait for an in-flight slot before shedding
 }
 
-// Serve starts serving on the given address ("" picks an ephemeral port).
+func (c ServerConfig) withDefaults() ServerConfig {
+	def := func(v *time.Duration, d time.Duration) {
+		if *v == 0 {
+			*v = d
+		} else if *v < 0 {
+			*v = 0
+		}
+	}
+	def(&c.IdleTimeout, DefaultIdleTimeout)
+	def(&c.ReadTimeout, DefaultReadTimeout)
+	def(&c.WriteTimeout, DefaultWriteTimeout)
+	if c.MaxConns == 0 {
+		c.MaxConns = DefaultMaxConns
+	} else if c.MaxConns < 0 {
+		c.MaxConns = 0
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = DefaultMaxInFlight
+	} else if c.MaxInFlight < 0 {
+		c.MaxInFlight = 0
+	}
+	def(&c.QueueWait, DefaultQueueWait)
+	return c
+}
+
+// srvConn is one accepted connection plus the state the drain protocol
+// needs: a request is either being served (active) or the conn is idle
+// between requests; a draining server closes idle conns immediately and
+// lets active ones finish their current request.
+type srvConn struct {
+	net.Conn
+	mu     sync.Mutex
+	active bool
+	doomed bool // close as soon as the conn is not serving a request
+}
+
+// beginRequest marks the conn active; it reports false when the conn was
+// doomed while idle-reading, in which case the just-read request must be
+// discarded unprocessed (the peer sees a closed conn, exactly as if the
+// request had never arrived).
+func (sc *srvConn) beginRequest() bool {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.doomed {
+		return false
+	}
+	sc.active = true
+	return true
+}
+
+// endRequest marks the conn idle again; it reports false when the conn was
+// doomed mid-request and the handler must exit.
+func (sc *srvConn) endRequest() bool {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.active = false
+	return !sc.doomed
+}
+
+// drainClose dooms the conn: closed now if idle, after the in-flight
+// request otherwise.
+func (sc *srvConn) drainClose() {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.doomed = true
+	if !sc.active {
+		sc.Conn.Close()
+	}
+}
+
+// Server exposes a PRIMA database over TCP.
+type Server struct {
+	db  *prima.DB
+	ln  net.Listener
+	cfg ServerConfig
+
+	mu       sync.Mutex
+	closed   bool
+	draining bool
+	conns    map[*srvConn]struct{}
+	wg       sync.WaitGroup // one count per live handler
+
+	inflight chan struct{} // in-flight request semaphore (nil = unlimited)
+
+	// Wire health counters (see StatsJSON).
+	connsTotal    atomic.Uint64
+	connsRejected atomic.Uint64
+	requests      atomic.Uint64
+	shed          atomic.Uint64
+	streamAborts  atomic.Uint64
+	panics        atomic.Uint64
+	acceptRetries atomic.Uint64
+}
+
+// Serve starts serving on the given address ("" picks an ephemeral port)
+// with the default resilience configuration.
 func Serve(db *prima.DB, address string) (*Server, error) {
+	return ServeConfig(db, address, ServerConfig{})
+}
+
+// ServeConfig starts serving with explicit resilience knobs.
+func ServeConfig(db *prima.DB, address string, cfg ServerConfig) (*Server, error) {
 	if address == "" {
 		address = "127.0.0.1:0"
 	}
@@ -35,67 +169,292 @@ func Serve(db *prima.DB, address string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: listen: %w", err)
 	}
-	s := &Server{db: db, ln: ln, conns: map[net.Conn]bool{}}
+	return ServeListener(db, ln, cfg), nil
+}
+
+// ServeListener serves on an established listener — the injection point for
+// fault-wrapped listeners (FaultPlan.Listen) and custom transports. The
+// server owns the listener and closes it on shutdown.
+func ServeListener(db *prima.DB, ln net.Listener, cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{db: db, ln: ln, cfg: cfg, conns: map[*srvConn]struct{}{}}
+	if cfg.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInFlight)
+	}
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and its connections.
-func (s *Server) Close() error {
+// ActiveConns returns the number of currently open connections.
+func (s *Server) ActiveConns() int {
 	s.mu.Lock()
-	s.closed = true
-	for c := range s.conns {
-		c.Close()
-	}
-	s.mu.Unlock()
-	return s.ln.Close()
+	defer s.mu.Unlock()
+	return len(s.conns)
 }
 
+// InFlight returns the number of requests being served right now.
+func (s *Server) InFlight() int {
+	if s.inflight == nil {
+		return -1
+	}
+	return len(s.inflight)
+}
+
+// Close stops the server immediately: the listener and every connection are
+// closed, in-flight requests fail their writes, and Close returns only
+// after the last handler has exited — no handler touches the DB after
+// Close returns.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*srvConn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, sc := range conns {
+		sc.Conn.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Shutdown drains the server gracefully: it stops accepting, closes idle
+// connections, lets every in-flight request finish (a checkout stream runs
+// to completion), and returns once all handlers exited. If ctx expires
+// first, the remaining connections are closed hard and ctx's error is
+// returned; Shutdown still waits for the handlers before returning, so the
+// DB can be closed safely afterwards either way.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	conns := make([]*srvConn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, sc := range conns {
+		sc.drainClose()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		for sc := range s.conns {
+			sc.Conn.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return err
+}
+
+// acceptLoop accepts connections until the listener closes. Transient
+// accept errors (EMFILE, injected faults) are retried with exponential
+// backoff instead of killing the loop; only acceptRetryLimit consecutive
+// failures — or a closed listener — end it.
 func (s *Server) acceptLoop() {
+	backoff := 5 * time.Millisecond
+	fails := 0
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			s.mu.Lock()
-			closed := s.closed
+			stopped := s.closed || s.draining
 			s.mu.Unlock()
-			if !closed {
-				log.Printf("wire: accept: %v", err)
+			if stopped || errors.Is(err, net.ErrClosed) {
+				return
 			}
-			return
+			fails++
+			if fails > acceptRetryLimit {
+				log.Printf("wire: accept failed %d times, giving up: %v", fails, err)
+				return
+			}
+			s.acceptRetries.Add(1)
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			continue
 		}
-		s.mu.Lock()
-		s.conns[conn] = true
-		s.mu.Unlock()
-		go s.handle(conn)
+		fails, backoff = 0, 5*time.Millisecond
+		s.admit(conn)
 	}
 }
 
-func (s *Server) handle(conn net.Conn) {
-	defer func() {
+// admit applies the connection cap and registers the conn. A rejected conn
+// gets a retryable error response so a well-behaved client backs off
+// instead of reconnect-hammering.
+func (s *Server) admit(conn net.Conn) {
+	sc := &srvConn{Conn: conn}
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
 		conn.Close()
+		return
+	}
+	if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+		s.mu.Unlock()
+		s.connsRejected.Add(1)
+		go func() {
+			s.writeMsg(sc, &Response{Retryable: true,
+				Error: fmt.Sprintf("connection cap (%d) reached", s.cfg.MaxConns)})
+			conn.Close()
+		}()
+		return
+	}
+	s.conns[sc] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	s.connsTotal.Add(1)
+	go s.handle(sc)
+}
+
+// handle serves one connection. A panic anywhere in request handling is
+// recovered here: the conn dies, the server does not.
+func (s *Server) handle(sc *srvConn) {
+	defer s.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			log.Printf("wire: handler panic: %v", r)
+		}
+		sc.Conn.Close()
 		s.mu.Lock()
-		delete(s.conns, conn)
+		delete(s.conns, sc)
 		s.mu.Unlock()
 	}()
 	for {
 		var req Request
-		if err := ReadMsg(conn, &req); err != nil {
-			return // client went away
+		if err := s.readRequest(sc, &req); err != nil {
+			return // peer gone, idle-timed out, or mid-frame stall
 		}
-		if req.Op == OpCheckout {
-			if err := s.streamCheckout(conn, &req); err != nil {
-				return
-			}
-			continue
+		if !sc.beginRequest() {
+			return // doomed while idle: discard unprocessed
 		}
-		resp := s.dispatch(&req)
-		if err := WriteMsg(conn, resp); err != nil {
+		if !s.serveRequest(sc, &req) {
 			return
 		}
+		if !sc.endRequest() {
+			return // doomed mid-request: served, now close
+		}
 	}
+}
+
+// readRequest reads one request under the deadline regime: waiting for the
+// frame header spends the idle budget, reading the body the (much shorter)
+// read budget.
+func (s *Server) readRequest(sc *srvConn, req *Request) error {
+	if err := s.setReadDeadline(sc, s.cfg.IdleTimeout); err != nil {
+		return err
+	}
+	n, err := readHeader(sc)
+	if err != nil {
+		return err
+	}
+	if err := s.setReadDeadline(sc, s.cfg.ReadTimeout); err != nil {
+		return err
+	}
+	return readBody(sc, n, req)
+}
+
+func (s *Server) setReadDeadline(sc *srvConn, d time.Duration) error {
+	if d <= 0 {
+		return sc.Conn.SetReadDeadline(time.Time{})
+	}
+	return sc.Conn.SetReadDeadline(time.Now().Add(d))
+}
+
+// writeMsg writes one message under the write deadline.
+func (s *Server) writeMsg(sc *srvConn, v interface{}) error {
+	if s.cfg.WriteTimeout > 0 {
+		if err := sc.Conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
+			return err
+		}
+	}
+	return WriteMsg(sc.Conn, v)
+}
+
+// serveRequest admits one request through the in-flight semaphore and
+// serves it; it reports false when the connection is no longer usable.
+// Ping and stats bypass admission control: they are cheap and they are how
+// an operator observes an overloaded server.
+func (s *Server) serveRequest(sc *srvConn, req *Request) bool {
+	diagnostic := req.Op == OpPing || req.Op == OpStats
+	if !diagnostic {
+		if !s.acquireSlot() {
+			s.shed.Add(1)
+			return s.writeMsg(sc, &Response{Retryable: true,
+				Error: fmt.Sprintf("shed: %d requests in flight, queue wait exceeded", len(s.inflight))}) == nil
+		}
+		defer func() { <-s.inflight }()
+	}
+	s.requests.Add(1)
+	if req.Op == OpCheckout {
+		return s.streamCheckout(sc, req) == nil
+	}
+	return s.writeMsg(sc, s.safeDispatch(req)) == nil
+}
+
+// acquireSlot takes an in-flight slot, waiting at most QueueWait.
+func (s *Server) acquireSlot() bool {
+	if s.inflight == nil {
+		return true
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	default:
+	}
+	if s.cfg.QueueWait <= 0 {
+		return false
+	}
+	t := time.NewTimer(s.cfg.QueueWait)
+	defer t.Stop()
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// safeDispatch runs dispatch with panic recovery: a request that blows up
+// answers with an error instead of tearing the connection (or server) down.
+// Nothing has been written when dispatch panics, so the conn stays
+// synchronized.
+func (s *Server) safeDispatch(req *Request) (resp *Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			log.Printf("wire: %s panic: %v", req.Op, r)
+			resp = &Response{Error: fmt.Sprintf("internal error serving %s", req.Op)}
+		}
+	}()
+	return s.dispatch(req)
 }
 
 // streamChunk caps the number of molecules per checkout stream frame;
@@ -125,13 +484,23 @@ type rawFrame struct {
 // whichever comes first. A single molecule too large for any frame aborts
 // the stream with a terminal error frame (nothing follows it, so the
 // connection stays synchronized). The returned error is non-nil only when
-// the connection itself failed.
-func (s *Server) streamCheckout(conn net.Conn, req *Request) error {
+// the connection itself failed — including a slow or dead client tripping
+// the write deadline, which is what guarantees the deferred cursor Close
+// (and with it the MVCC snapshot release) instead of pinning versions for
+// as long as the peer stays wedged. A panic mid-assembly propagates to
+// handle's recover after the deferred Close runs; the conn is torn down
+// since frames may already be on the wire.
+func (s *Server) streamCheckout(sc *srvConn, req *Request) (err error) {
 	cur, err := s.db.Query(req.MQL)
 	if err != nil {
-		return WriteMsg(conn, &Response{Error: err.Error()})
+		return s.writeMsg(sc, &Response{Error: err.Error()})
 	}
 	defer cur.Close()
+	defer func() {
+		if err != nil {
+			s.streamAborts.Add(1)
+		}
+	}()
 	count := 0
 	var pending []json.RawMessage
 	var pendingBytes int
@@ -141,24 +510,24 @@ func (s *Server) streamCheckout(conn net.Conn, req *Request) error {
 		if !more {
 			f.Count = count
 		}
-		err := WriteMsg(conn, f)
+		err := s.writeMsg(sc, f)
 		pending, pendingBytes = nil, 0
 		return err
 	}
 	for {
 		m, err := cur.Next()
 		if err != nil {
-			return WriteMsg(conn, &Response{Error: err.Error()})
+			return s.writeMsg(sc, &Response{Error: err.Error()})
 		}
 		if m == nil {
 			break
 		}
 		raw, err := json.Marshal(moleculeToJSON(m))
 		if err != nil {
-			return WriteMsg(conn, &Response{Error: err.Error()})
+			return s.writeMsg(sc, &Response{Error: err.Error()})
 		}
 		if len(raw) > maxFrame-1024 {
-			return WriteMsg(conn, &Response{Error: fmt.Sprintf("%v: molecule %v encodes to %d bytes", ErrFrameTooBig, m.Root.Addr(), len(raw))})
+			return s.writeMsg(sc, &Response{Error: fmt.Sprintf("%v: molecule %v encodes to %d bytes", ErrFrameTooBig, m.Root.Addr(), len(raw))})
 		}
 		if len(pending) > 0 && (len(pending) >= streamChunk || pendingBytes+len(raw) > frameBudget) {
 			if err := flush(true); err != nil {
@@ -172,7 +541,14 @@ func (s *Server) streamCheckout(conn net.Conn, req *Request) error {
 	return flush(false)
 }
 
+// testHookDispatch, when non-nil, observes every dispatched request before
+// execution; resilience tests use it to provoke handler panics.
+var testHookDispatch func(*Request)
+
 func (s *Server) dispatch(req *Request) *Response {
+	if testHookDispatch != nil {
+		testHookDispatch(req)
+	}
 	switch req.Op {
 	case OpPing:
 		return &Response{OK: true, Message: "pong"}
@@ -217,6 +593,15 @@ func (s *Server) dispatch(req *Request) *Response {
 			PlanCacheHits:          ph,
 			PlanCacheMisses:        pm,
 			PlanCacheSize:          ps,
+			WireConnsActive:        s.ActiveConns(),
+			WireConnsTotal:         s.connsTotal.Load(),
+			WireConnsRejected:      s.connsRejected.Load(),
+			WireInFlight:           len(s.inflight),
+			WireRequests:           s.requests.Load(),
+			WireShed:               s.shed.Load(),
+			WireStreamAborts:       s.streamAborts.Load(),
+			WirePanics:             s.panics.Load(),
+			WireAcceptRetries:      s.acceptRetries.Load(),
 		}
 		if ws, ok := s.db.System().WALStats(); ok {
 			sj.WALEnabled = true

@@ -40,8 +40,13 @@ type Request struct {
 
 // Response is one server message.
 type Response struct {
-	OK        bool           `json:"ok"`
-	Error     string         `json:"error,omitempty"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Retryable marks an error response as safe to retry: the server
+	// rejected the request before executing any of it (admission control,
+	// drain). Clients may resend it verbatim — even non-idempotent ops like
+	// Exec, since a shed request has no server-side effect.
+	Retryable bool           `json:"retryable,omitempty"`
 	Message   string         `json:"message,omitempty"`
 	Count     int            `json:"count,omitempty"`
 	Inserted  []uint64       `json:"inserted,omitempty"`
@@ -85,6 +90,17 @@ type StatsJSON struct {
 	// while checkpoints are healthy. Non-empty means log truncation has
 	// stalled: replay time and disk use grow until the cause clears.
 	WALCheckpointErr string `json:"walCheckpointErr,omitempty"`
+	// Wire health counters: the connection/admission state of the server
+	// answering this stats request.
+	WireConnsActive   int    `json:"wireConnsActive"`   // currently open connections
+	WireConnsTotal    uint64 `json:"wireConnsTotal"`    // connections ever accepted
+	WireConnsRejected uint64 `json:"wireConnsRejected"` // turned away at the MaxConns cap
+	WireInFlight      int    `json:"wireInFlight"`      // requests being served right now
+	WireRequests      uint64 `json:"wireRequests"`      // requests ever admitted
+	WireShed          uint64 `json:"wireShed"`          // requests shed by admission control
+	WireStreamAborts  uint64 `json:"wireStreamAborts"`  // checkout streams cut by conn failure
+	WirePanics        uint64 `json:"wirePanics"`        // handler panics recovered
+	WireAcceptRetries uint64 `json:"wireAcceptRetries"` // transient accept errors survived
 }
 
 // MoleculeJSON is a wire-format molecule: the flat atom set grouped by type
@@ -129,14 +145,33 @@ func WriteMsg(w io.Writer, v interface{}) error {
 
 // ReadMsg reads one framed JSON message into v.
 func ReadMsg(r io.Reader, v interface{}) error {
+	n, err := readHeader(r)
+	if err != nil {
+		return err
+	}
+	return readBody(r, n, v)
+}
+
+// readHeader reads the 4-byte length prefix of the next frame and validates
+// it against the frame limit. Splitting the header from the body lets the
+// server apply a long idle deadline to the wait for the header and a short
+// read deadline to the body: a peer may stay silent between requests for as
+// long as the idle budget allows, but once it starts a frame it has to
+// finish it promptly.
+func readHeader(r io.Reader) (uint32, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err
+		return 0, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+		return 0, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
 	}
+	return n, nil
+}
+
+// readBody reads an n-byte frame body into v.
+func readBody(r io.Reader, n uint32, v interface{}) error {
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return err
@@ -146,6 +181,12 @@ func ReadMsg(r io.Reader, v interface{}) error {
 
 // ErrRemote wraps server-side failures surfaced to the client.
 var ErrRemote = errors.New("wire: remote error")
+
+// ErrOverloaded wraps retryable rejections: the server shed the request
+// before executing any of it (admission queue full, connection cap, drain).
+// It satisfies errors.Is(err, ErrRemote) too, so existing error handling
+// keeps working; clients that distinguish it may retry with backoff.
+var ErrOverloaded = fmt.Errorf("%w: overloaded", ErrRemote)
 
 // roundTrip sends a request and reads the response on an established
 // connection.
@@ -158,6 +199,9 @@ func roundTrip(conn net.Conn, req *Request) (*Response, error) {
 		return nil, err
 	}
 	if !resp.OK {
+		if resp.Retryable {
+			return &resp, fmt.Errorf("%w: %s", ErrOverloaded, resp.Error)
+		}
 		return &resp, fmt.Errorf("%w: %s", ErrRemote, resp.Error)
 	}
 	return &resp, nil

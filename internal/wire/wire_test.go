@@ -93,7 +93,9 @@ func TestCheckoutObjectBufferCheckin(t *testing.T) {
 			break
 		}
 	}
-	c.StageModify("face", face.Addr, "square_dim", "123.5")
+	if err := c.StageModify("face", face.Addr, "square_dim", "123.5"); err != nil {
+		t.Fatalf("StageModify: %v", err)
+	}
 	if len(c.Pending()) != 1 {
 		t.Fatalf("pending = %v", c.Pending())
 	}

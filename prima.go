@@ -270,6 +270,12 @@ func (db *DB) System() *access.System { return db.sys }
 // Engine exposes the data system.
 func (db *DB) Engine() *core.Engine { return db.engine }
 
+// OpenSnapshots returns the number of live MVCC snapshots (each open cursor
+// and transaction pins one). After every cursor is closed and every
+// transaction finished it must read zero — the leak gauge the wire layer's
+// resilience tests assert against when a client dies mid-stream.
+func (db *DB) OpenSnapshots() int { return db.sys.OpenSnapshots() }
+
 // Stats summarizes atom cache, buffer and device activity.
 func (db *DB) Stats() string {
 	ac := db.sys.AtomCacheStats()
