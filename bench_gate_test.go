@@ -6,30 +6,22 @@ package prima
 //
 //	go test -tags benchgate -run TestBenchGate .
 //
-// It re-runs the warm repeated-checkout and the parallel-materialization
-// benchmarks and fails when allocs/op or ns/op regresses beyond the
-// committed baseline (BENCH_baseline.json) times its headroom factor.
-// Allocation counts are deterministic across machines — unlike wall clock —
-// so the allocs headroom is tight (1.25x); the ns/op entries exist to catch
-// order-of-magnitude wall-clock cliffs and carry a wide CI-stability
-// headroom (3x). When a PR legitimately changes a profile, re-measure with
+// It re-runs the warm repeated-checkout, parallel-materialization and
+// group-commit benchmarks and fails when allocs/op or ns/op regresses
+// beyond the committed baseline (BENCH_baseline.json) times its headroom
+// factor. The baseline file is shared with other packages' gates (e.g.
+// internal/wire); this gate only enforces the keys registered below. When a
+// PR legitimately changes a profile, re-measure with
 //
-//	go test -run=NONE -bench='BenchmarkRepeatedCheckout|BenchmarkParallelMaterialization' -benchmem .
+//	go test -run=NONE -bench='BenchmarkRepeatedCheckout|BenchmarkParallelMaterialization|BenchmarkGroupCommit' -benchmem .
 //
 // and update the baseline in the same commit.
 
 import (
-	"encoding/json"
-	"os"
 	"testing"
-)
 
-type benchBaseline struct {
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
-	Headroom    float64 `json:"headroom,omitempty"` // allocs/op headroom factor
-	NsPerOp     float64 `json:"ns_per_op,omitempty"`
-	NsHeadroom  float64 `json:"ns_headroom,omitempty"`
-}
+	"prima/internal/benchgate"
+)
 
 // gatedBenchmarks maps baseline keys to the benchmark bodies they gate.
 var gatedBenchmarks = map[string]func(b *testing.B){
@@ -42,46 +34,5 @@ var gatedBenchmarks = map[string]func(b *testing.B){
 }
 
 func TestBenchGate(t *testing.T) {
-	data, err := os.ReadFile("BENCH_baseline.json")
-	if err != nil {
-		t.Fatalf("read baseline: %v", err)
-	}
-	var baselines map[string]benchBaseline
-	if err := json.Unmarshal(data, &baselines); err != nil {
-		t.Fatalf("parse baseline: %v", err)
-	}
-	for name, base := range baselines {
-		fn, ok := gatedBenchmarks[name]
-		if !ok {
-			t.Fatalf("baseline %q has no registered benchmark", name)
-		}
-		if base.AllocsPerOp <= 0 && base.NsPerOp <= 0 {
-			t.Fatalf("baseline %q is empty: %+v", name, base)
-		}
-		res := testing.Benchmark(fn)
-		if base.AllocsPerOp > 0 {
-			if base.Headroom < 1 {
-				t.Fatalf("baseline %q: allocs headroom %v < 1", name, base.Headroom)
-			}
-			got, limit := float64(res.AllocsPerOp()), base.AllocsPerOp*base.Headroom
-			t.Logf("%s: %.0f allocs/op (baseline %.0f, limit %.0f)", name, got, base.AllocsPerOp, limit)
-			if got > limit {
-				t.Errorf("%s: allocs/op regression: %.0f > limit %.0f (baseline %.0f x headroom %.2f) — "+
-					"fix the regression or re-measure and update BENCH_baseline.json",
-					name, got, limit, base.AllocsPerOp, base.Headroom)
-			}
-		}
-		if base.NsPerOp > 0 {
-			if base.NsHeadroom < 1 {
-				t.Fatalf("baseline %q: ns headroom %v < 1", name, base.NsHeadroom)
-			}
-			got, limit := float64(res.NsPerOp()), base.NsPerOp*base.NsHeadroom
-			t.Logf("%s: %.0f ns/op (baseline %.0f, limit %.0f)", name, got, base.NsPerOp, limit)
-			if got > limit {
-				t.Errorf("%s: ns/op regression: %.0f > limit %.0f (baseline %.0f x headroom %.2f) — "+
-					"fix the regression or re-measure and update BENCH_baseline.json",
-					name, got, limit, base.NsPerOp, base.NsHeadroom)
-			}
-		}
-	}
+	benchgate.Run(t, "BENCH_baseline.json", gatedBenchmarks)
 }

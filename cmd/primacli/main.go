@@ -1,12 +1,23 @@
-// Command primacli is an interactive MQL shell for a PRIMA database.
+// Command primacli is an interactive MQL shell for a PRIMA database —
+// embedded, or remote against a primad server.
 //
 // Usage:
 //
-//	primacli [-dir path] [-e "statements"] [-max-molecules n]
+//	primacli [-dir path | -remote host:port] [-e "statements"] [-max-molecules n]
 //
 // Without -e it reads statements from stdin (terminated by ';'), executes
 // them, and prints results. With -dir the database persists; otherwise it is
-// in-memory for the session.
+// in-memory for the session. With -remote, statements run over the wire and
+// the shell's retry/backoff behaviour is the client library's.
+//
+// The shell also understands the meta-command
+//
+//	.stats
+//
+// which prints the server's health counters — shed and panic counts,
+// rejected connections — alongside this client's own retry and reconnect
+// tally, so a degraded server is visible from the shell that is talking
+// to it.
 package main
 
 import (
@@ -17,30 +28,47 @@ import (
 	"strings"
 
 	"prima"
+	"prima/internal/wire"
 )
+
+// session abstracts where statements run: an embedded DB or a wire client.
+type session interface {
+	run(src string, maxMol int) error
+	stats() error
+	close()
+}
 
 func main() {
 	dir := flag.String("dir", "", "database directory (empty = in-memory)")
+	remote := flag.String("remote", "", "primad address to connect to (overrides -dir)")
 	exec := flag.String("e", "", "execute these statements and exit")
 	maxMol := flag.Int("max-molecules", 20, "molecules printed per SELECT")
 	flag.Parse()
 
-	db, err := prima.Open(prima.Config{Dir: *dir})
+	var (
+		s   session
+		err error
+	)
+	if *remote != "" {
+		s, err = dialRemote(*remote)
+	} else {
+		s, err = openLocal(*dir)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "primacli:", err)
 		os.Exit(1)
 	}
-	defer db.Close()
+	defer s.close()
 
 	if *exec != "" {
-		if err := run(db, *exec, *maxMol); err != nil {
+		if err := s.run(*exec, *maxMol); err != nil {
 			fmt.Fprintln(os.Stderr, "primacli:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	fmt.Println("PRIMA — Molecule Query Language shell (end statements with ';', Ctrl-D to quit)")
+	fmt.Println("PRIMA — Molecule Query Language shell (end statements with ';', '.stats' for health, Ctrl-D to quit)")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -51,6 +79,12 @@ func main() {
 			break
 		}
 		line := sc.Text()
+		if buf.Len() == 0 && strings.TrimSpace(line) == ".stats" {
+			if err := s.stats(); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+			continue
+		}
 		buf.WriteString(line)
 		buf.WriteByte('\n')
 		if !strings.Contains(line, ";") {
@@ -60,18 +94,116 @@ func main() {
 		src := buf.String()
 		buf.Reset()
 		prompt = "mql> "
-		if err := run(db, src, *maxMol); err != nil {
+		if err := s.run(src, *maxMol); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 		}
 	}
 }
 
-func run(db *prima.DB, src string, maxMol int) error {
-	results, err := db.Exec(src)
+// ---- embedded session ----
+
+type localSession struct{ db *prima.DB }
+
+func openLocal(dir string) (session, error) {
+	db, err := prima.Open(prima.Config{Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	return &localSession{db: db}, nil
+}
+
+func (s *localSession) close() { s.db.Close() }
+
+func (s *localSession) run(src string, maxMol int) error {
+	results, err := s.db.Exec(src)
 	for _, r := range results {
 		printResult(r, maxMol)
 	}
 	return err
+}
+
+func (s *localSession) stats() error {
+	fmt.Print(s.db.Stats())
+	return nil
+}
+
+// ---- remote session ----
+
+type remoteSession struct{ c *wire.Client }
+
+func dialRemote(addr string) (session, error) {
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &remoteSession{c: c}, nil
+}
+
+func (s *remoteSession) close() { s.c.Close() }
+
+func (s *remoteSession) run(src string, maxMol int) error {
+	resp, err := s.c.Exec(src)
+	if err != nil {
+		return err
+	}
+	printResponse(resp, maxMol)
+	return nil
+}
+
+// stats prints the server's health counters next to this client's own
+// retry tally.
+func (s *remoteSession) stats() error {
+	sj, err := s.c.Stats()
+	if err != nil {
+		return err
+	}
+	retries, reconnects := s.c.Retries()
+	fmt.Printf("client: %d round trips, %d retries, %d reconnects\n",
+		s.c.RoundTrips(), retries, reconnects)
+	fmt.Printf("server: %d requests, %d shed, %d panics recovered\n",
+		sj.WireRequests, sj.WireShed, sj.WirePanics)
+	fmt.Printf("conns:  %d active, %d total, %d rejected, %d in flight\n",
+		sj.WireConnsActive, sj.WireConnsTotal, sj.WireConnsRejected, sj.WireInFlight)
+	fmt.Printf("cache:  atom %d/%d hits/misses, buffer %d/%d, plans %d/%d\n",
+		sj.AtomCacheHits, sj.AtomCacheMisses, sj.BufferHits, sj.BufferMisses,
+		sj.PlanCacheHits, sj.PlanCacheMisses)
+	if sj.WALEnabled {
+		fmt.Printf("wal:    %d appends, %d commits, %d syncs, %d checkpoints\n",
+			sj.WALAppends, sj.WALCommits, sj.WALSyncs, sj.WALCheckpoints)
+	}
+	return nil
+}
+
+// printResponse renders a wire response in the same shape as printResult.
+func printResponse(r *wire.Response, maxMol int) {
+	switch {
+	case len(r.Molecules) > 0 || strings.Contains(r.Message, "molecule"):
+		fmt.Printf("%d molecule(s)\n", len(r.Molecules))
+		for i, m := range r.Molecules {
+			if i >= maxMol {
+				fmt.Printf("... %d more\n", len(r.Molecules)-maxMol)
+				break
+			}
+			printMolecule(m)
+		}
+	case len(r.Inserted) > 0:
+		ids := make([]string, len(r.Inserted))
+		for i, a := range r.Inserted {
+			ids[i] = fmt.Sprintf("@%d", a)
+		}
+		fmt.Printf("inserted %s\n", strings.Join(ids, ", "))
+	default:
+		if r.Message != "" {
+			fmt.Println(r.Message)
+		}
+	}
+}
+
+func printMolecule(m wire.MoleculeJSON) {
+	fmt.Printf("molecule @%d\n", m.Root)
+	for _, a := range m.Atoms {
+		fmt.Printf("  %s @%d %v\n", a.Type, a.Addr, a.Values)
+	}
 }
 
 func printResult(r *prima.Result, maxMol int) {

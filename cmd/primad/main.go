@@ -4,20 +4,27 @@
 // Usage:
 //
 //	primad [-addr host:port] [-dir path] [-wal] [-init script.mql]
+//	       [-metrics-addr host:port]
 //	       [-idle-timeout d] [-read-timeout d] [-write-timeout d]
 //	       [-max-conns n] [-max-inflight n] [-queue-wait d] [-drain-timeout d]
+//
+// With -metrics-addr set, primad serves the full metrics snapshot over HTTP
+// at /metrics: Prometheus text by default, ?format=csv for flat CSV,
+// ?format=json for the structured MetricsSnapshot.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"prima"
+	"prima/internal/obs"
 	"prima/internal/wire"
 )
 
@@ -35,6 +42,7 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 0, "concurrent request cap (0 = default 64, negative = unlimited)")
 	queueWait := flag.Duration("queue-wait", 0, "max wait for an in-flight slot before shedding (0 = default 1s, negative = shed immediately)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max time to drain in-flight requests at shutdown")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for the /metrics endpoint (empty = disabled)")
 	flag.Parse()
 
 	db, err := prima.Open(prima.Config{
@@ -74,6 +82,19 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("primad listening on", srv.Addr())
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(db.Metrics))
+		msrv := &http.Server{Addr: *metricsAddr, Handler: mux}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "primad: metrics:", err)
+			}
+		}()
+		defer msrv.Close()
+		fmt.Println("primad metrics on", *metricsAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,81 @@
+// Command primaload is PRIMA's closed-loop traffic harness. It drives N
+// concurrent wire clients with a configurable checkout/checkin/query/insert
+// mix against a primad server — a remote one via -addr, or an in-process
+// server it starts itself — and reports client-side latency percentiles per
+// op class plus the server's per-stage breakdown.
+//
+// Usage:
+//
+//	primaload [-addr host:port] [-dir path] [-no-wal]
+//	          [-clients n] [-duration d] [-report d]
+//	          [-w-insert n] [-w-query n] [-w-checkout n] [-w-checkin n]
+//	          [-fault-latency-prob p] [-fault-latency d] [-fault-reset-prob p]
+//	          [-seed n] [-csv path]
+//
+// The run fails (exit 1) if any acknowledged write is lost, or if the run
+// recorded no latency at all — so it doubles as a CI smoke check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"prima/internal/load"
+)
+
+func main() {
+	cfg := load.Config{Out: os.Stdout}
+	flag.StringVar(&cfg.Addr, "addr", "", "primad address to drive (empty = start an in-process server)")
+	flag.StringVar(&cfg.Dir, "dir", "", "database directory for the in-process server (empty = in-memory)")
+	flag.BoolVar(&cfg.NoWAL, "no-wal", false, "disable the in-process server's write-ahead log")
+	flag.IntVar(&cfg.Clients, "clients", 8, "number of concurrent closed-loop clients")
+	flag.DurationVar(&cfg.Duration, "duration", 10*time.Second, "how long to drive traffic")
+	flag.DurationVar(&cfg.ReportEvery, "report", 5*time.Second, "periodic report interval (0 = none)")
+	flag.IntVar(&cfg.InsertW, "w-insert", 40, "insert weight in the op mix")
+	flag.IntVar(&cfg.QueryW, "w-query", 30, "query weight in the op mix")
+	flag.IntVar(&cfg.CheckoutW, "w-checkout", 20, "checkout weight in the op mix")
+	flag.IntVar(&cfg.CheckinW, "w-checkin", 10, "checkin (stage-modify + commit) weight in the op mix")
+	flag.Float64Var(&cfg.FaultLatencyProb, "fault-latency-prob", 0, "probability of injected delay per conn I/O")
+	flag.DurationVar(&cfg.FaultLatency, "fault-latency", 2*time.Millisecond, "injected delay duration")
+	flag.Float64Var(&cfg.FaultResetProb, "fault-reset-prob", 0, "probability of injected connection reset per conn I/O")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "random seed for the op mix and fault schedule")
+	csvPath := flag.String("csv", "", "write the merged client+server metrics snapshot as CSV to this file")
+	flag.Parse()
+
+	rep, err := load.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "primaload:", err)
+		os.Exit(1)
+	}
+	rep.Print(os.Stdout)
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "primaload:", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteCSV(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "primaload: csv:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
+	failed := false
+	if rep.LostWrites > 0 {
+		fmt.Fprintf(os.Stderr, "primaload: FAIL: %d acknowledged writes lost\n", rep.LostWrites)
+		failed = true
+	}
+	if q := rep.MergedQuantiles(); q.Count == 0 || q.P99 <= 0 {
+		fmt.Fprintln(os.Stderr, "primaload: FAIL: no latency recorded (empty p99)")
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("primaload: OK")
+}

@@ -2,6 +2,7 @@ package access
 
 import (
 	"fmt"
+	"time"
 
 	"prima/internal/access/addr"
 	"prima/internal/access/atom"
@@ -25,6 +26,7 @@ func (s *System) GetBatch(addrs []addr.LogicalAddr, attrs []string) ([]*Atom, er
 	if len(addrs) == 0 {
 		return out, nil
 	}
+	defer s.decodeNs.ObserveSince(time.Now())
 	if attrs != nil {
 		for i, a := range addrs {
 			at, err := s.Get(a, attrs)

@@ -22,6 +22,7 @@ import (
 	"prima/internal/access/mdindex"
 	"prima/internal/access/record"
 	"prima/internal/catalog"
+	"prima/internal/obs"
 	"prima/internal/storage/buffer"
 	"prima/internal/storage/device"
 	"prima/internal/storage/pageseq"
@@ -211,6 +212,14 @@ type System struct {
 	pool   *buffer.Pool
 	dir    *addr.Directory
 
+	// reg is the database-wide metrics registry: the access system owns it
+	// because it sits below every other layer — the engine, transaction
+	// manager and wire server all pull their handles from here so one
+	// snapshot covers the whole stack. decodeNs times batched atom reads
+	// (page fix + record decode), the stage molecule assembly fans out on.
+	reg      *obs.Registry
+	decodeNs *obs.Histogram
+
 	// atoms is the decoded-atom cache (nil = disabled); swapped atomically
 	// by SetAtomCacheSize. Its counters live here so statistics accumulate
 	// across resizes.
@@ -263,6 +272,7 @@ func Open(cfg Config) (*System, error) {
 		cfg:         cfg,
 		files:       device.NewManager(cfg.Dir),
 		pool:        pool,
+		reg:         obs.NewRegistry(),
 		nextSegID:   1,
 		primaries:   make(map[addr.TypeID]*record.Container),
 		primarySegs: make(map[addr.TypeID]segment.ID),
@@ -275,6 +285,8 @@ func Open(cfg Config) (*System, error) {
 	if cfg.FileWrap != nil {
 		s.files.SetWrap(cfg.FileWrap)
 	}
+	s.decodeNs = s.reg.Histogram("access_decode_ns")
+	s.pool.SetMissHist(s.reg.Histogram("buffer_read_ns"))
 	s.atoms.Store(newAtomCache(cfg.AtomCacheSize, cfg.BufferShards, nil, &s.acStats))
 	s.mv = newMVStore()
 	loaded := false
@@ -298,8 +310,13 @@ func Open(cfg Config) (*System, error) {
 			return nil, err
 		}
 	}
+	s.registerMetrics()
 	return s, nil
 }
+
+// Obs exposes the database-wide metrics registry. Upper layers obtain their
+// counter/histogram handles here so one Snapshot covers the whole stack.
+func (s *System) Obs() *obs.Registry { return s.reg }
 
 // Schema exposes the catalog.
 func (s *System) Schema() *catalog.Schema { return s.schema }

@@ -25,6 +25,9 @@ func (s *System) openWAL() error {
 		GroupCommitMaxWait: s.cfg.GroupCommitMaxWait,
 		GroupCommitBatch:   s.cfg.GroupCommitBatch,
 		CheckpointBytes:    s.cfg.WALCheckpointBytes,
+		AppendNs:           s.reg.Histogram("wal_append_ns"),
+		FsyncNs:            s.reg.Histogram("wal_fsync_ns"),
+		FlushNs:            s.reg.Histogram("wal_flush_ns"),
 	})
 	if err != nil {
 		return fmt.Errorf("access: open wal: %w", err)

@@ -1,0 +1,87 @@
+// Package benchgate is the shared CI bench-gate runner: a package registers
+// the benchmarks it gates, and Run re-executes them against the committed
+// baseline (BENCH_baseline.json at the repository root), failing on
+// allocs/op or ns/op regressions beyond the baseline's headroom factors.
+//
+// One baseline file serves every gating package; Run only enforces the keys
+// the calling package registered, so each package's gate skips entries that
+// belong to another package's benchmarks.
+package benchgate
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// Baseline is one committed benchmark profile. Allocation counts are
+// deterministic across machines — unlike wall clock — so allocs gates
+// typically carry a tight headroom (1.25x), while ns/op gates exist to
+// catch order-of-magnitude cliffs and carry a wide CI-stability headroom
+// (3x).
+type Baseline struct {
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Headroom    float64 `json:"headroom,omitempty"` // allocs/op headroom factor
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	NsHeadroom  float64 `json:"ns_headroom,omitempty"`
+}
+
+// Load reads and parses a baseline file.
+func Load(path string) (map[string]Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var baselines map[string]Baseline
+	if err := json.Unmarshal(data, &baselines); err != nil {
+		return nil, err
+	}
+	return baselines, nil
+}
+
+// Run gates every registered benchmark against its baseline entry. A
+// registered benchmark without a baseline entry is a test failure (the gate
+// would silently not gate); a baseline entry without a registered benchmark
+// is skipped (it belongs to another package's gate).
+func Run(t *testing.T, baselinePath string, benches map[string]func(b *testing.B)) {
+	baselines, err := Load(baselinePath)
+	if err != nil {
+		t.Fatalf("load baseline: %v", err)
+	}
+	for name, fn := range benches {
+		base, ok := baselines[name]
+		if !ok {
+			t.Errorf("registered benchmark %q has no baseline entry in %s", name, baselinePath)
+			continue
+		}
+		if base.AllocsPerOp <= 0 && base.NsPerOp <= 0 {
+			t.Errorf("baseline %q is empty: %+v", name, base)
+			continue
+		}
+		res := testing.Benchmark(fn)
+		if base.AllocsPerOp > 0 {
+			if base.Headroom < 1 {
+				t.Fatalf("baseline %q: allocs headroom %v < 1", name, base.Headroom)
+			}
+			got, limit := float64(res.AllocsPerOp()), base.AllocsPerOp*base.Headroom
+			t.Logf("%s: %.0f allocs/op (baseline %.0f, limit %.0f)", name, got, base.AllocsPerOp, limit)
+			if got > limit {
+				t.Errorf("%s: allocs/op regression: %.0f > limit %.0f (baseline %.0f x headroom %.2f) — "+
+					"fix the regression or re-measure and update %s",
+					name, got, limit, base.AllocsPerOp, base.Headroom, baselinePath)
+			}
+		}
+		if base.NsPerOp > 0 {
+			if base.NsHeadroom < 1 {
+				t.Fatalf("baseline %q: ns headroom %v < 1", name, base.NsHeadroom)
+			}
+			got, limit := float64(res.NsPerOp()), base.NsPerOp*base.NsHeadroom
+			t.Logf("%s: %.0f ns/op (baseline %.0f, limit %.0f)", name, got, base.NsPerOp, limit)
+			if got > limit {
+				t.Errorf("%s: ns/op regression: %.0f > limit %.0f (baseline %.0f x headroom %.2f) — "+
+					"fix the regression or re-measure and update %s",
+					name, got, limit, base.NsPerOp, base.NsHeadroom, baselinePath)
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"prima/internal/access"
 	"prima/internal/access/addr"
@@ -107,6 +108,13 @@ func (s clusterSource) getBatch(as []addr.LogicalAddr) ([]*access.Atom, error) {
 func (p *Plan) Roots() ([]addr.LogicalAddr, error) {
 	sys := p.engine.sys
 	switch p.AccessKind {
+	case "direct":
+		// A wrong-type address can never be the IDENTIFIER of a root atom,
+		// so the restriction is unsatisfiable.
+		if p.DirectRoot.Type() != p.Root.ID {
+			return nil, nil
+		}
+		return []addr.LogicalAddr{p.DirectRoot}, nil
 	case "accesspath":
 		return sys.AccessPathSearch(p.PathName, []atom.Value{p.PathKey})
 	case "pathrange":
@@ -273,6 +281,13 @@ func (p *Plan) assembleRootAt(sn *access.Snapshot, a addr.LogicalAddr) (*Molecul
 	if len(p.RootSSA) > 0 {
 		rootAtom, err := src.get(a)
 		if err != nil {
+			if p.AccessKind == "direct" && errors.Is(err, access.ErrNoAtom) {
+				// The named atom is gone (or never existed): the root fails
+				// qualification, it does not error the query — direct roots
+				// are the one access whose candidates are not enumerated
+				// from live storage.
+				return nil, nil
+			}
 			return nil, err
 		}
 		ok, err := p.RootSSA.Eval(rootAtom)
@@ -645,6 +660,12 @@ type Cursor struct {
 
 	// Parallel mode.
 	pipe *pipeline
+
+	// asmNs accumulates wall time spent inside Next — the assembly stage as
+	// the caller experiences it — and is observed once at Close (asmDone
+	// guards the double Close that a Next error path produces).
+	asmNs   int64
+	asmDone bool
 }
 
 // Open prepares a cursor over the plan's molecules, pinned to a snapshot of
@@ -791,6 +812,8 @@ func (c *Cursor) Next() (*Molecule, error) {
 	if c.done {
 		return nil, nil
 	}
+	nextStart := time.Now()
+	defer func() { c.asmNs += time.Since(nextStart).Nanoseconds() }()
 	if c.pipe != nil {
 		for {
 			out, ok := <-c.pipe.ordered
@@ -844,6 +867,10 @@ func (c *Cursor) Next() (*Molecule, error) {
 // epoch's history is free to be reclaimed.
 func (c *Cursor) Close() {
 	c.done = true
+	if !c.asmDone && c.asmNs > 0 {
+		c.asmDone = true
+		c.plan.engine.assembleNs.Observe(c.asmNs)
+	}
 	if c.pipe != nil {
 		c.pipe.shutdown()
 		c.pipe.wg.Wait()

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -248,6 +249,52 @@ func TestRecordFieldPathPredicate(t *testing.T) {
 	r := mustQuery(t, e, `SELECT ALL FROM brep-point WHERE point.placement.x_coord > 15.0`)
 	if len(r.Molecules) != 1 {
 		t.Fatalf("record-field predicate matched %d molecules, want 1", len(r.Molecules))
+	}
+}
+
+func TestOptimizerDirectRootAccess(t *testing.T) {
+	e, _ := sceneEngine(t, 5)
+	r := mustQuery(t, e, `SELECT ALL FROM brep WHERE brep_no = 3`)
+	if len(r.Molecules) != 1 {
+		t.Fatalf("setup query matched %d molecules, want 1", len(r.Molecules))
+	}
+	root := r.Molecules[0].AtomsOf("brep")[0]
+	a := root.Addr()
+	lit := fmt.Sprintf("@%d.%d", a.Type(), a.Seq())
+
+	// Equality on the IDENTIFIER attribute plans a direct access — no scan,
+	// no index — and still assembles the full molecule.
+	stmt, _ := mql.ParseOne(`SELECT ALL FROM brep-face WHERE brep_id = ` + lit)
+	plan, err := e.PlanSelect(stmt.(*mql.Select))
+	if err != nil {
+		t.Fatalf("PlanSelect: %v", err)
+	}
+	if plan.AccessKind != "direct" || plan.DirectRoot != a {
+		t.Fatalf("plan chose %s/%v, want direct/%v", plan.AccessKind, plan.DirectRoot, a)
+	}
+	r2, err := e.Execute(stmt)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(r2.Molecules) != 1 || len(r2.Molecules[0].AtomsOf("face")) != 6 {
+		t.Fatalf("direct query result wrong: %d molecules", len(r2.Molecules))
+	}
+
+	// A never-allocated address fails qualification silently, not with an
+	// error — the direct root is the one candidate not enumerated from
+	// live storage.
+	ghost := fmt.Sprintf("@%d.%d", a.Type(), a.Seq()+1_000_000)
+	r3 := mustQuery(t, e, `SELECT ALL FROM brep WHERE brep_id = `+ghost)
+	if len(r3.Molecules) != 0 {
+		t.Fatalf("ghost address matched %d molecules, want 0", len(r3.Molecules))
+	}
+
+	// An address of a different atom type can never be a brep's IDENTIFIER.
+	face := r2.Molecules[0].AtomsOf("face")[0]
+	wrong := fmt.Sprintf("@%d.%d", face.Addr().Type(), face.Addr().Seq())
+	r4 := mustQuery(t, e, `SELECT ALL FROM brep WHERE brep_id = `+wrong)
+	if len(r4.Molecules) != 0 {
+		t.Fatalf("wrong-type address matched %d molecules, want 0", len(r4.Molecules))
 	}
 }
 

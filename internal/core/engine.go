@@ -6,12 +6,14 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"prima/internal/access"
 	"prima/internal/access/addr"
 	"prima/internal/access/atom"
 	"prima/internal/catalog"
 	"prima/internal/mql"
+	"prima/internal/obs"
 )
 
 // Engine is the data system: it translates MQL statements into access
@@ -19,6 +21,13 @@ import (
 type Engine struct {
 	sys   *access.System
 	plans *planCache
+
+	// Per-stage latency observers (from the access system's registry):
+	// parsing, planning (cache misses only — hits skip the stage), and
+	// molecule assembly (accumulated per cursor, observed at Close).
+	parseNs    *obs.Histogram
+	planNs     *obs.Histogram
+	assembleNs *obs.Histogram
 
 	mu          sync.Mutex
 	maxDepth    int
@@ -46,7 +55,7 @@ func DefaultAssemblyWorkers() int {
 // never produce a torn molecule — SetAssemblyWorkers(1) selects the serial
 // cursor for comparison or for single-core hosts.
 func New(sys *access.System) *Engine {
-	return &Engine{
+	e := &Engine{
 		sys:         sys,
 		maxDepth:    64,
 		plans:       newPlanCache(DefaultPlanCacheSize),
@@ -55,7 +64,15 @@ func New(sys *access.System) *Engine {
 		chunk:       64,
 		predCompile: true,
 		pushdown:    true,
+		parseNs:     sys.Obs().Histogram("core_parse_ns"),
+		planNs:      sys.Obs().Histogram("core_plan_ns"),
+		assembleNs:  sys.Obs().Histogram("core_assemble_ns"),
 	}
+	reg := sys.Obs()
+	reg.CounterFunc("plan_cache_hits", func() uint64 { h, _, _ := e.PlanCacheStats(); return h })
+	reg.CounterFunc("plan_cache_misses", func() uint64 { _, m, _ := e.PlanCacheStats(); return m })
+	reg.GaugeFunc("plan_cache_size", func() float64 { _, _, n := e.PlanCacheStats(); return float64(n) })
+	return e
 }
 
 // DefaultPlanCacheSize is the default capacity of the engine's plan cache.
@@ -184,7 +201,9 @@ func (e *Engine) PlanQuery(src string) (*Plan, error) {
 	if p, ok := e.plans.get(key).(*Plan); ok {
 		return p, nil
 	}
+	parseStart := time.Now()
 	stmt, err := mql.ParseOne(src)
+	e.parseNs.ObserveSince(parseStart)
 	if err != nil {
 		return nil, err
 	}
@@ -280,7 +299,9 @@ func (e *Engine) executeScript(src string, epoch *uint64) ([]*Result, error) {
 			return []*Result{r}, nil
 		}
 	}
+	parseStart := time.Now()
 	stmts, err := mql.Parse(src)
+	e.parseNs.ObserveSince(parseStart)
 	if err != nil {
 		return nil, err
 	}

@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"prima/internal/access"
+	"prima/internal/access/addr"
 	"prima/internal/access/atom"
 	"prima/internal/access/mdindex"
 	"prima/internal/catalog"
@@ -28,9 +30,13 @@ type Plan struct {
 	Root   *catalog.AtomType
 
 	// Root access choice.
-	AccessKind string // "atomscan" | "accesspath" | "pathrange" | "gridrange" | "sortrange" | "cluster"
+	AccessKind string // "direct" | "atomscan" | "accesspath" | "pathrange" | "gridrange" | "sortrange" | "cluster"
 	PathName   string // access path to use
 	PathKey    atom.Value
+	// DirectRoot is the single candidate root of a "direct" access: an
+	// equality on the root's IDENTIFIER attribute names the atom's logical
+	// address outright, so root enumeration needs no index and no scan.
+	DirectRoot addr.LogicalAddr
 	// PathStart/PathStop bound "pathrange" and "sortrange" accesses
 	// (inclusive; a superset is fine — RootSSA re-decides every root).
 	PathStart *atom.Value
@@ -91,6 +97,7 @@ func (e *Engine) PlanSelect(sel *mql.Select) (*Plan, error) {
 // planSelect prepares a plan under one planConfig snapshot — callers that
 // cache the plan pass the same snapshot they keyed it with.
 func (e *Engine) planSelect(sel *mql.Select, cfg planConfig) (*Plan, error) {
+	defer e.planNs.ObserveSince(time.Now())
 	if err := e.ensureResolved(); err != nil {
 		return nil, err
 	}
@@ -611,6 +618,23 @@ func ssaAppend(ssa *access.SSA, e *Engine, ref *mql.AttrRef, mol *catalog.Molecu
 // of atom types, and physical clusters").
 func (e *Engine) chooseRootAccess(p *Plan, pushdown bool) {
 	schema := e.sys.Schema()
+	// Equality on the root's IDENTIFIER attribute: the surrogate IS the
+	// logical address, so the restriction names its only possible root
+	// outright — cheaper than any index. This is what makes checkin-style
+	// statements ("MODIFY ... WHERE part_id = @t.seq") O(1) instead of an
+	// atom-type scan.
+	identAttr := p.Root.Attrs[p.Root.IdentIndex()].Name
+	for _, c := range p.RootSSA {
+		if c.Op != access.OpEQ || c.Attr != identAttr {
+			continue
+		}
+		if c.Value.K != atom.KindIdent && c.Value.K != atom.KindRef {
+			continue
+		}
+		p.AccessKind = "direct"
+		p.DirectRoot = c.Value.A
+		return
+	}
 	// Access path on an EQ-restricted root attribute.
 	for _, c := range p.RootSSA {
 		if c.Op != access.OpEQ {

@@ -1,0 +1,537 @@
+// Package load is PRIMA's closed-loop traffic harness: N concurrent wire
+// clients drive a configurable checkout/checkin/query/insert mix against a
+// primad server (a remote one, or an in-process server the harness spins up
+// itself), timing every operation client-side and asserting at the end that
+// no acknowledged write was lost.
+//
+// The loss check is sound against sheds and retries because of the wire
+// protocol's semantics: a shed response provably executed nothing (safe to
+// retry, cannot duplicate), and an Exec whose connection died is never
+// blindly retried (unknown outcome — the harness simply does not count it
+// as acknowledged). Every client inserts unique serials from a disjoint
+// range, so "zero loss" is literally: every serial whose INSERT was
+// acknowledged is present in a final range checkout.
+package load
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"prima"
+	"prima/internal/obs"
+	"prima/internal/wire"
+)
+
+// Op class names, used as report keys and metric name suffixes.
+const (
+	ClassInsert   = "insert"
+	ClassQuery    = "query"
+	ClassCheckout = "checkout"
+	ClassCheckin  = "checkin"
+)
+
+var classes = []string{ClassInsert, ClassQuery, ClassCheckout, ClassCheckin}
+
+// serialStride separates the per-client serial ranges; no client can insert
+// anywhere near another's range within one run.
+const serialStride = int64(10_000_000_000)
+
+// Config tunes one harness run.
+type Config struct {
+	// Addr is the primad address to drive. Empty starts an in-process
+	// server (WAL on unless NoWAL, backed by Dir or memory) and drives that.
+	Addr string
+	// Dir is the database directory for the in-process server (empty =
+	// in-memory).
+	Dir string
+	// NoWAL disables the write-ahead log of the in-process server.
+	NoWAL bool
+	// Clients is the number of concurrent closed-loop clients (default 8).
+	Clients int
+	// Duration is how long to drive traffic (default 10s).
+	Duration time.Duration
+	// ReportEvery is the periodic report interval (0 = no periodic reports).
+	ReportEvery time.Duration
+	// InsertW, QueryW, CheckoutW, CheckinW weight the operation mix
+	// (all zero = default 40/30/20/10).
+	InsertW, QueryW, CheckoutW, CheckinW int
+	// FaultLatencyProb/FaultLatency inject delay, and FaultResetProb injects
+	// connection resets, into every client connection through a FaultPlan.
+	FaultLatencyProb float64
+	FaultLatency     time.Duration
+	FaultResetProb   float64
+	// Seed makes the op mix and fault schedule reproducible (default 1).
+	Seed int64
+	// Out receives periodic and final reports (nil = io.Discard).
+	Out io.Writer
+}
+
+func (c *Config) fill() {
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.InsertW == 0 && c.QueryW == 0 && c.CheckoutW == 0 && c.CheckinW == 0 {
+		c.InsertW, c.QueryW, c.CheckoutW, c.CheckinW = 40, 30, 20, 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+}
+
+// ClassStats is the client-side outcome of one op class.
+type ClassStats struct {
+	Ops    uint64
+	Errors uint64
+	Hist   obs.HistSnapshot
+}
+
+// Report is the final outcome of a run.
+type Report struct {
+	Duration  time.Duration
+	TotalOps  uint64
+	OpsPerSec float64
+	Classes   map[string]ClassStats
+	// Retries/Reconnects are summed over all clients.
+	Retries    uint64
+	Reconnects uint64
+	// AckedWrites is the number of acknowledged INSERTs; LostWrites is how
+	// many of them the final verification scan could not find. Zero or the
+	// run failed.
+	AckedWrites uint64
+	LostWrites  uint64
+	// ServerMetrics is the server's registry snapshot at the end of the run
+	// (per-stage histograms, cache/WAL/wire counters).
+	ServerMetrics *obs.MetricsSnapshot
+}
+
+// worker is one closed-loop client.
+type worker struct {
+	id    int
+	c     *wire.Client
+	rng   *rand.Rand
+	base  int64   // serial range start (exclusive ownership)
+	next  int64   // serials handed out so far
+	acked []int64 // serials whose INSERT was acknowledged
+	last  uint64  // last checked-out atom address (0 = none buffered)
+}
+
+// harness owns the shared state of one run.
+type harness struct {
+	cfg   Config
+	reg   *obs.Registry // client-side metrics
+	hists map[string]*obs.Histogram
+	ops   map[string]*obs.Counter
+	errs  map[string]*obs.Counter
+}
+
+// Run executes one harness run and returns the final report. The run itself
+// only fails on setup errors; per-op errors are counted and reported.
+func Run(cfg Config) (*Report, error) {
+	cfg.fill()
+	h := &harness{
+		cfg:   cfg,
+		reg:   obs.NewRegistry(),
+		hists: map[string]*obs.Histogram{},
+		ops:   map[string]*obs.Counter{},
+		errs:  map[string]*obs.Counter{},
+	}
+	for _, cl := range classes {
+		h.hists[cl] = h.reg.Histogram("load_" + cl + "_ns")
+		h.ops[cl] = h.reg.Counter("load_" + cl + "_ops")
+		h.errs[cl] = h.reg.Counter("load_" + cl + "_errors")
+	}
+
+	addr := cfg.Addr
+	var shutdown func()
+	if addr == "" {
+		db, err := prima.Open(prima.Config{Dir: cfg.Dir, WAL: !cfg.NoWAL})
+		if err != nil {
+			return nil, fmt.Errorf("load: open db: %w", err)
+		}
+		srv, err := wire.ServeConfig(db, "127.0.0.1:0", wire.ServerConfig{})
+		if err != nil {
+			db.Close()
+			return nil, fmt.Errorf("load: serve: %w", err)
+		}
+		addr = srv.Addr()
+		shutdown = func() {
+			srv.Close()
+			db.Close()
+		}
+		defer shutdown()
+	}
+
+	var fp *wire.FaultPlan
+	if cfg.FaultLatencyProb > 0 || cfg.FaultResetProb > 0 {
+		fp = wire.NewFaultPlan(cfg.Seed)
+		if cfg.FaultLatencyProb > 0 {
+			fp.SetLatency(cfg.FaultLatencyProb, cfg.FaultLatency)
+		}
+		if cfg.FaultResetProb > 0 {
+			fp.SetReset(cfg.FaultResetProb)
+		}
+	}
+	dial := func() (*wire.Client, error) {
+		ccfg := wire.ClientConfig{}
+		if fp != nil {
+			ccfg.Dialer = func(address string) (net.Conn, error) {
+				conn, err := net.DialTimeout("tcp", address, 5*time.Second)
+				if err != nil {
+					return nil, err
+				}
+				return fp.Conn(conn), nil
+			}
+		}
+		return wire.DialConfig(addr, ccfg)
+	}
+
+	// Setup and final verification run on an un-faulted control client: the
+	// harness must distinguish "server lost the write" from "the harness
+	// could not ask".
+	ctl, err := wire.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("load: dial: %w", err)
+	}
+	defer ctl.Close()
+	if err := ensureSchema(ctl); err != nil {
+		return nil, err
+	}
+
+	workers := make([]*worker, cfg.Clients)
+	for i := range workers {
+		c, err := dial()
+		if err != nil {
+			return nil, fmt.Errorf("load: dial worker %d: %w", i, err)
+		}
+		defer c.Close()
+		workers[i] = &worker{
+			id:   i,
+			c:    c,
+			rng:  rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
+			base: int64(i+1) * serialStride,
+		}
+	}
+
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	stopReporter := make(chan struct{})
+	var reporterWG sync.WaitGroup
+	if cfg.ReportEvery > 0 {
+		reporterWG.Add(1)
+		go func() {
+			defer reporterWG.Done()
+			h.periodicReports(start, stopReporter)
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			h.drive(w, deadline)
+		}(w)
+	}
+	wg.Wait()
+	close(stopReporter)
+	reporterWG.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		Duration: elapsed,
+		Classes:  map[string]ClassStats{},
+	}
+	for _, cl := range classes {
+		cs := ClassStats{
+			Ops:    h.ops[cl].Value(),
+			Errors: h.errs[cl].Value(),
+			Hist:   h.hists[cl].Snapshot(),
+		}
+		rep.Classes[cl] = cs
+		rep.TotalOps += cs.Ops
+	}
+	rep.OpsPerSec = float64(rep.TotalOps) / elapsed.Seconds()
+	for _, w := range workers {
+		r, rc := w.c.Retries()
+		rep.Retries += r
+		rep.Reconnects += rc
+	}
+
+	// Zero-loss verification: one range checkout per client, then set
+	// membership of every acknowledged serial.
+	for _, w := range workers {
+		rep.AckedWrites += uint64(len(w.acked))
+		if len(w.acked) == 0 {
+			continue
+		}
+		lost, err := verifyRange(ctl, w)
+		if err != nil {
+			return nil, fmt.Errorf("load: verify client %d: %w", w.id, err)
+		}
+		rep.LostWrites += lost
+	}
+
+	if ms, err := ctl.Metrics(); err == nil {
+		rep.ServerMetrics = ms
+	}
+	return rep, nil
+}
+
+// ensureSchema creates the harness's atom type and access path, probing
+// first so re-runs against a persistent server are no-ops.
+func ensureSchema(c *wire.Client) error {
+	// Both statements run unconditionally: a pre-existing server may have the
+	// part type but not the serial index, and without it every query op
+	// degrades to a full scan that grows with the insert count.
+	if _, err := c.Exec(`CREATE ATOM_TYPE part (part_id: IDENTIFIER, serial: INTEGER, grade: INTEGER)`); err != nil && !isDuplicate(err) {
+		return fmt.Errorf("load: create type: %w", err)
+	}
+	if _, err := c.Exec(`CREATE ACCESS PATH load_part_serial ON part (serial) USING BTREE`); err != nil && !isDuplicate(err) {
+		return fmt.Errorf("load: create access path: %w", err)
+	}
+	return nil
+}
+
+func isDuplicate(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "duplicate name")
+}
+
+// drive runs one worker's closed loop until the deadline.
+func (h *harness) drive(w *worker, deadline time.Time) {
+	total := h.cfg.InsertW + h.cfg.QueryW + h.cfg.CheckoutW + h.cfg.CheckinW
+	for time.Now().Before(deadline) {
+		r := w.rng.Intn(total)
+		switch {
+		case r < h.cfg.InsertW:
+			h.timed(ClassInsert, func() error { return w.insert() })
+		case r < h.cfg.InsertW+h.cfg.QueryW:
+			h.timed(ClassQuery, func() error { return w.query() })
+		case r < h.cfg.InsertW+h.cfg.QueryW+h.cfg.CheckoutW:
+			h.timed(ClassCheckout, func() error { return w.checkout() })
+		default:
+			h.timed(ClassCheckin, func() error { return w.checkin() })
+		}
+	}
+}
+
+// timed runs one op, observing latency on success and counting errors.
+func (h *harness) timed(class string, op func() error) {
+	t0 := time.Now()
+	if err := op(); err != nil {
+		h.errs[class].Inc()
+		return
+	}
+	h.hists[class].ObserveSince(t0)
+	h.ops[class].Inc()
+}
+
+func (w *worker) insert() error {
+	serial := w.base + w.next
+	// The serial is burned whether or not the INSERT is acknowledged: an
+	// unacknowledged attempt may still have landed, and reusing its serial
+	// would make the verification set ambiguous.
+	w.next++
+	if _, err := w.c.Exec(fmt.Sprintf("INSERT INTO part (serial, grade) VALUES (%d, 0)", serial)); err != nil {
+		return err
+	}
+	w.acked = append(w.acked, serial)
+	return nil
+}
+
+// pickSerial returns a previously acknowledged serial, or the range base
+// (selecting nothing) when no insert has been acknowledged yet.
+func (w *worker) pickSerial() int64 {
+	if len(w.acked) == 0 {
+		return w.base
+	}
+	return w.acked[w.rng.Intn(len(w.acked))]
+}
+
+func (w *worker) query() error {
+	_, err := w.c.Exec(fmt.Sprintf("SELECT ALL FROM part WHERE serial = %d", w.pickSerial()))
+	return err
+}
+
+func (w *worker) checkout() error {
+	mols, err := w.c.Checkout(fmt.Sprintf("SELECT ALL FROM part WHERE serial = %d", w.pickSerial()))
+	if err != nil {
+		return err
+	}
+	if len(mols) > 0 && len(mols[0].Atoms) > 0 {
+		w.last = mols[0].Atoms[0].Addr
+	}
+	return nil
+}
+
+func (w *worker) checkin() error {
+	if _, ok := w.c.Local(w.last); !ok {
+		// Nothing in the object buffer (first op, or the last checkin
+		// consumed it): check a molecule out first, like an application
+		// session would.
+		if err := w.checkout(); err != nil {
+			return err
+		}
+		if _, ok := w.c.Local(w.last); !ok {
+			return nil // nothing inserted yet anywhere in this client's range
+		}
+	}
+	if err := w.c.StageModify("part", w.last, "grade", strconv.Itoa(w.rng.Intn(10))); err != nil {
+		return err
+	}
+	_, err := w.c.Checkin()
+	return err
+}
+
+// verifyRange checks that every serial the worker's INSERTs acknowledged is
+// present, via one range checkout over the worker's private serial range.
+func verifyRange(ctl *wire.Client, w *worker) (lost uint64, err error) {
+	q := fmt.Sprintf("SELECT ALL FROM part WHERE serial >= %d AND serial < %d", w.base, w.base+w.next)
+	mols, err := ctl.Checkout(q)
+	if err != nil {
+		return 0, err
+	}
+	present := make(map[int64]bool, len(mols))
+	for _, m := range mols {
+		for _, a := range m.Atoms {
+			if s, perr := strconv.ParseInt(a.Values["serial"], 10, 64); perr == nil {
+				present[s] = true
+			}
+		}
+	}
+	for _, s := range w.acked {
+		if !present[s] {
+			lost++
+		}
+	}
+	return lost, nil
+}
+
+// periodicReports prints a one-line progress report every ReportEvery.
+func (h *harness) periodicReports(start time.Time, stop <-chan struct{}) {
+	tick := time.NewTicker(h.cfg.ReportEvery)
+	defer tick.Stop()
+	var lastOps uint64
+	lastT := start
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-tick.C:
+			var total uint64
+			for _, cl := range classes {
+				total += h.ops[cl].Value()
+			}
+			rate := float64(total-lastOps) / now.Sub(lastT).Seconds()
+			all := h.mergedHist()
+			fmt.Fprintf(h.cfg.Out, "[%6.1fs] %8d ops (%7.0f/s) p50=%s p99=%s p999=%s\n",
+				now.Sub(start).Seconds(), total, rate,
+				fmtNs(all.P50), fmtNs(all.P99), fmtNs(all.P999))
+			lastOps, lastT = total, now
+		}
+	}
+}
+
+// mergedHist merges all op-class histograms into one.
+func (h *harness) mergedHist() obs.HistSnapshot {
+	var all obs.HistSnapshot
+	for _, cl := range classes {
+		all = all.Merge(h.hists[cl].Snapshot())
+	}
+	return all
+}
+
+// MergedQuantiles returns the all-class client latency histogram of a
+// finished run (for callers asserting on overall percentiles).
+func (r *Report) MergedQuantiles() obs.HistSnapshot {
+	var all obs.HistSnapshot
+	for _, cs := range r.Classes {
+		all = all.Merge(cs.Hist)
+	}
+	return all
+}
+
+// serverStages are the per-stage server histograms the final report breaks
+// out, in pipeline order.
+var serverStages = []string{
+	"wire_exec_ns", "wire_checkout_ns",
+	"core_parse_ns", "core_plan_ns", "core_assemble_ns",
+	"access_decode_ns", "buffer_read_ns",
+	"wal_append_ns", "wal_fsync_ns", "wal_flush_ns",
+	"txn_commit_ns",
+}
+
+// Print renders the final report.
+func (r *Report) Print(out io.Writer) {
+	fmt.Fprintf(out, "\n=== primaload report (%.1fs) ===\n", r.Duration.Seconds())
+	fmt.Fprintf(out, "total: %d ops, %.0f ops/s, %d retries, %d reconnects\n",
+		r.TotalOps, r.OpsPerSec, r.Retries, r.Reconnects)
+	fmt.Fprintf(out, "writes: %d acknowledged, %d lost\n", r.AckedWrites, r.LostWrites)
+	fmt.Fprintf(out, "%-10s %10s %8s %10s %10s %10s\n", "class", "ops", "errs", "p50", "p99", "p999")
+	for _, cl := range classes {
+		cs := r.Classes[cl]
+		fmt.Fprintf(out, "%-10s %10d %8d %10s %10s %10s\n",
+			cl, cs.Ops, cs.Errors, fmtNs(cs.Hist.P50), fmtNs(cs.Hist.P99), fmtNs(cs.Hist.P999))
+	}
+	if r.ServerMetrics != nil {
+		fmt.Fprintf(out, "server stages:\n")
+		fmt.Fprintf(out, "%-18s %10s %10s %10s %10s\n", "stage", "count", "p50", "p99", "p999")
+		for _, name := range serverStages {
+			hs, ok := r.ServerMetrics.Hists[name]
+			if !ok || hs.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(out, "%-18s %10d %10s %10s %10s\n",
+				strings.TrimSuffix(name, "_ns"), hs.Count, fmtNs(hs.P50), fmtNs(hs.P99), fmtNs(hs.P999))
+		}
+		shed := r.ServerMetrics.Counter("wire_shed")
+		if reqs := r.ServerMetrics.Counter("wire_requests"); reqs > 0 {
+			fmt.Fprintf(out, "server: %d requests, %d shed (%.2f%%), %d panics\n",
+				reqs, shed, 100*float64(shed)/float64(reqs+shed), r.ServerMetrics.Counter("wire_panics"))
+		}
+	}
+}
+
+// WriteCSV writes the merged client+server snapshot as flat CSV. Client
+// metrics keep their load_ prefix; names are disjoint from server names.
+func (r *Report) WriteCSV(out io.Writer) error {
+	client := &obs.MetricsSnapshot{
+		Counters: map[string]uint64{},
+		Gauges:   map[string]float64{},
+		Hists:    map[string]obs.HistSnapshot{},
+	}
+	for _, cl := range classes {
+		cs := r.Classes[cl]
+		client.Counters["load_"+cl+"_ops"] = cs.Ops
+		client.Counters["load_"+cl+"_errors"] = cs.Errors
+		client.Hists["load_"+cl+"_ns"] = cs.Hist
+	}
+	return client.Merge(r.ServerMetrics).WriteCSV(out)
+}
+
+// fmtNs renders a nanosecond quantity with an adaptive unit.
+func fmtNs(ns float64) string {
+	switch {
+	case ns <= 0:
+		return "-"
+	case ns < 1e3:
+		return fmt.Sprintf("%.0fns", ns)
+	case ns < 1e6:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	case ns < 1e9:
+		return fmt.Sprintf("%.1fms", ns/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	}
+}

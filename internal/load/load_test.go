@@ -1,0 +1,95 @@
+package load
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunInProcess drives a short in-process run and checks the harness's
+// own guarantees: ops happened in every class, latency was recorded, no
+// acknowledged write went missing, and the server snapshot came back with
+// the per-stage histograms.
+func TestRunInProcess(t *testing.T) {
+	var out bytes.Buffer
+	rep, err := Run(Config{
+		Clients:     4,
+		Duration:    1500 * time.Millisecond,
+		ReportEvery: 500 * time.Millisecond,
+		Seed:        42,
+		Out:         &out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalOps == 0 {
+		t.Fatal("no ops completed")
+	}
+	for _, cl := range classes {
+		cs := rep.Classes[cl]
+		if cs.Ops == 0 {
+			t.Errorf("class %s: no ops", cl)
+		}
+		if cs.Ops > 0 && cs.Hist.Count == 0 {
+			t.Errorf("class %s: ops but empty histogram", cl)
+		}
+	}
+	if rep.AckedWrites == 0 {
+		t.Fatal("no acknowledged writes")
+	}
+	if rep.LostWrites != 0 {
+		t.Fatalf("%d acknowledged writes lost", rep.LostWrites)
+	}
+	if q := rep.MergedQuantiles(); q.P99 <= 0 {
+		t.Fatal("empty merged p99")
+	}
+	if rep.ServerMetrics == nil {
+		t.Fatal("no server metrics in report")
+	}
+	for _, stage := range []string{"core_parse_ns", "core_plan_ns", "core_assemble_ns", "access_decode_ns"} {
+		if hs, ok := rep.ServerMetrics.Hists[stage]; !ok || hs.Count == 0 {
+			t.Errorf("server stage %s: no samples", stage)
+		}
+	}
+	if !strings.Contains(out.String(), "ops") {
+		t.Error("periodic reports missing")
+	}
+
+	rep.Print(&out)
+	if !strings.Contains(out.String(), "server stages:") {
+		t.Error("final report missing server stage breakdown")
+	}
+	var csv bytes.Buffer
+	if err := rep.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "load_insert_ops") || !strings.Contains(csv.String(), "core_parse_ns") {
+		t.Errorf("csv missing client or server metrics:\n%.400s", csv.String())
+	}
+}
+
+// TestRunWithFaults injects latency and resets and still demands zero
+// acknowledged-write loss — the property the harness exists to check.
+func TestRunWithFaults(t *testing.T) {
+	rep, err := Run(Config{
+		Clients:          4,
+		Duration:         1500 * time.Millisecond,
+		Seed:             7,
+		FaultLatencyProb: 0.01,
+		FaultLatency:     500 * time.Microsecond,
+		FaultResetProb:   0.003,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalOps == 0 {
+		t.Fatal("no ops completed under faults")
+	}
+	if rep.AckedWrites == 0 {
+		t.Fatal("no acknowledged writes under faults")
+	}
+	if rep.LostWrites != 0 {
+		t.Fatalf("%d acknowledged writes lost under faults", rep.LostWrites)
+	}
+}

@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: values are binned by binary exponent, with each
+// power-of-two range split into histSub linear sub-buckets taken from the
+// bits just below the leading one. With 2 sub-bits that is 4 sub-buckets per
+// octave and a worst-case relative bucket width of 25%, so interpolated
+// quantiles carry at most ~±12% relative error — plenty for latency
+// percentiles, where the interesting signal is orders of magnitude.
+//
+// 64 exponents × 4 sub-buckets = 256 buckets of 8 bytes: a histogram is 2 KiB
+// of atomics covering the full uint64 range with no configuration, no
+// resizing, and no locks. Observe is one atomic add on a bucket plus two for
+// count/sum; concurrent observers on different buckets do not contend.
+const (
+	histSubBits = 2
+	histSub     = 1 << histSubBits
+	// Exponents histSubBits+1..64 each contribute histSub buckets, on top of
+	// the histSub exact small-value buckets: indices 0..251 for 2 sub-bits.
+	histBuckets = (64-histSubBits)*histSub + histSub
+)
+
+// Histogram is a lock-free log-bucketed histogram. The zero value is ready
+// to use; all methods are safe for concurrent use and on a nil receiver.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// histBucketOf maps a non-negative value to its bucket index.
+func histBucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	uv := uint64(v)
+	if uv < histSub {
+		// Small values get exact buckets.
+		return int(uv)
+	}
+	exp := bits.Len64(uv) // >= histSubBits+1 here
+	sub := (uv >> uint(exp-1-histSubBits)) & (histSub - 1)
+	return (exp-histSubBits)*histSub + int(sub)
+}
+
+// histBucketBounds returns the [lo, hi) value range of bucket idx as
+// float64s (the top octave's upper bound exceeds uint64).
+func histBucketBounds(idx int) (lo, hi float64) {
+	if idx < histSub {
+		return float64(idx), float64(idx + 1)
+	}
+	exp := idx/histSub + histSubBits
+	sub := idx % histSub
+	width := float64(uint64(1) << uint(exp-1-histSubBits))
+	lo = float64(uint64(1)<<uint(exp-1)) + float64(sub)*width
+	return lo, lo + width
+}
+
+// Observe records one value (by convention, nanoseconds of latency).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[histBucketOf(v)].Add(1)
+	h.count.Add(1)
+	if v > 0 {
+		h.sum.Add(uint64(v))
+	}
+}
+
+// ObserveSince records the elapsed time since t0 in nanoseconds.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Nanoseconds())
+}
+
+// Span times one stage: obtain it with Start, call End when the stage
+// finishes. The zero Span (and any Span over a nil histogram) is a no-op,
+// so call sites need no wiring guards.
+type Span struct {
+	h  *Histogram
+	t0 time.Time
+}
+
+// Start begins timing a stage against h.
+func Start(h *Histogram) Span {
+	if h == nil {
+		return Span{}
+	}
+	return Span{h: h, t0: time.Now()}
+}
+
+// End records the elapsed time. Safe to call on the zero Span.
+func (s Span) End() {
+	if s.h != nil {
+		s.h.Observe(time.Since(s.t0).Nanoseconds())
+	}
+}
+
+// Snapshot captures the histogram's current state. The per-bucket counts are
+// internally consistent (Count is derived from them, never from a separate
+// register), so a snapshot taken mid-recording is always a valid histogram;
+// Sum is sampled separately and may trail the buckets by in-flight
+// observations.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var hs HistSnapshot
+	if h == nil {
+		return hs
+	}
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		hs.Buckets = append(hs.Buckets, HistBucket{Idx: i, Count: n})
+		hs.Count += n
+	}
+	hs.Sum = h.sum.Load()
+	hs.P50 = hs.Quantile(0.50)
+	hs.P90 = hs.Quantile(0.90)
+	hs.P99 = hs.Quantile(0.99)
+	hs.P999 = hs.Quantile(0.999)
+	return hs
+}
+
+// HistBucket is one non-empty bucket of a snapshot (sparse encoding).
+type HistBucket struct {
+	Idx   int    `json:"idx"`
+	Count uint64 `json:"count"`
+}
+
+// HistSnapshot is an immutable, mergeable view of a histogram. Quantiles are
+// precomputed for the common percentiles; arbitrary ones come from Quantile.
+type HistSnapshot struct {
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum"`
+	P50     float64      `json:"p50"`
+	P90     float64      `json:"p90"`
+	P99     float64      `json:"p99"`
+	P999    float64      `json:"p999"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Quantile returns the value at quantile q in [0, 1], linearly interpolated
+// within the containing bucket. Returns 0 for an empty histogram.
+func (hs HistSnapshot) Quantile(q float64) float64 {
+	if hs.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation (1-based), clamped into range.
+	rank := q * float64(hs.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for _, b := range hs.Buckets {
+		next := cum + float64(b.Count)
+		if rank <= next {
+			lo, hi := histBucketBounds(b.Idx)
+			frac := (rank - cum) / float64(b.Count)
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	// Numerically unreachable: rank <= Count == total of buckets.
+	lo, hi := histBucketBounds(hs.Buckets[len(hs.Buckets)-1].Idx)
+	_ = lo
+	return hi
+}
+
+// Merge combines two snapshots into one, as if every observation had been
+// recorded into a single histogram. Quantiles are recomputed.
+func (hs HistSnapshot) Merge(other HistSnapshot) HistSnapshot {
+	counts := make(map[int]uint64, len(hs.Buckets)+len(other.Buckets))
+	for _, b := range hs.Buckets {
+		counts[b.Idx] += b.Count
+	}
+	for _, b := range other.Buckets {
+		counts[b.Idx] += b.Count
+	}
+	var out HistSnapshot
+	for idx := 0; idx < histBuckets; idx++ {
+		if n, ok := counts[idx]; ok {
+			out.Buckets = append(out.Buckets, HistBucket{Idx: idx, Count: n})
+			out.Count += n
+		}
+	}
+	out.Sum = hs.Sum + other.Sum
+	out.P50 = out.Quantile(0.50)
+	out.P90 = out.Quantile(0.90)
+	out.P99 = out.Quantile(0.99)
+	out.P999 = out.Quantile(0.999)
+	return out
+}
+
+// Mean returns the average observed value, or 0 if empty.
+func (hs HistSnapshot) Mean() float64 {
+	if hs.Count == 0 {
+		return 0
+	}
+	return float64(hs.Sum) / float64(hs.Count)
+}

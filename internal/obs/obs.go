@@ -1,0 +1,249 @@
+// Package obs is PRIMA's dependency-free metrics core.
+//
+// Every subsystem on the request path — wire server, data-system engine,
+// access system, buffer pool, write-ahead log, transaction manager — records
+// into one Registry owned by the access system, so a single Snapshot call
+// yields a coherent picture of the whole stack: monotonic counters, point-in-
+// time gauges, and log-bucketed latency histograms with p50/p90/p99/p999.
+//
+// Two recording models coexist:
+//
+//   - Push: hot paths call Counter.Add / Histogram.Observe on handles they
+//     looked up once at construction time. Both are single atomic ops with
+//     no locking, so they are safe (and cheap) on paths that run millions of
+//     times per second.
+//   - Pull: subsystems that already maintain their own counters (atom cache,
+//     buffer pool, plan cache, WAL, device manager, wire server health)
+//     register CounterFunc/GaugeFunc mirrors that are sampled only when a
+//     snapshot is taken. This unifies the pre-existing scattered stats
+//     structs without rewriting their hot paths.
+//
+// Registration is replace-on-collision: re-registering a name swaps the
+// source. That makes wiring idempotent — tests that serve the same database
+// through several wire servers, or reopen subsystems, simply overwrite the
+// previous mirror instead of panicking or double-counting.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. All methods are safe for
+// concurrent use and safe on a nil receiver (no-ops), so instrumentation
+// sites never need to guard against missing wiring.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time int64 value (queue depth, open snapshots, cache
+// residents). Safe for concurrent use and on a nil receiver.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the value by delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is a named collection of metrics. Lookups take a mutex (they
+// happen at construction time); recording on the returned handles is
+// lock-free.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	counterFns map[string]func() uint64
+	gaugeFns   map[string]func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		hists:      make(map[string]*Histogram),
+		counterFns: make(map[string]func() uint64),
+		gaugeFns:   make(map[string]func() float64),
+	}
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+// Safe on a nil registry (returns nil, whose methods no-op).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed. Values are interpreted by convention from the name suffix (all
+// current histograms record nanoseconds and end in "_ns").
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterFunc registers fn as a pull-model counter mirror: it is invoked at
+// snapshot time. Replaces any previous registration under name.
+func (r *Registry) CounterFunc(name string, fn func() uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counterFns[name] = fn
+}
+
+// GaugeFunc registers fn as a pull-model gauge mirror, sampled at snapshot
+// time. Replaces any previous registration under name.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = fn
+}
+
+// Snapshot samples every registered metric into a self-contained
+// MetricsSnapshot. Push metrics are read atomically; pull mirrors are
+// invoked under no registry lock ordering guarantees beyond "one at a time",
+// so mirror functions must be safe to call at any moment.
+func (r *Registry) Snapshot() *MetricsSnapshot {
+	ms := &MetricsSnapshot{
+		Counters: map[string]uint64{},
+		Gauges:   map[string]float64{},
+		Hists:    map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return ms
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	counterFns := make(map[string]func() uint64, len(r.counterFns))
+	for n, fn := range r.counterFns {
+		counterFns[n] = fn
+	}
+	gaugeFns := make(map[string]func() float64, len(r.gaugeFns))
+	for n, fn := range r.gaugeFns {
+		gaugeFns[n] = fn
+	}
+	r.mu.Unlock()
+
+	for n, c := range counters {
+		ms.Counters[n] = c.Value()
+	}
+	for n, fn := range counterFns {
+		ms.Counters[n] = fn()
+	}
+	for n, g := range gauges {
+		ms.Gauges[n] = float64(g.Value())
+	}
+	for n, fn := range gaugeFns {
+		ms.Gauges[n] = fn()
+	}
+	for n, h := range hists {
+		ms.Hists[n] = h.Snapshot()
+	}
+	return ms
+}
+
+// sortedKeys returns map keys in lexical order, for deterministic rendering.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

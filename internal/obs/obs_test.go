@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBounds checks that every value lands in a bucket whose bounds
+// contain it, across the full dynamic range.
+func TestBucketBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := []int64{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 100, 1023, 1024, 1 << 40, 1 << 62}
+	for i := 0; i < 10000; i++ {
+		vals = append(vals, rng.Int63())
+	}
+	for _, v := range vals {
+		idx := histBucketOf(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("value %d: bucket %d out of range", v, idx)
+		}
+		lo, hi := histBucketBounds(idx)
+		if float64(v) < lo || float64(v) >= hi {
+			t.Fatalf("value %d: bucket %d bounds [%g, %g) do not contain it", v, idx, lo, hi)
+		}
+	}
+	// Buckets tile the line: each bucket's hi is the next bucket's lo.
+	for i := 0; i < histBuckets-1; i++ {
+		_, hi := histBucketBounds(i)
+		lo, _ := histBucketBounds(i + 1)
+		if hi != lo {
+			t.Fatalf("bucket %d hi %g != bucket %d lo %g", i, hi, i+1, lo)
+		}
+	}
+}
+
+// TestQuantileOracle compares histogram quantiles against exact quantiles
+// from the sorted sample, over several distributions. Bucket width is at
+// most 25% of the value, so the estimate must land within a modest relative
+// error of the true order statistic.
+func TestQuantileOracle(t *testing.T) {
+	dists := map[string]func(*rand.Rand) int64{
+		"uniform":   func(r *rand.Rand) int64 { return r.Int63n(1_000_000) },
+		"exp":       func(r *rand.Rand) int64 { return int64(r.ExpFloat64() * 50_000) },
+		"lognormal": func(r *rand.Rand) int64 { return int64(math.Exp(r.NormFloat64()*2 + 10)) },
+		"bimodal": func(r *rand.Rand) int64 {
+			if r.Intn(10) == 0 {
+				return 5_000_000 + r.Int63n(1_000_000)
+			}
+			return 10_000 + r.Int63n(5_000)
+		},
+	}
+	for name, gen := range dists {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			const n = 50_000
+			var h Histogram
+			samples := make([]int64, n)
+			for i := range samples {
+				v := gen(rng)
+				samples[i] = v
+				h.Observe(v)
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			hs := h.Snapshot()
+			if hs.Count != n {
+				t.Fatalf("count = %d, want %d", hs.Count, n)
+			}
+			for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+				rank := int(math.Ceil(q*n)) - 1
+				exact := float64(samples[rank])
+				got := hs.Quantile(q)
+				relErr := math.Abs(got-exact) / math.Max(exact, 1)
+				if relErr > 0.35 && math.Abs(got-exact) > 2 {
+					t.Errorf("q=%g: got %g, exact %g (rel err %.3f)", q, got, exact, relErr)
+				}
+			}
+		})
+	}
+}
+
+// TestMerge checks that merging two snapshots is indistinguishable from
+// recording every observation into one histogram.
+func TestMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a, b, union Histogram
+	for i := 0; i < 20_000; i++ {
+		v := int64(rng.ExpFloat64() * 100_000)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		union.Observe(v)
+	}
+	merged := a.Snapshot().Merge(b.Snapshot())
+	want := union.Snapshot()
+	if merged.Count != want.Count || merged.Sum != want.Sum {
+		t.Fatalf("merged count/sum = %d/%d, want %d/%d", merged.Count, merged.Sum, want.Count, want.Sum)
+	}
+	if len(merged.Buckets) != len(want.Buckets) {
+		t.Fatalf("merged has %d buckets, want %d", len(merged.Buckets), len(want.Buckets))
+	}
+	for i, bkt := range merged.Buckets {
+		if bkt != want.Buckets[i] {
+			t.Fatalf("bucket %d: %+v != %+v", i, bkt, want.Buckets[i])
+		}
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if merged.Quantile(q) != want.Quantile(q) {
+			t.Fatalf("q=%g: merged %g != union %g", q, merged.Quantile(q), want.Quantile(q))
+		}
+	}
+}
+
+// TestConcurrentHammer drives counters, gauges, and a histogram from many
+// goroutines while snapshots are taken — meant to run under -race — and
+// checks nothing is lost once the dust settles.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns")
+	c := r.Counter("ops")
+	g := r.Gauge("depth")
+	const workers = 8
+	const perWorker = 20_000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.Snapshot()
+			}
+		}
+	}()
+	var ww sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ww.Add(1)
+		go func(seed int64) {
+			defer ww.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				h.Observe(rng.Int63n(1_000_000))
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}(int64(w))
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	ms := r.Snapshot()
+	if got := ms.Counter("ops"); got != workers*perWorker {
+		t.Fatalf("ops = %d, want %d", got, workers*perWorker)
+	}
+	if got := ms.Hist("lat_ns").Count; got != workers*perWorker {
+		t.Fatalf("hist count = %d, want %d", got, workers*perWorker)
+	}
+	if got := ms.Gauge("depth"); got != 0 {
+		t.Fatalf("depth = %g, want 0", got)
+	}
+}
+
+// TestSnapshotWhileRecording checks that snapshots taken mid-recording are
+// internally consistent: count equals the bucket total, quantiles are
+// ordered, and counts never move backwards across successive snapshots.
+func TestSnapshotWhileRecording(t *testing.T) {
+	var h Histogram
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(3))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Observe(rng.Int63n(1 << 30))
+			}
+		}
+	}()
+	var prev uint64
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		hs := h.Snapshot()
+		var total uint64
+		for _, b := range hs.Buckets {
+			total += b.Count
+		}
+		if total != hs.Count {
+			t.Fatalf("bucket total %d != count %d", total, hs.Count)
+		}
+		if hs.Count < prev {
+			t.Fatalf("count went backwards: %d -> %d", prev, hs.Count)
+		}
+		prev = hs.Count
+		if hs.Count > 0 {
+			if !(hs.P50 <= hs.P90 && hs.P90 <= hs.P99 && hs.P99 <= hs.P999) {
+				t.Fatalf("quantiles out of order: p50=%g p90=%g p99=%g p999=%g", hs.P50, hs.P90, hs.P99, hs.P999)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestRegistryMirrorsAndRendering covers pull-model mirrors (including
+// replace-on-collision), nil-safety, and the three render formats.
+func TestRegistryMirrorsAndRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pushed").Add(5)
+	r.Gauge("level").Set(-2)
+	r.Histogram("stage_ns").Observe(1500)
+	r.CounterFunc("mirrored", func() uint64 { return 1 })
+	r.CounterFunc("mirrored", func() uint64 { return 42 }) // replace, not panic
+	r.GaugeFunc("ratio", func() float64 { return 0.5 })
+
+	ms := r.Snapshot()
+	if ms.Counter("mirrored") != 42 {
+		t.Fatalf("mirrored = %d, want 42 (last registration wins)", ms.Counter("mirrored"))
+	}
+	if ms.Counter("pushed") != 5 || ms.Gauge("level") != -2 || ms.Gauge("ratio") != 0.5 {
+		t.Fatalf("unexpected snapshot: %+v", ms)
+	}
+	if ms.Hist("stage_ns").Count != 1 {
+		t.Fatalf("hist count = %d", ms.Hist("stage_ns").Count)
+	}
+
+	var prom bytes.Buffer
+	if err := ms.PrometheusText(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE prima_pushed counter",
+		"prima_pushed 5",
+		"# TYPE prima_stage_seconds histogram",
+		"prima_stage_seconds_count 1",
+		`prima_stage_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Fatalf("prometheus text missing %q:\n%s", want, prom.String())
+		}
+	}
+
+	var csv bytes.Buffer
+	if err := ms.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"kind,name,field,value", "counter,pushed,value,5", "hist,stage_ns,p99,"} {
+		if !strings.Contains(csv.String(), want) {
+			t.Fatalf("csv missing %q:\n%s", want, csv.String())
+		}
+	}
+
+	for _, format := range []string{"", "csv", "json"} {
+		req := httptest.NewRequest("GET", "/metrics?format="+format, nil)
+		rec := httptest.NewRecorder()
+		Handler(func() *MetricsSnapshot { return r.Snapshot() }).ServeHTTP(rec, req)
+		if rec.Code != 200 || rec.Body.Len() == 0 {
+			t.Fatalf("format %q: code %d, body %d bytes", format, rec.Code, rec.Body.Len())
+		}
+	}
+
+	// Nil-safety: a nil registry and its handles are inert.
+	var nilReg *Registry
+	nilReg.Counter("x").Inc()
+	nilReg.Gauge("x").Set(1)
+	nilReg.Histogram("x").Observe(1)
+	nilReg.CounterFunc("x", nil)
+	sp := Start(nilReg.Histogram("x"))
+	sp.End()
+	if ns := nilReg.Snapshot(); len(ns.Counters) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+// TestSpan records a real duration through the span API.
+func TestSpan(t *testing.T) {
+	var h Histogram
+	sp := Start(&h)
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	hs := h.Snapshot()
+	if hs.Count != 1 {
+		t.Fatalf("count = %d", hs.Count)
+	}
+	if hs.P50 < float64(1*time.Millisecond) {
+		t.Fatalf("p50 = %gns, want >= 1ms", hs.P50)
+	}
+}

@@ -21,7 +21,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"prima/internal/obs"
 	"prima/internal/storage/page"
 	"prima/internal/storage/segment"
 )
@@ -154,11 +156,20 @@ type Pool struct {
 	// gate, when set, enforces WAL-before-page on every writeback. Installed
 	// once at open time, before the pool sees concurrent traffic.
 	gate LogGate
+
+	// missNs, when set, observes the latency of each miss-path page read
+	// (device read plus validation), in nanoseconds. Installed once at open
+	// time, like gate.
+	missNs *obs.Histogram
 }
 
 // SetLogGate installs the write-ahead log the pool must force before writing
 // dirty pages. Call before the pool is used concurrently.
 func (p *Pool) SetLogGate(g LogGate) { p.gate = g }
+
+// SetMissHist installs the latency observer for miss-path page reads. Call
+// before the pool is used concurrently.
+func (p *Pool) SetMissHist(h *obs.Histogram) { p.missNs = h }
 
 // NewPool creates a single-shard buffer pool with the given replacement
 // policy — the fully serialized configuration, kept for tools and tests that
@@ -319,12 +330,14 @@ func (sh *shard) fix(pid segment.PageID, fresh bool) (*Handle, error) {
 			f.pageLSN = g.WriteLSN()
 		}
 	} else {
+		readStart := time.Now()
 		if err := seg.ReadPage(pid.No, f.data); err != nil {
 			return nil, fmt.Errorf("buffer: fix %v: %w", pid, err)
 		}
 		if err := page.Page(f.data).Validate(); err != nil {
 			return nil, fmt.Errorf("buffer: fix %v: %w", pid, err)
 		}
+		sh.pool.missNs.ObserveSince(readStart)
 	}
 	sh.frames[pid] = f
 	sh.policy.OnInsert(f)

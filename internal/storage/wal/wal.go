@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"prima/internal/obs"
 	"prima/internal/storage/device"
 )
 
@@ -55,6 +56,14 @@ type Options struct {
 	// log nudges its owner (via Nudge) to take a checkpoint (default
 	// DefaultCheckpointBytes; negative disables nudging).
 	CheckpointBytes int64
+	// AppendNs, FsyncNs and FlushNs, when set, observe the latency of each
+	// record append (including lock wait), each device fsync, and each
+	// group-commit flush round, in nanoseconds. Passed through Options —
+	// rather than a setter — so they are in place before the flusher
+	// goroutine starts.
+	AppendNs *obs.Histogram
+	FsyncNs  *obs.Histogram
+	FlushNs  *obs.Histogram
 }
 
 func (o *Options) fill() {
@@ -240,6 +249,7 @@ func (l *Log) segment(idx uint64) (device.Device, error) {
 // stream offset). The record is not durable until the log is flushed past
 // it — by Commit, FlushTo, or a checkpoint.
 func (l *Log) Append(r *Record) (uint64, error) {
+	defer l.opts.AppendNs.ObserveSince(time.Now())
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.appendLocked(r)
@@ -355,9 +365,11 @@ func (l *Log) flushLocked() error {
 		off = upTo
 	}
 	for _, d := range toSync {
+		syncStart := time.Now()
 		if err := d.Sync(); err != nil {
 			return fmt.Errorf("wal: sync: %w", err)
 		}
+		l.opts.FsyncNs.ObserveSince(syncStart)
 		l.stats.Syncs++
 	}
 	l.flushed = end
@@ -487,12 +499,14 @@ func (l *Log) flusher() {
 				}
 			}
 		}
+		flushStart := time.Now()
 		l.mu.Lock()
 		err := l.flushLocked()
 		if err == nil {
 			l.stats.Batches++
 		}
 		l.mu.Unlock()
+		l.opts.FlushNs.ObserveSince(flushStart)
 		for _, r := range batch {
 			r.done <- err
 		}

@@ -17,10 +17,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"prima/internal/access"
 	"prima/internal/access/addr"
 	"prima/internal/access/atom"
+	"prima/internal/obs"
 )
 
 // Errors returned by the transaction layer.
@@ -66,13 +68,17 @@ type Manager struct {
 	// attribute mutations to the right transaction.
 	writer  sync.Mutex
 	current *Tx
+
+	// commitNs observes top-level commit latency — lock release plus the
+	// group-commit wait that dominates it when the WAL is on.
+	commitNs *obs.Histogram
 }
 
 // NewManager creates a transaction manager and installs its hook. It also
 // becomes the access system's transaction-id source, so write-ahead log
 // records carry the top-level transaction they belong to.
 func NewManager(sys *access.System) *Manager {
-	m := &Manager{sys: sys, locks: map[addr.LogicalAddr]*Tx{}}
+	m := &Manager{sys: sys, locks: map[addr.LogicalAddr]*Tx{}, commitNs: sys.Obs().Histogram("txn_commit_ns")}
 	sys.SetHook((*managerHook)(m))
 	sys.SetTxIDSource(func() uint64 {
 		m.mu.Lock()
@@ -231,6 +237,9 @@ func (m *Manager) lock(t *Tx, a addr.LogicalAddr) error {
 // point the effects survive a crash. Without a log the effects live in
 // memory and buffered pages only and become durable at the next checkpoint.
 func (t *Tx) Commit() error {
+	if t.parent == nil {
+		defer t.m.commitNs.ObserveSince(time.Now())
+	}
 	t.m.mu.Lock()
 	if t.dead {
 		t.m.mu.Unlock()

@@ -1,0 +1,73 @@
+package wire
+
+import (
+	"fmt"
+	"testing"
+
+	"prima"
+)
+
+// benchServer starts an in-memory server (WAL optional) with a minimal
+// schema, without the brepgen scene the functional tests use: the wire
+// round-trip benchmarks measure protocol cost, not scene assembly.
+func benchServer(b *testing.B, wal bool) *Server {
+	b.Helper()
+	db, err := prima.Open(prima.Config{WAL: wal})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE ATOM_TYPE item (item_id: IDENTIFIER, n: INTEGER)`); err != nil {
+		b.Fatal(err)
+	}
+	srv, err := Serve(db, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		srv.Close()
+		db.Close()
+	})
+	return srv
+}
+
+// benchWirePing measures the smallest possible round trip: one request
+// frame, one response frame, no MQL — the floor for every wire op, and the
+// gate for per-op instrumentation overhead in serveRequest.
+func benchWirePing(b *testing.B) {
+	srv := benchServer(b, false)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Ping(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchWireExecInsert measures a full DML round trip — parse, plan, apply,
+// WAL append — over the wire, one insert per op.
+func benchWireExecInsert(b *testing.B) {
+	srv := benchServer(b, true)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Exec(fmt.Sprintf("INSERT INTO item (n) VALUES (%d)", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireRoundTrip(b *testing.B) {
+	b.Run("ping", benchWirePing)
+	b.Run("exec_insert_wal", benchWireExecInsert)
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"prima/internal/access/addr"
+	"prima/internal/obs"
 )
 
 // Client retry defaults; a ClientConfig field of 0 selects these, a
@@ -314,6 +315,19 @@ func (c *Client) Stats() (*StatsJSON, error) {
 		return nil, fmt.Errorf("%w: stats response without payload", ErrRemote)
 	}
 	return resp.Stats, nil
+}
+
+// Metrics fetches the server's full metrics snapshot — every counter, gauge
+// and per-stage latency histogram — in one idempotent round trip.
+func (c *Client) Metrics() (*obs.MetricsSnapshot, error) {
+	resp, _, err := c.do(&Request{Op: OpStats}, true)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Metrics == nil {
+		return nil, fmt.Errorf("%w: stats response without metrics payload", ErrRemote)
+	}
+	return resp.Metrics, nil
 }
 
 // FetchAtom retrieves one atom from the server — the chatty alternative to

@@ -18,6 +18,7 @@ import (
 	"prima/internal/access/addr"
 	"prima/internal/access/atom"
 	"prima/internal/core"
+	"prima/internal/obs"
 )
 
 // Resilience defaults; a ServerConfig field of 0 selects these, a negative
@@ -152,6 +153,10 @@ type Server struct {
 	streamAborts  atomic.Uint64
 	panics        atomic.Uint64
 	acceptRetries atomic.Uint64
+
+	// opNs times each op's server-side handling (admission through response
+	// written), keyed by op code. Built once in ServeListener.
+	opNs map[string]*obs.Histogram
 }
 
 // Serve starts serving on the given address ("" picks an ephemeral port)
@@ -181,6 +186,27 @@ func ServeListener(db *prima.DB, ln net.Listener, cfg ServerConfig) *Server {
 	if cfg.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInFlight)
 	}
+	reg := db.System().Obs()
+	s.opNs = map[string]*obs.Histogram{
+		OpPing:     reg.Histogram("wire_ping_ns"),
+		OpExec:     reg.Histogram("wire_exec_ns"),
+		OpCheckout: reg.Histogram("wire_checkout_ns"),
+		OpGetAtom:  reg.Histogram("wire_getatom_ns"),
+		OpStats:    reg.Histogram("wire_stats_ns"),
+	}
+	// Mirror the wire health counters into the database's registry so one
+	// snapshot covers the whole stack. Registration replaces any previous
+	// server's mirrors (last server wins) — fine for the one-server-per-DB
+	// deployment primad runs, and harmless in tests that re-serve a DB.
+	reg.GaugeFunc("wire_conns_active", func() float64 { return float64(s.ActiveConns()) })
+	reg.GaugeFunc("wire_inflight", func() float64 { return float64(s.InFlight()) })
+	reg.CounterFunc("wire_conns_total", s.connsTotal.Load)
+	reg.CounterFunc("wire_conns_rejected", s.connsRejected.Load)
+	reg.CounterFunc("wire_requests", s.requests.Load)
+	reg.CounterFunc("wire_shed", s.shed.Load)
+	reg.CounterFunc("wire_stream_aborts", s.streamAborts.Load)
+	reg.CounterFunc("wire_panics", s.panics.Load)
+	reg.CounterFunc("wire_accept_retries", s.acceptRetries.Load)
 	go s.acceptLoop()
 	return s
 }
@@ -413,10 +439,15 @@ func (s *Server) serveRequest(sc *srvConn, req *Request) bool {
 		defer func() { <-s.inflight }()
 	}
 	s.requests.Add(1)
+	opStart := time.Now()
+	var ok bool
 	if req.Op == OpCheckout {
-		return s.streamCheckout(sc, req) == nil
+		ok = s.streamCheckout(sc, req) == nil
+	} else {
+		ok = s.writeMsg(sc, s.safeDispatch(req)) == nil
 	}
-	return s.writeMsg(sc, s.safeDispatch(req)) == nil
+	s.opNs[req.Op].ObserveSince(opStart)
+	return ok
 }
 
 // acquireSlot takes an in-flight slot, waiting at most QueueWait.
@@ -541,6 +572,36 @@ func (s *Server) streamCheckout(sc *srvConn, req *Request) (err error) {
 	return flush(false)
 }
 
+// statsFromSnapshot projects the flat StatsJSON view out of one registry
+// snapshot — the single source both the legacy stats fields and the full
+// metrics payload now share (wire fields are overridden per-server by the
+// stats dispatch; WALCheckpointErr is not a numeric metric and is filled
+// from the system directly).
+func statsFromSnapshot(ms *obs.MetricsSnapshot) *StatsJSON {
+	return &StatsJSON{
+		AtomCacheHits:          ms.Counter("atom_cache_hits"),
+		AtomCacheMisses:        ms.Counter("atom_cache_misses"),
+		AtomCacheInvalidations: ms.Counter("atom_cache_invalidations"),
+		AtomCacheEvictions:     ms.Counter("atom_cache_evictions"),
+		AtomCacheAtoms:         int(ms.Gauge("atom_cache_atoms")),
+		AtomCacheBudget:        int(ms.Gauge("atom_cache_budget")),
+		BufferHits:             int64(ms.Counter("buffer_hits")),
+		BufferMisses:           int64(ms.Counter("buffer_misses")),
+		BufferEvictions:        int64(ms.Counter("buffer_evictions")),
+		PlanCacheHits:          ms.Counter("plan_cache_hits"),
+		PlanCacheMisses:        ms.Counter("plan_cache_misses"),
+		PlanCacheSize:          int(ms.Gauge("plan_cache_size")),
+		WALEnabled:             ms.Gauge("wal_enabled") != 0,
+		WALAppends:             ms.Counter("wal_appends"),
+		WALBytes:               ms.Counter("wal_bytes"),
+		WALSyncs:               ms.Counter("wal_syncs"),
+		WALCommits:             ms.Counter("wal_commits"),
+		WALBatches:             ms.Counter("wal_batches"),
+		WALCheckpoints:         ms.Counter("wal_checkpoints"),
+		WALRecoveries:          ms.Counter("wal_recoveries"),
+	}
+}
+
 // testHookDispatch, when non-nil, observes every dispatched request before
 // execution; resilience tests use it to provoke handler panics.
 var testHookDispatch func(*Request)
@@ -577,46 +638,24 @@ func (s *Server) dispatch(req *Request) *Response {
 		aj := atomToJSON(at)
 		return &Response{OK: true, Atom: &aj}
 	case OpStats:
-		ac := s.db.System().AtomCacheStats()
-		bs := s.db.System().Pool().Stats()
-		ph, pm, ps := s.db.Engine().PlanCacheStats()
-		sj := &StatsJSON{
-			AtomCacheHits:          ac.Hits,
-			AtomCacheMisses:        ac.Misses,
-			AtomCacheInvalidations: ac.Invalidations,
-			AtomCacheEvictions:     ac.Evictions,
-			AtomCacheAtoms:         ac.Atoms,
-			AtomCacheBudget:        ac.Budget,
-			BufferHits:             bs.Hits,
-			BufferMisses:           bs.Misses,
-			BufferEvictions:        bs.Evictions,
-			PlanCacheHits:          ph,
-			PlanCacheMisses:        pm,
-			PlanCacheSize:          ps,
-			WireConnsActive:        s.ActiveConns(),
-			WireConnsTotal:         s.connsTotal.Load(),
-			WireConnsRejected:      s.connsRejected.Load(),
-			WireInFlight:           len(s.inflight),
-			WireRequests:           s.requests.Load(),
-			WireShed:               s.shed.Load(),
-			WireStreamAborts:       s.streamAborts.Load(),
-			WirePanics:             s.panics.Load(),
-			WireAcceptRetries:      s.acceptRetries.Load(),
+		ms := s.db.Metrics()
+		sj := statsFromSnapshot(ms)
+		// The wire fields come from this server's own counters, not the
+		// registry mirrors — several servers can share one DB in tests, and
+		// the stats response must describe the server that answered it.
+		sj.WireConnsActive = s.ActiveConns()
+		sj.WireConnsTotal = s.connsTotal.Load()
+		sj.WireConnsRejected = s.connsRejected.Load()
+		sj.WireInFlight = len(s.inflight)
+		sj.WireRequests = s.requests.Load()
+		sj.WireShed = s.shed.Load()
+		sj.WireStreamAborts = s.streamAborts.Load()
+		sj.WirePanics = s.panics.Load()
+		sj.WireAcceptRetries = s.acceptRetries.Load()
+		if cerr := s.db.System().WALCheckpointErr(); cerr != nil {
+			sj.WALCheckpointErr = cerr.Error()
 		}
-		if ws, ok := s.db.System().WALStats(); ok {
-			sj.WALEnabled = true
-			sj.WALAppends = ws.Appends
-			sj.WALBytes = ws.Bytes
-			sj.WALSyncs = ws.Syncs
-			sj.WALCommits = ws.Commits
-			sj.WALBatches = ws.Batches
-			sj.WALCheckpoints = ws.Checkpoints
-			sj.WALRecoveries = ws.Recoveries
-			if cerr := s.db.System().WALCheckpointErr(); cerr != nil {
-				sj.WALCheckpointErr = cerr.Error()
-			}
-		}
-		return &Response{OK: true, Message: s.db.Stats(), Stats: sj}
+		return &Response{OK: true, Message: s.db.Stats(), Stats: sj, Metrics: ms}
 	default:
 		return &Response{Error: "unknown op " + req.Op}
 	}

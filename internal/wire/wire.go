@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+
+	"prima/internal/obs"
 )
 
 // Op codes.
@@ -53,6 +55,10 @@ type Response struct {
 	Molecules []MoleculeJSON `json:"molecules,omitempty"`
 	Atom      *AtomJSON      `json:"atom,omitempty"`
 	Stats     *StatsJSON     `json:"stats,omitempty"`
+	// Metrics is the full registry snapshot (counters, gauges, per-stage
+	// latency histograms) attached to stats responses — the same data the
+	// /metrics endpoint serves, in structured form.
+	Metrics *obs.MetricsSnapshot `json:"metrics,omitempty"`
 	// Epoch is the snapshot epoch a checkout stream reads at: every molecule
 	// of the stream reflects the database state as of that epoch, no matter
 	// which DML commits while the stream drains.

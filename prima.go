@@ -34,6 +34,7 @@ import (
 	"prima/internal/core"
 	"prima/internal/du"
 	"prima/internal/mql"
+	"prima/internal/obs"
 	"prima/internal/txn"
 )
 
@@ -276,17 +277,33 @@ func (db *DB) Engine() *core.Engine { return db.engine }
 // resilience tests assert against when a client dies mid-stream.
 func (db *DB) OpenSnapshots() int { return db.sys.OpenSnapshots() }
 
-// Stats summarizes atom cache, buffer and device activity.
+// Registry exposes the database-wide metrics registry (counters, gauges and
+// per-stage latency histograms across all layers).
+func (db *DB) Registry() *obs.Registry { return db.sys.Obs() }
+
+// Metrics takes one coherent snapshot of every registered metric — the same
+// data the wire `stats` op and primad's /metrics endpoint serve.
+func (db *DB) Metrics() *obs.MetricsSnapshot { return db.sys.Obs().Snapshot() }
+
+// Stats summarizes atom cache, buffer, device and WAL activity, rendered
+// from one Metrics snapshot so the string view, StatsJSON and /metrics can
+// never disagree.
 func (db *DB) Stats() string {
-	ac := db.sys.AtomCacheStats()
-	bs := db.sys.Pool().Stats()
+	ms := db.Metrics()
 	ds := db.sys.Files().Stats()
+	hits, misses := float64(ms.Counter("buffer_hits")), float64(ms.Counter("buffer_misses"))
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = 100 * hits / (hits + misses)
+	}
 	out := fmt.Sprintf("atoms: %d hits / %d misses, %d invalidations, %d/%d cached; buffer: %d hits / %d misses (%.1f%%), %d evictions; io: %s",
-		ac.Hits, ac.Misses, ac.Invalidations, ac.Atoms, ac.Budget,
-		bs.Hits, bs.Misses, 100*bs.HitRatio(), bs.Evictions, ds)
-	if ws, ok := db.sys.WALStats(); ok {
+		ms.Counter("atom_cache_hits"), ms.Counter("atom_cache_misses"), ms.Counter("atom_cache_invalidations"),
+		int(ms.Gauge("atom_cache_atoms")), int(ms.Gauge("atom_cache_budget")),
+		ms.Counter("buffer_hits"), ms.Counter("buffer_misses"), ratio, ms.Counter("buffer_evictions"), ds)
+	if ms.Gauge("wal_enabled") != 0 {
 		out += fmt.Sprintf("; wal: %d records / %d bytes, %d commits in %d batches (%d syncs), %d checkpoints, %d recoveries",
-			ws.Appends, ws.Bytes, ws.Commits, ws.Batches, ws.Syncs, ws.Checkpoints, ws.Recoveries)
+			ms.Counter("wal_appends"), ms.Counter("wal_bytes"), ms.Counter("wal_commits"),
+			ms.Counter("wal_batches"), ms.Counter("wal_syncs"), ms.Counter("wal_checkpoints"), ms.Counter("wal_recoveries"))
 		if cerr := db.sys.WALCheckpointErr(); cerr != nil {
 			out += fmt.Sprintf("; CHECKPOINT FAILING: %v", cerr)
 		}
