@@ -10,14 +10,14 @@
 // in-memory for the session. With -remote, statements run over the wire and
 // the shell's retry/backoff behaviour is the client library's.
 //
-// The shell also understands the meta-command
+// The shell also understands meta-commands:
 //
-//	.stats
-//
-// which prints the server's health counters — shed and panic counts,
-// rejected connections — alongside this client's own retry and reconnect
-// tally, so a degraded server is visible from the shell that is talking
-// to it.
+//	.stats             server health counters (shed/panic/rejection tallies)
+//	                   alongside this client's retry and reconnect tally
+//	.explain <query>   EXPLAIN ANALYZE the query: plan tree plus actual
+//	                   per-stage timings and counters
+//	.slow [n]          the server's retained slow-query traces, newest
+//	                   first (default 5)
 package main
 
 import (
@@ -25,9 +25,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"prima"
+	"prima/internal/obs"
 	"prima/internal/wire"
 )
 
@@ -35,6 +37,7 @@ import (
 type session interface {
 	run(src string, maxMol int) error
 	stats() error
+	slow(n int) error
 	close()
 }
 
@@ -68,7 +71,7 @@ func main() {
 		return
 	}
 
-	fmt.Println("PRIMA — Molecule Query Language shell (end statements with ';', '.stats' for health, Ctrl-D to quit)")
+	fmt.Println("PRIMA — Molecule Query Language shell (end statements with ';'; '.stats', '.explain <query>', '.slow [n]'; Ctrl-D to quit)")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -79,8 +82,8 @@ func main() {
 			break
 		}
 		line := sc.Text()
-		if buf.Len() == 0 && strings.TrimSpace(line) == ".stats" {
-			if err := s.stats(); err != nil {
+		if buf.Len() == 0 && strings.HasPrefix(strings.TrimSpace(line), ".") {
+			if err := metaCommand(s, strings.TrimSpace(line), *maxMol); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 			}
 			continue
@@ -97,6 +100,49 @@ func main() {
 		if err := s.run(src, *maxMol); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 		}
+	}
+}
+
+// metaCommand runs one dot-command line.
+func metaCommand(s session, line string, maxMol int) error {
+	cmd, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch cmd {
+	case ".stats":
+		return s.stats()
+	case ".explain":
+		if rest == "" {
+			return fmt.Errorf(".explain expects a SELECT statement")
+		}
+		// EXPLAIN ANALYZE runs the query; its result prints the plan tree
+		// plus the actual per-stage breakdown.
+		return s.run("EXPLAIN ANALYZE "+strings.TrimSuffix(rest, ";")+";", maxMol)
+	case ".slow":
+		n := 5
+		if rest != "" {
+			v, err := strconv.Atoi(rest)
+			if err != nil || v <= 0 {
+				return fmt.Errorf(".slow expects a positive count, got %q", rest)
+			}
+			n = v
+		}
+		return s.slow(n)
+	default:
+		return fmt.Errorf("unknown meta-command %s (.stats, .explain <query>, .slow [n])", cmd)
+	}
+}
+
+// printTraces renders retained slow-query traces.
+func printTraces(traces []*obs.TraceSnapshot) {
+	if len(traces) == 0 {
+		fmt.Println("no slow queries retained (is a slow-query threshold set?)")
+		return
+	}
+	for i, t := range traces {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(t.String())
 	}
 }
 
@@ -124,6 +170,15 @@ func (s *localSession) run(src string, maxMol int) error {
 
 func (s *localSession) stats() error {
 	fmt.Print(s.db.Stats())
+	return nil
+}
+
+func (s *localSession) slow(n int) error {
+	traces := s.db.Tracer().Slow()
+	if len(traces) > n {
+		traces = traces[:n]
+	}
+	printTraces(traces)
 	return nil
 }
 
@@ -174,10 +229,19 @@ func (s *remoteSession) stats() error {
 	return nil
 }
 
+func (s *remoteSession) slow(n int) error {
+	traces, err := s.c.Slow(n)
+	if err != nil {
+		return err
+	}
+	printTraces(traces)
+	return nil
+}
+
 // printResponse renders a wire response in the same shape as printResult.
 func printResponse(r *wire.Response, maxMol int) {
 	switch {
-	case len(r.Molecules) > 0 || strings.Contains(r.Message, "molecule"):
+	case len(r.Molecules) > 0:
 		fmt.Printf("%d molecule(s)\n", len(r.Molecules))
 		for i, m := range r.Molecules {
 			if i >= maxMol {
@@ -192,10 +256,11 @@ func printResponse(r *wire.Response, maxMol int) {
 			ids[i] = fmt.Sprintf("@%d", a)
 		}
 		fmt.Printf("inserted %s\n", strings.Join(ids, ", "))
+	case r.Message != "":
+		fmt.Println(r.Message)
 	default:
-		if r.Message != "" {
-			fmt.Println(r.Message)
-		}
+		// An empty SELECT: no molecules, no message.
+		fmt.Printf("%d molecule(s)\n", r.Count)
 	}
 }
 

@@ -5,19 +5,33 @@
 //
 //	primad [-addr host:port] [-dir path] [-wal] [-init script.mql]
 //	       [-metrics-addr host:port]
+//	       [-trace-sample n] [-slow-query d]
 //	       [-idle-timeout d] [-read-timeout d] [-write-timeout d]
 //	       [-max-conns n] [-max-inflight n] [-queue-wait d] [-drain-timeout d]
 //
-// With -metrics-addr set, primad serves the full metrics snapshot over HTTP
-// at /metrics: Prometheus text by default, ?format=csv for flat CSV,
-// ?format=json for the structured MetricsSnapshot.
+// With -metrics-addr set, primad serves an HTTP diagnostics mux:
+//
+//	/metrics       full metrics snapshot (Prometheus text; ?format=csv|json)
+//	/debug/slow    retained slow-query traces, newest first (?format=json, ?n=K)
+//	/debug/traces  head-sampled recent traces (?format=json, ?n=K)
+//	/debug/pprof/  the standard Go profiler endpoints
+//
+// The tracing flags arm the endpoints: -trace-sample n keeps every nth
+// request's span tree in the recent ring, -slow-query d retains every
+// request at least d slow in the slow ring and logs one line per retained
+// trace. Both default to off, in which case /debug/slow and /debug/traces
+// serve empty sets and request handling pays a single nil check. Without
+// -metrics-addr the HTTP mux (including pprof) is not served at all; the
+// trace rings are still reachable over the wire protocol's slow op.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,7 +56,9 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 0, "concurrent request cap (0 = default 64, negative = unlimited)")
 	queueWait := flag.Duration("queue-wait", 0, "max wait for an in-flight slot before shedding (0 = default 1s, negative = shed immediately)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max time to drain in-flight requests at shutdown")
-	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for the /metrics endpoint (empty = disabled)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for the /metrics and /debug endpoints (empty = disabled)")
+	traceSample := flag.Int("trace-sample", 0, "head-sample every nth request's trace into /debug/traces (0 = off, 1 = all)")
+	slowQuery := flag.Duration("slow-query", 0, "retain and log traces of requests at least this slow (0 = off)")
 	flag.Parse()
 
 	db, err := prima.Open(prima.Config{
@@ -50,6 +66,9 @@ func main() {
 		WAL:                *wal,
 		GroupCommitMaxWait: *groupWait,
 		WALCheckpointBytes: *ckptBytes,
+		TraceSampleRate:    *traceSample,
+		SlowQueryThreshold: *slowQuery,
+		TraceLogf:          log.Printf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "primad:", err)
@@ -86,6 +105,15 @@ func main() {
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", obs.Handler(db.Metrics))
+		mux.Handle("/debug/slow", obs.TraceHandler(db.Tracer().Slow))
+		mux.Handle("/debug/traces", obs.TraceHandler(db.Tracer().Recent))
+		// net/http/pprof registers on DefaultServeMux as a side effect; a
+		// custom mux needs the handlers mounted explicitly.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		msrv := &http.Server{Addr: *metricsAddr, Handler: mux}
 		go func() {
 			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {

@@ -10,7 +10,7 @@
 //	          [-clients n] [-duration d] [-report d]
 //	          [-w-insert n] [-w-query n] [-w-checkout n] [-w-checkin n]
 //	          [-fault-latency-prob p] [-fault-latency d] [-fault-reset-prob p]
-//	          [-seed n] [-csv path]
+//	          [-seed n] [-slow-query d] [-csv path]
 //
 // The run fails (exit 1) if any acknowledged write is lost, or if the run
 // recorded no latency at all — so it doubles as a CI smoke check.
@@ -41,6 +41,7 @@ func main() {
 	flag.DurationVar(&cfg.FaultLatency, "fault-latency", 2*time.Millisecond, "injected delay duration")
 	flag.Float64Var(&cfg.FaultResetProb, "fault-reset-prob", 0, "probability of injected connection reset per conn I/O")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "random seed for the op mix and fault schedule")
+	flag.DurationVar(&cfg.SlowQuery, "slow-query", 0, "in-process server's slow-query threshold (0 = default 20ms, negative = off); worst op per class reports its server trace ID")
 	csvPath := flag.String("csv", "", "write the merged client+server metrics snapshot as CSV to this file")
 	flag.Parse()
 

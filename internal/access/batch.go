@@ -6,6 +6,7 @@ import (
 
 	"prima/internal/access/addr"
 	"prima/internal/access/atom"
+	"prima/internal/obs"
 )
 
 // GetBatch reads many atoms in one access-system call, aligned with the
@@ -22,11 +23,23 @@ import (
 // reads are routed per atom, because partition coverage is decided per
 // record; the batch win lives on the full-width assembly path.
 func (s *System) GetBatch(addrs []addr.LogicalAddr, attrs []string) ([]*Atom, error) {
+	return s.getBatch(addrs, attrs, nil)
+}
+
+// getBatch is GetBatch with an optional trace span: cache hits/misses,
+// decoded atom counts and distinct pages touched are charged to sp (nil-safe
+// no-ops when the request is untraced).
+func (s *System) getBatch(addrs []addr.LogicalAddr, attrs []string, sp *obs.Span) ([]*Atom, error) {
 	out := make([]*Atom, len(addrs))
 	if len(addrs) == 0 {
 		return out, nil
 	}
-	defer s.decodeNs.ObserveSince(time.Now())
+	start := time.Now()
+	defer func() {
+		el := time.Since(start).Nanoseconds()
+		s.decodeNs.Observe(el)
+		sp.Add(obs.CtrDecodeNs, el)
+	}()
 	if attrs != nil {
 		for i, a := range addrs {
 			at, err := s.Get(a, attrs)
@@ -35,6 +48,7 @@ func (s *System) GetBatch(addrs []addr.LogicalAddr, attrs []string) ([]*Atom, er
 			}
 			out[i] = at
 		}
+		sp.Add(obs.CtrAtomsDecoded, int64(len(addrs)))
 		return out, nil
 	}
 
@@ -43,6 +57,7 @@ func (s *System) GetBatch(addrs []addr.LogicalAddr, attrs []string) ([]*Atom, er
 	// Group cache misses by atom type: each type owns one primary container.
 	byType := make(map[addr.TypeID][]int, 2)
 	typeOrder := make([]addr.TypeID, 0, 2)
+	var hits int64
 	for i, a := range addrs {
 		if cache != nil {
 			if at, ok := cache.get(a); ok {
@@ -51,6 +66,7 @@ func (s *System) GetBatch(addrs []addr.LogicalAddr, attrs []string) ([]*Atom, er
 					return nil, fmt.Errorf("%w: %v", ErrNoAtom, a)
 				}
 				out[i] = at
+				hits++
 				continue
 			}
 		}
@@ -59,6 +75,10 @@ func (s *System) GetBatch(addrs []addr.LogicalAddr, attrs []string) ([]*Atom, er
 			typeOrder = append(typeOrder, tid)
 		}
 		byType[tid] = append(byType[tid], i)
+	}
+	if sp != nil {
+		sp.Add(obs.CtrCacheHits, hits)
+		sp.Add(obs.CtrCacheMisses, int64(len(addrs))-hits)
 	}
 
 	for _, tid := range typeOrder {
@@ -96,6 +116,10 @@ func (s *System) GetBatch(addrs []addr.LogicalAddr, attrs []string) ([]*Atom, er
 		if err != nil {
 			return nil, err
 		}
+		if sp != nil {
+			sp.Add(obs.CtrAtomsDecoded, int64(len(idxs)))
+			sp.Add(obs.CtrPagesPinned, distinctPages(rids))
+		}
 		if cache == nil {
 			// No retention: the whole level shares one value arena.
 			vals, err := atom.DecodeAtomBatch(recs)
@@ -121,4 +145,14 @@ func (s *System) GetBatch(addrs []addr.LogicalAddr, attrs []string) ([]*Atom, er
 		}
 	}
 	return out, nil
+}
+
+// distinctPages counts the pages a record batch touches — each is one
+// buffer-pool fix on the read path, the trace's "pages pinned".
+func distinctPages(rids []addr.RID) int64 {
+	seen := make(map[uint32]struct{}, len(rids))
+	for _, r := range rids {
+		seen[r.Page] = struct{}{}
+	}
+	return int64(len(seen))
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"prima/internal/access/addr"
+	"prima/internal/obs"
 )
 
 // Multi-version atom store: the generalization of the decoded-atom cache's
@@ -280,6 +281,21 @@ type Snapshot struct {
 	sys    *System
 	epoch  uint64
 	closed atomic.Bool
+	// span, when set, receives the read-path trace counters (atoms decoded,
+	// cache hits/misses, pages pinned) for batched reads through this
+	// snapshot. Every cursor reads through a snapshot, which makes it the
+	// natural per-request carrier; nil means untraced (the common case).
+	span *obs.Span
+}
+
+// SetTraceSpan attaches the span that batched reads through this snapshot
+// charge their counters to. Nil-safe (untraced requests pass nil all the
+// way down). Call before handing the snapshot to concurrent readers.
+func (sn *Snapshot) SetTraceSpan(sp *obs.Span) {
+	if sn == nil {
+		return
+	}
+	sn.span = sp
 }
 
 // OpenSnapshot captures the current epoch as a consistent read view.
@@ -380,8 +396,17 @@ func (sn *Snapshot) Resolve(a addr.LogicalAddr, fetch func() (*Atom, error)) (*A
 	return cur, err
 }
 
-// Get reads one full-width atom at the snapshot's epoch.
+// Get reads one full-width atom at the snapshot's epoch. Traced snapshots
+// route through the batched read so the single-atom path (scan roots,
+// childless molecules) charges the same trace counters the fan-out does.
 func (sn *Snapshot) Get(a addr.LogicalAddr) (*Atom, error) {
+	if sn.span != nil {
+		out, err := sn.GetBatch([]addr.LogicalAddr{a})
+		if err != nil {
+			return nil, err
+		}
+		return out[0], nil
+	}
 	return sn.Resolve(a, func() (*Atom, error) { return sn.sys.Get(a, nil) })
 }
 
@@ -406,7 +431,7 @@ func (sn *Snapshot) GetBatch(addrs []addr.LogicalAddr) ([]*Atom, error) {
 	if len(miss) == 0 {
 		return out, nil
 	}
-	got, err := sn.sys.GetBatch(miss, nil)
+	got, err := sn.sys.getBatch(miss, nil, sn.span)
 	if err != nil {
 		return nil, err
 	}

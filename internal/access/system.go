@@ -81,6 +81,14 @@ type Config struct {
 	// opens. Fault-injection tests use it to place crash-simulating
 	// FaultDevices below the whole storage stack.
 	FileWrap func(name string, d device.Device) device.Device
+	// TraceSampleRate head-samples roughly 1-in-N requests into the recent
+	// trace ring (0 = off).
+	TraceSampleRate int
+	// SlowQueryThreshold retains every request trace at least this slow in
+	// the slow-query ring (0 = off). Setting it traces all requests.
+	SlowQueryThreshold time.Duration
+	// TraceLogf, when set, receives one structured line per slow query.
+	TraceLogf func(format string, args ...any)
 }
 
 func (c *Config) fill() error {
@@ -220,6 +228,18 @@ type System struct {
 	reg      *obs.Registry
 	decodeNs *obs.Histogram
 
+	// tracer owns per-request traces for the same reason reg owns metrics:
+	// the access system sits below every layer, so the wire server, engine
+	// and transaction manager all reach the one tracer through here.
+	tracer *obs.Tracer
+
+	// walSink is the span the write-ahead log attributes appended bytes to
+	// while a traced statement executes (nil between traced statements).
+	// Attribution is best-effort under concurrent writers: traced writers
+	// each install their own span and the last store wins, which is the
+	// accepted cost of keeping walAppend lock-free.
+	walSink atomic.Pointer[obs.Span]
+
 	// atoms is the decoded-atom cache (nil = disabled); swapped atomically
 	// by SetAtomCacheSize. Its counters live here so statistics accumulate
 	// across resizes.
@@ -286,6 +306,11 @@ func Open(cfg Config) (*System, error) {
 		s.files.SetWrap(cfg.FileWrap)
 	}
 	s.decodeNs = s.reg.Histogram("access_decode_ns")
+	s.tracer = obs.NewTracer(obs.TracerConfig{
+		SampleRate:    cfg.TraceSampleRate,
+		SlowThreshold: cfg.SlowQueryThreshold,
+		Logf:          cfg.TraceLogf,
+	})
 	s.pool.SetMissHist(s.reg.Histogram("buffer_read_ns"))
 	s.atoms.Store(newAtomCache(cfg.AtomCacheSize, cfg.BufferShards, nil, &s.acStats))
 	s.mv = newMVStore()
@@ -317,6 +342,15 @@ func Open(cfg Config) (*System, error) {
 // Obs exposes the database-wide metrics registry. Upper layers obtain their
 // counter/histogram handles here so one Snapshot covers the whole stack.
 func (s *System) Obs() *obs.Registry { return s.reg }
+
+// Tracer exposes the database-wide request tracer (see obs.Tracer). Never
+// nil after Open; whether it traces anything depends on its knobs.
+func (s *System) Tracer() *obs.Tracer { return s.tracer }
+
+// SetWALTraceSink installs (or, with nil, removes) the span that walAppend
+// charges CtrWALBytes to. The engine brackets traced statement execution
+// with it; see the walSink field for the concurrency caveat.
+func (s *System) SetWALTraceSink(sp *obs.Span) { s.walSink.Store(sp) }
 
 // Schema exposes the catalog.
 func (s *System) Schema() *catalog.Schema { return s.schema }

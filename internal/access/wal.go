@@ -8,6 +8,7 @@ import (
 
 	"prima/internal/access/addr"
 	"prima/internal/access/atom"
+	"prima/internal/obs"
 	"prima/internal/storage/wal"
 )
 
@@ -134,6 +135,9 @@ func (s *System) walAppend(kind wal.Kind, a addr.LogicalAddr, typeName string, u
 	if redo != nil {
 		rb = encScratch.Get().(*[]byte)
 		rec.Redo = atom.AppendAtom((*rb)[:0], redo)
+	}
+	if sp := s.walSink.Load(); sp != nil {
+		sp.Add(obs.CtrWALBytes, int64(len(rec.Undo)+len(rec.Redo)))
 	}
 	_, err := w.Append(&rec)
 	if ub != nil {

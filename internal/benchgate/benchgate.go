@@ -6,6 +6,14 @@
 // One baseline file serves every gating package; Run only enforces the keys
 // the calling package registered, so each package's gate skips entries that
 // belong to another package's benchmarks.
+//
+// When the BENCH_RESULTS environment variable names a file, Run also writes
+// the measured profile of every gated benchmark there, in the baseline's own
+// JSON format (measured allocs/ns with the baseline's headroom factors
+// carried over). Gates in different packages run as separate `go test`
+// invocations, so Run merges into an existing file rather than overwriting —
+// CI uploads the merged file as an artifact, and a PR that legitimately
+// shifts a profile can promote it to the new BENCH_baseline.json.
 package benchgate
 
 import (
@@ -48,6 +56,7 @@ func Run(t *testing.T, baselinePath string, benches map[string]func(b *testing.B
 	if err != nil {
 		t.Fatalf("load baseline: %v", err)
 	}
+	results := make(map[string]Baseline, len(benches))
 	for name, fn := range benches {
 		base, ok := baselines[name]
 		if !ok {
@@ -59,6 +68,12 @@ func Run(t *testing.T, baselinePath string, benches map[string]func(b *testing.B
 			continue
 		}
 		res := testing.Benchmark(fn)
+		results[name] = Baseline{
+			AllocsPerOp: float64(res.AllocsPerOp()),
+			Headroom:    base.Headroom,
+			NsPerOp:     float64(res.NsPerOp()),
+			NsHeadroom:  base.NsHeadroom,
+		}
 		if base.AllocsPerOp > 0 {
 			if base.Headroom < 1 {
 				t.Fatalf("baseline %q: allocs headroom %v < 1", name, base.Headroom)
@@ -84,4 +99,31 @@ func Run(t *testing.T, baselinePath string, benches map[string]func(b *testing.B
 			}
 		}
 	}
+	if path := os.Getenv("BENCH_RESULTS"); path != "" {
+		if err := writeResults(path, results); err != nil {
+			t.Errorf("write BENCH_RESULTS artifact %s: %v", path, err)
+		}
+	}
+}
+
+// writeResults merges the measured profiles into the artifact file named by
+// BENCH_RESULTS. Merging (rather than overwriting) lets the separate root and
+// wire gate invocations accumulate into one artifact.
+func writeResults(path string, results map[string]Baseline) error {
+	merged := map[string]Baseline{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &merged); err != nil {
+			return err
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	for name, r := range results {
+		merged[name] = r
+	}
+	data, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -13,6 +13,7 @@ import (
 	"prima/internal/access/atom"
 	"prima/internal/access/mdindex"
 	"prima/internal/catalog"
+	"prima/internal/obs"
 )
 
 // atomSource supplies atoms during molecule assembly. The primary source
@@ -666,6 +667,11 @@ type Cursor struct {
 	// guards the double Close that a Next error path produces).
 	asmNs   int64
 	asmDone bool
+
+	// span is the trace span this cursor's work is charged to (nil =
+	// untraced): delivered molecules bump its counters in Next, and Close
+	// ends it.
+	span *obs.Span
 }
 
 // Open prepares a cursor over the plan's molecules, pinned to a snapshot of
@@ -680,7 +686,17 @@ func (p *Plan) Open() (*Cursor, error) { return p.openAt(nil) }
 // pins one at Begin and reuses its epoch for every cursor it opens).
 func (p *Plan) OpenAt(epoch uint64) (*Cursor, error) { return p.openAt(&epoch) }
 
-func (p *Plan) openAt(epoch *uint64) (*Cursor, error) {
+// OpenTraced is Open with the cursor's reads and deliveries charged to the
+// trace span (nil sp behaves like Open). The span is ended at Close.
+func (p *Plan) OpenTraced(sp *obs.Span) (*Cursor, error) { return p.openTraced(nil, sp) }
+
+func (p *Plan) openAt(epoch *uint64) (*Cursor, error) { return p.openTraced(epoch, nil) }
+
+// openTraced opens a cursor whose snapshot charges its read-path counters
+// (atoms decoded, cache hits, pages pinned, decode time) to sp. The span is
+// attached before the pipeline starts, so parallel assembly workers record
+// into it from the first read; nil sp means untraced.
+func (p *Plan) openTraced(epoch *uint64, sp *obs.Span) (*Cursor, error) {
 	workers, chunk := p.engine.assemblyConfig()
 	var sn *access.Snapshot
 	if epoch != nil {
@@ -688,7 +704,8 @@ func (p *Plan) openAt(epoch *uint64) (*Cursor, error) {
 	} else {
 		sn = p.engine.sys.OpenSnapshot()
 	}
-	c := &Cursor{plan: p, snap: sn, src: p.rootSource(chunk, sn)}
+	sn.SetTraceSpan(sp)
+	c := &Cursor{plan: p, snap: sn, src: p.rootSource(chunk, sn), span: sp}
 	if workers > 1 {
 		c.pipe = startPipeline(p, sn, c.src, workers)
 	}
@@ -827,6 +844,7 @@ func (c *Cursor) Next() (*Molecule, error) {
 				return nil, res.err
 			}
 			if res.m != nil {
+				c.emit(res.m)
 				return res.m, nil
 			}
 		}
@@ -846,6 +864,7 @@ func (c *Cursor) Next() (*Molecule, error) {
 				return nil, err
 			}
 			if m != nil {
+				c.emit(m)
 				return m, nil
 			}
 		}
@@ -862,11 +881,21 @@ func (c *Cursor) Next() (*Molecule, error) {
 	}
 }
 
+// emit charges one delivered molecule to the cursor's trace span.
+func (c *Cursor) emit(m *Molecule) {
+	if c.span == nil {
+		return
+	}
+	c.span.Add(obs.CtrMolecules, 1)
+	c.span.Add(obs.CtrAtoms, int64(m.Size()))
+}
+
 // Close releases the cursor and its snapshot. A parallel pipeline is joined
 // first: when Close returns, no worker touches buffer pages anymore and the
 // epoch's history is free to be reclaimed.
 func (c *Cursor) Close() {
 	c.done = true
+	c.span.End()
 	if !c.asmDone && c.asmNs > 0 {
 		c.asmDone = true
 		c.plan.engine.assembleNs.Observe(c.asmNs)

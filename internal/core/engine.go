@@ -219,6 +219,47 @@ func (e *Engine) PlanQuery(src string) (*Plan, error) {
 	return p, nil
 }
 
+// OpenQueryTraced is PlanQuery plus a cursor open, with tracing: planning is
+// recorded as a "plan" span on tr (a cache hit sets the root's plan_cache
+// attribute instead), and the returned cursor's page reads and molecule
+// deliveries are charged to an "assemble" span that Cursor.Close ends. A nil
+// tr behaves exactly like PlanQuery followed by Open.
+func (e *Engine) OpenQueryTraced(src string, tr *obs.Trace) (*Cursor, error) {
+	cfg := e.planConfig()
+	key := e.planKeyFor(cfg, src)
+	p, ok := e.plans.get(key).(*Plan)
+	if ok {
+		tr.SetAttr("plan_cache", "hit")
+	} else {
+		var err error
+		p, err = e.planStage(tr, func() (*Plan, error) {
+			parseStart := time.Now()
+			stmt, err := mql.ParseOne(src)
+			e.parseNs.ObserveSince(parseStart)
+			if err != nil {
+				return nil, err
+			}
+			sel, ok := stmt.(*mql.Select)
+			if !ok {
+				return nil, ErrNotSelect
+			}
+			return e.planSelect(sel, cfg)
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.plans.putMiss(key, p)
+	}
+	sp := tr.Root().Child("assemble")
+	annotatePlanSpan(sp, p)
+	cur, err := p.openTraced(nil, sp)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	return cur, nil
+}
+
 // maybeCacheable reports whether the script's first keyword can be a
 // plan-cacheable statement (SELECT, DELETE or MODIFY) — the cheap pre-filter
 // that keeps DDL and insert traffic off the plan-cache probe.
@@ -259,12 +300,28 @@ type Result struct {
 	Message   string
 }
 
+// execCtx carries the per-request execution context down the statement
+// dispatch: the pinned snapshot epoch (nil = current), the request trace
+// (nil = untraced — every span operation no-ops), and the script parse time
+// so EXPLAIN ANALYZE can report the parse stage it arrived through.
+type execCtx struct {
+	epoch   *uint64
+	tr      *obs.Trace
+	parseNs int64
+}
+
 // ExecuteScript parses and executes a semicolon-separated MQL script,
 // returning one result per statement. Single-statement SELECT, DELETE and
 // MODIFY scripts are served through the plan cache: a repeated statement
 // text skips parsing and planning entirely and goes straight to execution.
 func (e *Engine) ExecuteScript(src string) ([]*Result, error) {
-	return e.executeScript(src, nil)
+	return e.executeScript(src, execCtx{})
+}
+
+// ExecuteScriptTraced is ExecuteScript recording parse/plan/assemble/apply
+// spans under tr's root span (nil tr is ExecuteScript).
+func (e *Engine) ExecuteScriptTraced(src string, tr *obs.Trace) ([]*Result, error) {
+	return e.executeScript(src, execCtx{tr: tr})
 }
 
 // ExecuteScriptAt runs the script with every SELECT reading at the given
@@ -272,10 +329,10 @@ func (e *Engine) ExecuteScript(src string) ([]*Result, error) {
 // (the transaction layer pins one at Begin). DML statements always run
 // against current state — writes cannot apply to history.
 func (e *Engine) ExecuteScriptAt(src string, epoch uint64) ([]*Result, error) {
-	return e.executeScript(src, &epoch)
+	return e.executeScript(src, execCtx{epoch: &epoch})
 }
 
-func (e *Engine) executeScript(src string, epoch *uint64) ([]*Result, error) {
+func (e *Engine) executeScript(src string, ctx execCtx) ([]*Result, error) {
 	var cfg planConfig
 	var key string
 	if maybeCacheable(src) {
@@ -286,9 +343,11 @@ func (e *Engine) executeScript(src string, epoch *uint64) ([]*Result, error) {
 		hit := true
 		switch v := e.plans.get(key).(type) {
 		case *Plan:
-			r, err = e.runSelect(v, epoch)
+			ctx.tr.SetAttr("plan_cache", "hit")
+			r, err = e.runSelect(v, ctx)
 		case *cachedDML:
-			r, err = e.runDML(v)
+			ctx.tr.SetAttr("plan_cache", "hit")
+			r, err = e.runDML(v, ctx.tr)
 		default:
 			hit = false
 		}
@@ -299,9 +358,12 @@ func (e *Engine) executeScript(src string, epoch *uint64) ([]*Result, error) {
 			return []*Result{r}, nil
 		}
 	}
+	psp := ctx.tr.Root().Child("parse")
 	parseStart := time.Now()
 	stmts, err := mql.Parse(src)
-	e.parseNs.ObserveSince(parseStart)
+	ctx.parseNs = time.Since(parseStart).Nanoseconds()
+	e.parseNs.Observe(ctx.parseNs)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -314,27 +376,27 @@ func (e *Engine) executeScript(src string, epoch *uint64) ([]*Result, error) {
 			switch v := s.(type) {
 			case *mql.Select:
 				var p *Plan
-				if p, err = e.planSelect(v, cfg); err == nil {
+				if p, err = e.planStage(ctx.tr, func() (*Plan, error) { return e.planSelect(v, cfg) }); err == nil {
 					e.plans.putMiss(key, p)
-					r, err = e.runSelect(p, epoch)
+					r, err = e.runSelect(p, ctx)
 				}
 			case *mql.Delete:
 				var c *cachedDML
-				if c, err = e.prepareDelete(v, cfg); err == nil {
+				if c, err = e.prepareDMLStage(ctx.tr, func() (*cachedDML, error) { return e.prepareDelete(v, cfg) }); err == nil {
 					e.plans.putMiss(key, c)
-					r, err = e.runDML(c)
+					r, err = e.runDML(c, ctx.tr)
 				}
 			case *mql.Modify:
 				var c *cachedDML
-				if c, err = e.prepareModify(v, cfg); err == nil {
+				if c, err = e.prepareDMLStage(ctx.tr, func() (*cachedDML, error) { return e.prepareModify(v, cfg) }); err == nil {
 					e.plans.putMiss(key, c)
-					r, err = e.runDML(c)
+					r, err = e.runDML(c, ctx.tr)
 				}
 			default:
-				r, err = e.execute(s, epoch)
+				r, err = e.execute(s, ctx)
 			}
 		} else {
-			r, err = e.execute(s, epoch)
+			r, err = e.execute(s, ctx)
 		}
 		if err != nil {
 			return out, fmt.Errorf("statement %d: %w", i+1, err)
@@ -344,16 +406,72 @@ func (e *Engine) executeScript(src string, epoch *uint64) ([]*Result, error) {
 	return out, nil
 }
 
-// runSelect opens a cursor over a prepared plan and drains it; a non-nil
-// epoch pins the cursor to that snapshot epoch instead of the current one.
-func (e *Engine) runSelect(p *Plan, epoch *uint64) (*Result, error) {
-	var cur *Cursor
-	var err error
-	if epoch != nil {
-		cur, err = p.OpenAt(*epoch)
-	} else {
-		cur, err = p.Open()
+// planStage wraps a fresh planning call in a "plan" span annotated with the
+// chosen access and pushdown facts.
+func (e *Engine) planStage(tr *obs.Trace, plan func() (*Plan, error)) (*Plan, error) {
+	sp := tr.Root().Child("plan")
+	sp.SetAttr("plan_cache", "miss")
+	p, err := plan()
+	if err == nil {
+		annotatePlanSpan(sp, p)
 	}
+	sp.End()
+	return p, err
+}
+
+// prepareDMLStage is planStage for prepared DELETE/MODIFY statements.
+func (e *Engine) prepareDMLStage(tr *obs.Trace, prep func() (*cachedDML, error)) (*cachedDML, error) {
+	sp := tr.Root().Child("plan")
+	sp.SetAttr("plan_cache", "miss")
+	c, err := prep()
+	if err == nil {
+		annotatePlanSpan(sp, c.plan)
+	}
+	sp.End()
+	return c, err
+}
+
+// annotatePlanSpan records the plan facts EXPLAIN renders — access kind,
+// index/range details, pushdown shape, predicate compilation — as span
+// attributes (nil-safe).
+func annotatePlanSpan(sp *obs.Span, p *Plan) {
+	if sp == nil || p == nil {
+		return
+	}
+	sp.SetAttr("kind", p.AccessKind)
+	if p.PathName != "" {
+		sp.SetAttr("path", p.PathName)
+	}
+	if p.SortOrder != "" {
+		sp.SetAttr("sort_order", p.SortOrder)
+	}
+	if p.Cluster != "" {
+		sp.SetAttr("cluster", p.Cluster)
+	}
+	if n := len(p.RootSSA); n > 0 {
+		sp.SetAttr("root_ssa", fmt.Sprintf("%d", n))
+	}
+	if n := len(p.CompSSA); n > 0 {
+		sp.SetAttr("pushed_conjuncts", fmt.Sprintf("%d", n))
+	}
+	if p.Where != nil {
+		if p.whereC != nil {
+			sp.SetAttr("predicate", "compiled")
+		} else {
+			sp.SetAttr("predicate", "interpreted")
+		}
+	}
+}
+
+// runSelect opens a cursor over a prepared plan and drains it; a non-nil
+// ctx.epoch pins the cursor to that snapshot epoch instead of the current
+// one. When the request is traced, the whole drain runs under an "assemble"
+// span that carries the plan facts and the read-path counters.
+func (e *Engine) runSelect(p *Plan, ctx execCtx) (*Result, error) {
+	sp := ctx.tr.Root().Child("assemble")
+	annotatePlanSpan(sp, p)
+	defer sp.End()
+	cur, err := p.openTraced(ctx.epoch, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -366,10 +484,10 @@ func (e *Engine) runSelect(p *Plan, epoch *uint64) (*Result, error) {
 }
 
 // Execute runs a single parsed statement.
-func (e *Engine) Execute(stmt mql.Stmt) (*Result, error) { return e.execute(stmt, nil) }
+func (e *Engine) Execute(stmt mql.Stmt) (*Result, error) { return e.execute(stmt, execCtx{}) }
 
-func (e *Engine) execute(stmt mql.Stmt, epoch *uint64) (*Result, error) {
-	res, err := e.executeInner(stmt, epoch)
+func (e *Engine) execute(stmt mql.Stmt, ctx execCtx) (*Result, error) {
+	res, err := e.executeInner(stmt, ctx)
 	if err == nil && isDDL(stmt) {
 		// Schema changes only persist in checkpoint snapshots — log records
 		// replayed against a pre-DDL schema would name unknown types — so
@@ -393,7 +511,7 @@ func isDDL(stmt mql.Stmt) bool {
 	return false
 }
 
-func (e *Engine) executeInner(stmt mql.Stmt, epoch *uint64) (*Result, error) {
+func (e *Engine) executeInner(stmt mql.Stmt, ctx execCtx) (*Result, error) {
 	switch s := stmt.(type) {
 	case *mql.CreateAtomType:
 		at, err := mql.LowerAtomType(s)
@@ -475,20 +593,23 @@ func (e *Engine) executeInner(stmt mql.Stmt, epoch *uint64) (*Result, error) {
 		}), "atom cluster "+s.Name+" created")
 
 	case *mql.Select:
-		plan, err := e.PlanSelect(s)
+		plan, err := e.planStage(ctx.tr, func() (*Plan, error) { return e.PlanSelect(s) })
 		if err != nil {
 			return nil, err
 		}
-		return e.runSelect(plan, epoch)
+		return e.runSelect(plan, ctx)
+
+	case *mql.Explain:
+		return e.execExplain(s, ctx)
 
 	case *mql.Insert:
-		return e.execInsert(s)
+		return e.execInsert(s, ctx.tr)
 
 	case *mql.Delete:
-		return e.execDelete(s)
+		return e.execDelete(s, ctx.tr)
 
 	case *mql.Modify:
-		return e.execModify(s)
+		return e.execModify(s, ctx.tr)
 
 	case *mql.Connect:
 		return e.execConnect(s.From, s.To, s.Via, true)
@@ -523,10 +644,12 @@ func okResult(err error, msg string) (*Result, error) {
 	return &Result{Kind: "ok", Message: msg}, nil
 }
 
-func (e *Engine) execInsert(s *mql.Insert) (*Result, error) {
+func (e *Engine) execInsert(s *mql.Insert, tr *obs.Trace) (*Result, error) {
 	if err := e.ensureResolved(); err != nil {
 		return nil, err
 	}
+	sp := e.applySpan(tr)
+	defer e.endApplySpan(sp)
 	res := &Result{Kind: "inserted"}
 	for _, row := range s.Rows {
 		values := map[string]atom.Value{}
@@ -586,17 +709,42 @@ func (e *Engine) prepareModify(s *mql.Modify, cfg planConfig) (*cachedDML, error
 	return &cachedDML{kind: "modify", plan: plan, changes: changes}, nil
 }
 
-// runDML executes a prepared DELETE or MODIFY.
-func (e *Engine) runDML(c *cachedDML) (*Result, error) {
-	cur, err := c.plan.Open()
+// applySpan opens the "apply" span of a mutating statement and installs it
+// as the write-ahead log's byte-attribution sink; endApplySpan removes the
+// sink and closes the span. Both are nil-safe for untraced requests.
+func (e *Engine) applySpan(tr *obs.Trace) *obs.Span {
+	sp := tr.Root().Child("apply")
+	if sp != nil {
+		e.sys.SetWALTraceSink(sp)
+	}
+	return sp
+}
+
+func (e *Engine) endApplySpan(sp *obs.Span) {
+	if sp != nil {
+		e.sys.SetWALTraceSink(nil)
+		sp.End()
+	}
+}
+
+// runDML executes a prepared DELETE or MODIFY. The qualification read runs
+// under an "assemble" span like a SELECT; the mutations run under "apply".
+func (e *Engine) runDML(c *cachedDML, tr *obs.Trace) (*Result, error) {
+	asp := tr.Root().Child("assemble")
+	annotatePlanSpan(asp, c.plan)
+	cur, err := c.plan.openTraced(nil, asp)
 	if err != nil {
+		asp.End()
 		return nil, err
 	}
 	defer cur.Close()
 	mols, err := cur.Collect()
+	asp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp := e.applySpan(tr)
+	defer e.endApplySpan(sp)
 	if c.kind == "delete" {
 		deleted := map[addr.LogicalAddr]bool{}
 		for _, m := range mols {
@@ -625,20 +773,20 @@ func (e *Engine) runDML(c *cachedDML) (*Result, error) {
 // execDelete deletes all component atoms of every qualified molecule
 // ("removal of single components as well as of whole component sets,
 // thereby automatically disconnecting these parts").
-func (e *Engine) execDelete(s *mql.Delete) (*Result, error) {
+func (e *Engine) execDelete(s *mql.Delete, tr *obs.Trace) (*Result, error) {
 	c, err := e.prepareDelete(s, e.planConfig())
 	if err != nil {
 		return nil, err
 	}
-	return e.runDML(c)
+	return e.runDML(c, tr)
 }
 
-func (e *Engine) execModify(s *mql.Modify) (*Result, error) {
+func (e *Engine) execModify(s *mql.Modify, tr *obs.Trace) (*Result, error) {
 	c, err := e.prepareModify(s, e.planConfig())
 	if err != nil {
 		return nil, err
 	}
-	return e.runDML(c)
+	return e.runDML(c, tr)
 }
 
 func (e *Engine) execConnect(from, to mql.Expr, via string, connect bool) (*Result, error) {

@@ -68,6 +68,13 @@ type Config struct {
 	FaultResetProb   float64
 	// Seed makes the op mix and fault schedule reproducible (default 1).
 	Seed int64
+	// SlowQuery arms the in-process server's slow-query tracing (default
+	// 20ms, negative = off): every request is traced — so every response
+	// carries a trace ID the report's worst-op lines can quote — but only
+	// requests at least this slow are retained in the server's slow ring.
+	// Ignored when Addr points at a remote server; that server's own
+	// tracing flags decide.
+	SlowQuery time.Duration
 	// Out receives periodic and final reports (nil = io.Discard).
 	Out io.Writer
 }
@@ -85,6 +92,11 @@ func (c *Config) fill() {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.SlowQuery == 0 {
+		c.SlowQuery = 20 * time.Millisecond
+	} else if c.SlowQuery < 0 {
+		c.SlowQuery = 0
+	}
 	if c.Out == nil {
 		c.Out = io.Discard
 	}
@@ -95,6 +107,11 @@ type ClassStats struct {
 	Ops    uint64
 	Errors uint64
 	Hist   obs.HistSnapshot
+	// Worst is the class's worst client-observed latency; WorstTrace is the
+	// server trace ID of that op (empty when the server did not trace it),
+	// the key to look its span tree up in /debug/slow or the slow wire op.
+	Worst      time.Duration
+	WorstTrace string
 }
 
 // Report is the final outcome of a run.
@@ -134,6 +151,25 @@ type harness struct {
 	hists map[string]*obs.Histogram
 	ops   map[string]*obs.Counter
 	errs  map[string]*obs.Counter
+
+	// worst tracks the slowest successful op per class and its server trace
+	// ID, for the final report's worst-op lines.
+	worstMu sync.Mutex
+	worst   map[string]worstOp
+}
+
+type worstOp struct {
+	dur     time.Duration
+	traceID string
+}
+
+// noteWorst records an op as the class's worst when it is.
+func (h *harness) noteWorst(class string, d time.Duration, traceID string) {
+	h.worstMu.Lock()
+	if d > h.worst[class].dur {
+		h.worst[class] = worstOp{dur: d, traceID: traceID}
+	}
+	h.worstMu.Unlock()
 }
 
 // Run executes one harness run and returns the final report. The run itself
@@ -146,6 +182,7 @@ func Run(cfg Config) (*Report, error) {
 		hists: map[string]*obs.Histogram{},
 		ops:   map[string]*obs.Counter{},
 		errs:  map[string]*obs.Counter{},
+		worst: map[string]worstOp{},
 	}
 	for _, cl := range classes {
 		h.hists[cl] = h.reg.Histogram("load_" + cl + "_ns")
@@ -156,7 +193,8 @@ func Run(cfg Config) (*Report, error) {
 	addr := cfg.Addr
 	var shutdown func()
 	if addr == "" {
-		db, err := prima.Open(prima.Config{Dir: cfg.Dir, WAL: !cfg.NoWAL})
+		db, err := prima.Open(prima.Config{Dir: cfg.Dir, WAL: !cfg.NoWAL,
+			SlowQueryThreshold: cfg.SlowQuery})
 		if err != nil {
 			return nil, fmt.Errorf("load: open db: %w", err)
 		}
@@ -259,6 +297,9 @@ func Run(cfg Config) (*Report, error) {
 			Errors: h.errs[cl].Value(),
 			Hist:   h.hists[cl].Snapshot(),
 		}
+		if wo := h.worst[cl]; wo.dur > 0 {
+			cs.Worst, cs.WorstTrace = wo.dur, wo.traceID
+		}
 		rep.Classes[cl] = cs
 		rep.TotalOps += cs.Ops
 	}
@@ -315,39 +356,45 @@ func (h *harness) drive(w *worker, deadline time.Time) {
 		r := w.rng.Intn(total)
 		switch {
 		case r < h.cfg.InsertW:
-			h.timed(ClassInsert, func() error { return w.insert() })
+			h.timed(ClassInsert, w.insert)
 		case r < h.cfg.InsertW+h.cfg.QueryW:
-			h.timed(ClassQuery, func() error { return w.query() })
+			h.timed(ClassQuery, w.query)
 		case r < h.cfg.InsertW+h.cfg.QueryW+h.cfg.CheckoutW:
-			h.timed(ClassCheckout, func() error { return w.checkout() })
+			h.timed(ClassCheckout, w.checkout)
 		default:
-			h.timed(ClassCheckin, func() error { return w.checkin() })
+			h.timed(ClassCheckin, w.checkin)
 		}
 	}
 }
 
-// timed runs one op, observing latency on success and counting errors.
-func (h *harness) timed(class string, op func() error) {
+// timed runs one op, observing latency on success and counting errors. Each
+// op returns the server trace ID of its round trip (empty when untraced) so
+// the class's worst op can be looked up in the server's slow-query ring.
+func (h *harness) timed(class string, op func() (string, error)) {
 	t0 := time.Now()
-	if err := op(); err != nil {
+	traceID, err := op()
+	if err != nil {
 		h.errs[class].Inc()
 		return
 	}
-	h.hists[class].ObserveSince(t0)
+	el := time.Since(t0)
+	h.hists[class].Observe(el.Nanoseconds())
 	h.ops[class].Inc()
+	h.noteWorst(class, el, traceID)
 }
 
-func (w *worker) insert() error {
+func (w *worker) insert() (string, error) {
 	serial := w.base + w.next
 	// The serial is burned whether or not the INSERT is acknowledged: an
 	// unacknowledged attempt may still have landed, and reusing its serial
 	// would make the verification set ambiguous.
 	w.next++
-	if _, err := w.c.Exec(fmt.Sprintf("INSERT INTO part (serial, grade) VALUES (%d, 0)", serial)); err != nil {
-		return err
+	resp, err := w.c.Exec(fmt.Sprintf("INSERT INTO part (serial, grade) VALUES (%d, 0)", serial))
+	if err != nil {
+		return "", err
 	}
 	w.acked = append(w.acked, serial)
-	return nil
+	return resp.TraceID, nil
 }
 
 // pickSerial returns a previously acknowledged serial, or the range base
@@ -359,39 +406,45 @@ func (w *worker) pickSerial() int64 {
 	return w.acked[w.rng.Intn(len(w.acked))]
 }
 
-func (w *worker) query() error {
-	_, err := w.c.Exec(fmt.Sprintf("SELECT ALL FROM part WHERE serial = %d", w.pickSerial()))
-	return err
+func (w *worker) query() (string, error) {
+	resp, err := w.c.Exec(fmt.Sprintf("SELECT ALL FROM part WHERE serial = %d", w.pickSerial()))
+	if err != nil {
+		return "", err
+	}
+	return resp.TraceID, nil
 }
 
-func (w *worker) checkout() error {
-	mols, err := w.c.Checkout(fmt.Sprintf("SELECT ALL FROM part WHERE serial = %d", w.pickSerial()))
+func (w *worker) checkout() (string, error) {
+	mols, traceID, err := w.c.CheckoutTraced(fmt.Sprintf("SELECT ALL FROM part WHERE serial = %d", w.pickSerial()))
 	if err != nil {
-		return err
+		return "", err
 	}
 	if len(mols) > 0 && len(mols[0].Atoms) > 0 {
 		w.last = mols[0].Atoms[0].Addr
 	}
-	return nil
+	return traceID, nil
 }
 
-func (w *worker) checkin() error {
+func (w *worker) checkin() (string, error) {
 	if _, ok := w.c.Local(w.last); !ok {
 		// Nothing in the object buffer (first op, or the last checkin
 		// consumed it): check a molecule out first, like an application
 		// session would.
-		if err := w.checkout(); err != nil {
-			return err
+		if _, err := w.checkout(); err != nil {
+			return "", err
 		}
 		if _, ok := w.c.Local(w.last); !ok {
-			return nil // nothing inserted yet anywhere in this client's range
+			return "", nil // nothing inserted yet anywhere in this client's range
 		}
 	}
 	if err := w.c.StageModify("part", w.last, "grade", strconv.Itoa(w.rng.Intn(10))); err != nil {
-		return err
+		return "", err
 	}
-	_, err := w.c.Checkin()
-	return err
+	resp, err := w.c.Checkin()
+	if err != nil {
+		return "", err
+	}
+	return resp.TraceID, nil
 }
 
 // verifyRange checks that every serial the worker's INSERTs acknowledged is
@@ -478,11 +531,16 @@ func (r *Report) Print(out io.Writer) {
 	fmt.Fprintf(out, "total: %d ops, %.0f ops/s, %d retries, %d reconnects\n",
 		r.TotalOps, r.OpsPerSec, r.Retries, r.Reconnects)
 	fmt.Fprintf(out, "writes: %d acknowledged, %d lost\n", r.AckedWrites, r.LostWrites)
-	fmt.Fprintf(out, "%-10s %10s %8s %10s %10s %10s\n", "class", "ops", "errs", "p50", "p99", "p999")
+	fmt.Fprintf(out, "%-10s %10s %8s %10s %10s %10s %10s  %s\n", "class", "ops", "errs", "p50", "p99", "p999", "worst", "worst trace")
 	for _, cl := range classes {
 		cs := r.Classes[cl]
-		fmt.Fprintf(out, "%-10s %10d %8d %10s %10s %10s\n",
-			cl, cs.Ops, cs.Errors, fmtNs(cs.Hist.P50), fmtNs(cs.Hist.P99), fmtNs(cs.Hist.P999))
+		trace := cs.WorstTrace
+		if trace == "" {
+			trace = "-"
+		}
+		fmt.Fprintf(out, "%-10s %10d %8d %10s %10s %10s %10s  %s\n",
+			cl, cs.Ops, cs.Errors, fmtNs(cs.Hist.P50), fmtNs(cs.Hist.P99), fmtNs(cs.Hist.P999),
+			fmtNs(float64(cs.Worst.Nanoseconds())), trace)
 	}
 	if r.ServerMetrics != nil {
 		fmt.Fprintf(out, "server stages:\n")

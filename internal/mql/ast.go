@@ -101,6 +101,14 @@ type Select struct {
 	Where Expr
 }
 
+// Explain is EXPLAIN [ANALYZE] <select>: render the query's plan without
+// executing it, or (ANALYZE) execute it and annotate the plan with actual
+// stage timings, atom counts and cache ratios.
+type Explain struct {
+	Analyze bool
+	Query   *Select
+}
+
 // SelectItem is one projection item: an attribute name, a type name (whole
 // atoms), type.attr, or a qualified projection `type := SELECT ... `.
 type SelectItem struct {
@@ -172,6 +180,7 @@ func (*Connect) stmt()            {}
 func (*Disconnect) stmt()         {}
 func (*CheckIntegrity) stmt()     {}
 func (*PropagateDeferred) stmt()  {}
+func (*Explain) stmt()            {}
 
 // --- expressions ---------------------------------------------------------------
 

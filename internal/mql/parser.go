@@ -150,6 +150,22 @@ func (p *parser) statement() (Stmt, error) {
 			p.advance()
 		}
 		return &PropagateDeferred{}, nil
+	case "EXPLAIN":
+		p.advance()
+		out := &Explain{}
+		if p.atKeyword("ANALYZE") {
+			p.advance()
+			out.Analyze = true
+		}
+		if !p.atKeyword("SELECT") {
+			return nil, p.errf("EXPLAIN expects a SELECT statement, got %q", p.peek().text)
+		}
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		out.Query = sel
+		return out, nil
 	default:
 		return nil, p.errf("unexpected keyword %s", t.text)
 	}

@@ -126,4 +126,5 @@ var keywords = map[string]bool{
 	"PARTITION": true, "ATOM_CLUSTER": true, "ON": true, "USING": true,
 	"BTREE": true, "GRID": true, "ASC": true, "DESC": true,
 	"CHECK": true, "INTEGRITY": true, "PROPAGATE": true, "DEFERRED": true,
+	"EXPLAIN": true, "ANALYZE": true,
 }

@@ -81,24 +81,24 @@ func (h *Histogram) ObserveSince(t0 time.Time) {
 	h.Observe(time.Since(t0).Nanoseconds())
 }
 
-// Span times one stage: obtain it with Start, call End when the stage
-// finishes. The zero Span (and any Span over a nil histogram) is a no-op,
+// HistSpan times one stage: obtain it with Start, call End when the stage
+// finishes. The zero HistSpan (and any HistSpan over a nil histogram) is a no-op,
 // so call sites need no wiring guards.
-type Span struct {
+type HistSpan struct {
 	h  *Histogram
 	t0 time.Time
 }
 
 // Start begins timing a stage against h.
-func Start(h *Histogram) Span {
+func Start(h *Histogram) HistSpan {
 	if h == nil {
-		return Span{}
+		return HistSpan{}
 	}
-	return Span{h: h, t0: time.Now()}
+	return HistSpan{h: h, t0: time.Now()}
 }
 
-// End records the elapsed time. Safe to call on the zero Span.
-func (s Span) End() {
+// End records the elapsed time. Safe to call on the zero HistSpan.
+func (s HistSpan) End() {
 	if s.h != nil {
 		s.h.Observe(time.Since(s.t0).Nanoseconds())
 	}

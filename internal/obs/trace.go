@@ -1,0 +1,486 @@
+// Request tracing: a Trace is one request's tree of timed Spans, each span
+// carrying counters for the work it covered (atoms decoded, pages pinned,
+// cache hits, WAL bytes). Aggregate metrics (obs.go) say *that* p99 moved;
+// a trace says *which query, which plan, which stage*.
+//
+// The design goals mirror the metrics core:
+//
+//   - Dependency-free and nil-safe: every method on *Tracer, *Trace and
+//     *Span no-ops on a nil receiver, so a disabled call site costs one
+//     branch and instrumentation never needs guards.
+//   - Lock-cheap on the hot path: span counters are atomic adds (parallel
+//     assembly workers update the same span concurrently); completed traces
+//     land in rings of atomic pointers, never under a lock held during
+//     request work.
+//
+// Retention is decided when a trace finishes: head-sampled traces (1-in-N
+// at Begin) go to the recent ring; traces over the slow threshold go to the
+// slow ring and emit one structured log line. When a slow threshold is set,
+// every request is traced — the cost is bounded and the decision whether to
+// keep the trace needs the final latency anyway.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span counter indices. Plan facts that are not additive (access kind,
+// plan-cache outcome, pushdown shape) travel as string attributes instead.
+const (
+	CtrAtomsDecoded = iota // atoms decoded from storage records
+	CtrPagesPinned         // distinct pages touched by record reads
+	CtrCacheHits           // atom-cache hits
+	CtrCacheMisses         // atom-cache misses
+	CtrWALBytes            // undo+redo bytes appended to the write-ahead log
+	CtrAtoms               // atoms emitted in result molecules
+	CtrMolecules           // molecules emitted
+	CtrDecodeNs            // wall nanoseconds spent in batched read+decode
+	numCounters
+)
+
+// ctrNames maps counter indices to their snapshot keys.
+var ctrNames = [numCounters]string{
+	"atoms_decoded", "pages_pinned", "cache_hits", "cache_misses",
+	"wal_bytes", "atoms", "molecules", "decode_ns",
+}
+
+// TracerConfig sets the knobs a Tracer starts with; all of them can be
+// adjusted live via the Set methods.
+type TracerConfig struct {
+	// SampleRate keeps roughly 1-in-N traces in the recent ring (0 = no
+	// head sampling).
+	SampleRate int
+	// SlowThreshold retains every trace at least this slow in the slow
+	// ring (0 = no slow-query log). Setting it traces every request.
+	SlowThreshold time.Duration
+	// RingSize and SlowRingSize bound the two rings (defaults 64 / 64).
+	RingSize     int
+	SlowRingSize int
+	// Logf, when set, receives one structured line per slow query.
+	Logf func(format string, args ...any)
+}
+
+// Tracer decides which requests to trace and retains completed traces.
+// A nil Tracer is valid and never traces.
+type Tracer struct {
+	sampleRate atomic.Int64 // head sampling: keep 1-in-N (0 = off)
+	slowNs     atomic.Int64 // retain traces at least this slow (0 = off)
+	seq        atomic.Uint64
+	epoch      int64 // process-start reference for trace ids
+	recent     traceRing
+	slow       traceRing
+
+	mu   sync.Mutex
+	logf func(format string, args ...any)
+}
+
+// NewTracer builds a tracer from cfg.
+func NewTracer(cfg TracerConfig) *Tracer {
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 64
+	}
+	if cfg.SlowRingSize <= 0 {
+		cfg.SlowRingSize = 64
+	}
+	t := &Tracer{epoch: time.Now().UnixNano()}
+	t.recent.init(cfg.RingSize)
+	t.slow.init(cfg.SlowRingSize)
+	t.sampleRate.Store(int64(cfg.SampleRate))
+	t.slowNs.Store(int64(cfg.SlowThreshold))
+	t.logf = cfg.Logf
+	return t
+}
+
+// SetSampleRate changes the head-sampling rate (1-in-n; 0 disables).
+func (t *Tracer) SetSampleRate(n int) {
+	if t == nil {
+		return
+	}
+	t.sampleRate.Store(int64(n))
+}
+
+// SetSlowThreshold changes the slow-query threshold (0 disables).
+func (t *Tracer) SetSlowThreshold(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.slowNs.Store(int64(d))
+}
+
+// SlowThreshold returns the current slow-query threshold.
+func (t *Tracer) SlowThreshold() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.slowNs.Load())
+}
+
+// Enabled reports whether Begin can currently return a non-nil trace.
+func (t *Tracer) Enabled() bool {
+	return t != nil && (t.sampleRate.Load() > 0 || t.slowNs.Load() > 0)
+}
+
+// Begin starts a trace named name, or returns nil when tracing is off —
+// the nil flows through every instrumentation site as a no-op. The head
+// sampling decision is taken here; slow retention is decided at Finish.
+func (t *Tracer) Begin(name string) *Trace {
+	if t == nil {
+		return nil
+	}
+	rate := t.sampleRate.Load()
+	slow := t.slowNs.Load()
+	if rate <= 0 && slow <= 0 {
+		return nil
+	}
+	n := t.seq.Add(1)
+	sampled := rate > 0 && n%uint64(rate) == 0
+	if !sampled && slow <= 0 {
+		return nil
+	}
+	return t.begin(name, n, sampled)
+}
+
+// BeginForced starts a trace regardless of sampling. Used by EXPLAIN
+// ANALYZE, which needs the span tree for exactly one execution. Forced
+// traces skip the recent ring (they were not sampled) but still hit the
+// slow ring if over threshold. Safe on a nil tracer (returns a detached
+// trace that is never retained).
+func (t *Tracer) BeginForced(name string) *Trace {
+	if t == nil {
+		return (&Tracer{epoch: time.Now().UnixNano()}).BeginForced(name)
+	}
+	return t.begin(name, t.seq.Add(1), false)
+}
+
+func (t *Tracer) begin(name string, n uint64, sampled bool) *Trace {
+	tr := &Trace{
+		tracer:  t,
+		id:      fmt.Sprintf("%x-%x", uint64(t.epoch)&0xffffffff, n),
+		sampled: sampled,
+		start:   time.Now(),
+	}
+	tr.root = &Span{trace: tr, name: name, start: tr.start}
+	return tr
+}
+
+// Recent returns the head-sampled traces, newest first.
+func (t *Tracer) Recent() []*TraceSnapshot {
+	if t == nil {
+		return nil
+	}
+	return t.recent.snapshot()
+}
+
+// Slow returns the over-threshold traces, newest first.
+func (t *Tracer) Slow() []*TraceSnapshot {
+	if t == nil {
+		return nil
+	}
+	return t.slow.snapshot()
+}
+
+// Trace is one request's span tree. All methods are safe on a nil receiver.
+type Trace struct {
+	tracer  *Tracer
+	id      string
+	sampled bool
+	start   time.Time
+	root    *Span
+	fin     atomic.Bool
+}
+
+// ID returns the trace id ("" on nil), echoed to clients for correlation.
+func (tr *Trace) ID() string {
+	if tr == nil {
+		return ""
+	}
+	return tr.id
+}
+
+// Root returns the root span.
+func (tr *Trace) Root() *Span {
+	if tr == nil {
+		return nil
+	}
+	return tr.root
+}
+
+// SetAttr sets a root-span attribute; convenience for request-level facts
+// (the MQL text, the wire op).
+func (tr *Trace) SetAttr(k, v string) { tr.Root().SetAttr(k, v) }
+
+// Finish ends the root span, snapshots the trace, and applies retention:
+// sampled traces go to the recent ring; traces at or over the slow
+// threshold go to the slow ring and emit one log line. Returns the
+// snapshot (nil on a nil trace) so callers like EXPLAIN ANALYZE can render
+// it directly. Finishing twice is a no-op returning nil.
+func (tr *Trace) Finish() *TraceSnapshot {
+	if tr == nil || !tr.fin.CompareAndSwap(false, true) {
+		return nil
+	}
+	tr.root.End()
+	snap := tr.snapshot()
+	t := tr.tracer
+	if t == nil {
+		return snap
+	}
+	if tr.sampled {
+		t.recent.push(snap)
+	}
+	if slow := t.slowNs.Load(); slow > 0 && snap.DurationNs >= slow {
+		t.slow.push(snap)
+		t.mu.Lock()
+		logf := t.logf
+		t.mu.Unlock()
+		if logf != nil {
+			logf("slow-query trace=%s dur=%s name=%s attrs=%v",
+				snap.ID, time.Duration(snap.DurationNs), snap.Root.Name, snap.Root.Attrs)
+		}
+	}
+	return snap
+}
+
+func (tr *Trace) snapshot() *TraceSnapshot {
+	root := tr.root.snapshot(tr.start)
+	return &TraceSnapshot{
+		ID:         tr.id,
+		Start:      tr.start,
+		DurationNs: root.DurationNs,
+		Root:       root,
+	}
+}
+
+// Span is one timed stage of a trace. Counter updates are atomic adds, so
+// parallel assembly workers may share a span. Child creation and attribute
+// writes take the span's mutex (they are rare relative to counter updates).
+type Span struct {
+	trace *Trace
+	name  string
+	start time.Time
+	durNs atomic.Int64 // 0 while open
+	ctrs  [numCounters]atomic.Int64
+
+	mu       sync.Mutex
+	attrs    []spanAttr
+	children []*Span
+}
+
+type spanAttr struct{ k, v string }
+
+// Child starts a nested span. Nil-safe: a nil parent yields a nil child.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{trace: s.trace, name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span. Ending twice keeps the first duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.durNs.CompareAndSwap(0, int64(time.Since(s.start))|1)
+}
+
+// SetAttr records a non-additive fact on the span (access kind, plan-cache
+// outcome, pushdown shape). Later writes to the same key win.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for i := range s.attrs {
+		if s.attrs[i].k == k {
+			s.attrs[i].v = v
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.attrs = append(s.attrs, spanAttr{k, v})
+	s.mu.Unlock()
+}
+
+// Add bumps one of the span counters (Ctr* indices) by n.
+func (s *Span) Add(ctr int, n int64) {
+	if s == nil || ctr < 0 || ctr >= numCounters {
+		return
+	}
+	s.ctrs[ctr].Add(n)
+}
+
+// Count returns the current value of one counter.
+func (s *Span) Count(ctr int) int64 {
+	if s == nil || ctr < 0 || ctr >= numCounters {
+		return 0
+	}
+	return s.ctrs[ctr].Load()
+}
+
+func (s *Span) snapshot(traceStart time.Time) SpanSnapshot {
+	dur := s.durNs.Load()
+	if dur == 0 { // still open: snapshot at "now"
+		dur = int64(time.Since(s.start)) | 1
+	}
+	sn := SpanSnapshot{
+		Name:       s.name,
+		StartNs:    int64(s.start.Sub(traceStart)),
+		DurationNs: dur &^ 1,
+	}
+	s.mu.Lock()
+	attrs := make([]spanAttr, len(s.attrs))
+	copy(attrs, s.attrs)
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+	if len(attrs) > 0 {
+		sn.Attrs = make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			sn.Attrs[a.k] = a.v
+		}
+	}
+	for i := 0; i < numCounters; i++ {
+		if v := s.ctrs[i].Load(); v != 0 {
+			if sn.Counters == nil {
+				sn.Counters = map[string]int64{}
+			}
+			sn.Counters[ctrNames[i]] = v
+		}
+	}
+	for _, c := range children {
+		sn.Children = append(sn.Children, c.snapshot(traceStart))
+	}
+	return sn
+}
+
+// TraceSnapshot is a completed, immutable trace — what the rings hold and
+// what the wire op and /debug pages serialize.
+type TraceSnapshot struct {
+	ID         string       `json:"id"`
+	Start      time.Time    `json:"start"`
+	DurationNs int64        `json:"duration_ns"`
+	Root       SpanSnapshot `json:"root"`
+}
+
+// SpanSnapshot is one node of a snapshot's span tree. StartNs is the offset
+// from the trace start.
+type SpanSnapshot struct {
+	Name       string            `json:"name"`
+	StartNs    int64             `json:"start_ns"`
+	DurationNs int64             `json:"duration_ns"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Counters   map[string]int64  `json:"counters,omitempty"`
+	Children   []SpanSnapshot    `json:"children,omitempty"`
+}
+
+// Find returns the first span named name in pre-order, or nil.
+func (ts *TraceSnapshot) Find(name string) *SpanSnapshot {
+	if ts == nil {
+		return nil
+	}
+	return ts.Root.find(name)
+}
+
+func (sn *SpanSnapshot) find(name string) *SpanSnapshot {
+	if sn.Name == name {
+		return sn
+	}
+	for i := range sn.Children {
+		if f := sn.Children[i].find(name); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// Render writes the span tree as indented text:
+//
+//	trace 1a2b-3 dur=1.2ms
+//	  exec dur=1.1ms [kind=pathrange cached=miss] atoms_decoded=120
+//	    parse dur=40µs
+//	    ...
+func (ts *TraceSnapshot) Render(w *strings.Builder) {
+	if ts == nil {
+		return
+	}
+	fmt.Fprintf(w, "trace %s start=%s dur=%s\n",
+		ts.ID, ts.Start.Format(time.RFC3339Nano), time.Duration(ts.DurationNs))
+	ts.Root.render(w, 1)
+}
+
+// String renders the snapshot to a string.
+func (ts *TraceSnapshot) String() string {
+	var b strings.Builder
+	ts.Render(&b)
+	return b.String()
+}
+
+func (sn *SpanSnapshot) render(w *strings.Builder, depth int) {
+	fmt.Fprintf(w, "%s%s dur=%s", strings.Repeat("  ", depth), sn.Name, time.Duration(sn.DurationNs))
+	if len(sn.Attrs) > 0 {
+		keys := sortedKeys(sn.Attrs)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = k + "=" + sn.Attrs[k]
+		}
+		fmt.Fprintf(w, " [%s]", strings.Join(parts, " "))
+	}
+	if len(sn.Counters) > 0 {
+		keys := sortedKeys(sn.Counters)
+		for _, k := range keys {
+			fmt.Fprintf(w, " %s=%d", k, sn.Counters[k])
+		}
+	}
+	w.WriteByte('\n')
+	for i := range sn.Children {
+		sn.Children[i].render(w, depth+1)
+	}
+}
+
+// MarshalJSON keeps TraceSnapshot directly serializable for the wire op
+// and the /debug endpoints (standard struct marshaling; declared so the
+// intent survives refactors).
+func (ts *TraceSnapshot) MarshalJSON() ([]byte, error) {
+	type alias TraceSnapshot
+	return json.Marshal((*alias)(ts))
+}
+
+// traceRing is a fixed-size ring of completed traces. Writers claim a slot
+// with one atomic add and publish with one atomic store; readers load each
+// slot atomically. No locks, no allocation beyond the snapshot itself.
+type traceRing struct {
+	slots []atomic.Pointer[TraceSnapshot]
+	next  atomic.Uint64
+}
+
+func (r *traceRing) init(n int) { r.slots = make([]atomic.Pointer[TraceSnapshot], n) }
+
+func (r *traceRing) push(ts *TraceSnapshot) {
+	if len(r.slots) == 0 {
+		return
+	}
+	i := (r.next.Add(1) - 1) % uint64(len(r.slots))
+	r.slots[i].Store(ts)
+}
+
+// snapshot returns the retained traces, newest first.
+func (r *traceRing) snapshot() []*TraceSnapshot {
+	out := make([]*TraceSnapshot, 0, len(r.slots))
+	for i := range r.slots {
+		if ts := r.slots[i].Load(); ts != nil {
+			out = append(out, ts)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	return out
+}

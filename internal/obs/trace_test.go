@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	trace := tr.Begin("x")
+	if trace != nil {
+		t.Fatal("nil tracer began a trace")
+	}
+	// Every instrumentation call must no-op on the nil chain.
+	trace.SetAttr("k", "v")
+	sp := trace.Root().Child("stage")
+	sp.Add(CtrAtomsDecoded, 5)
+	sp.SetAttr("kind", "scan")
+	sp.End()
+	if got := sp.Count(CtrAtomsDecoded); got != 0 {
+		t.Fatalf("nil span counted %d", got)
+	}
+	if id := trace.ID(); id != "" {
+		t.Fatalf("nil trace id %q", id)
+	}
+	if snap := trace.Finish(); snap != nil {
+		t.Fatal("nil trace produced a snapshot")
+	}
+	if tr.Recent() != nil || tr.Slow() != nil {
+		t.Fatal("nil tracer retained traces")
+	}
+	tr.SetSampleRate(10)
+	tr.SetSlowThreshold(time.Second)
+}
+
+func TestTraceDisabledTracerBeginsNothing(t *testing.T) {
+	tr := NewTracer(TracerConfig{})
+	if tr.Enabled() {
+		t.Fatal("zero-config tracer enabled")
+	}
+	if trace := tr.Begin("q"); trace != nil {
+		t.Fatal("disabled tracer began a trace")
+	}
+}
+
+func TestTraceSamplingRetention(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 4, RingSize: 64})
+	for i := 0; i < 16; i++ {
+		tr.Begin("q").Finish()
+	}
+	got := len(tr.Recent())
+	if got != 4 {
+		t.Fatalf("1-in-4 sampling over 16 requests kept %d traces, want 4", got)
+	}
+	if n := len(tr.Slow()); n != 0 {
+		t.Fatalf("no slow threshold but %d slow traces", n)
+	}
+}
+
+func TestTraceSlowRetention(t *testing.T) {
+	var logged []string
+	var mu sync.Mutex
+	tr := NewTracer(TracerConfig{
+		SlowThreshold: time.Microsecond,
+		Logf: func(f string, args ...any) {
+			mu.Lock()
+			logged = append(logged, f)
+			mu.Unlock()
+		},
+	})
+	trace := tr.Begin("slow-one")
+	if trace == nil {
+		t.Fatal("slow threshold set but Begin returned nil")
+	}
+	trace.SetAttr("mql", "SELECT ALL FROM x")
+	sp := trace.Root().Child("assemble")
+	sp.Add(CtrAtomsDecoded, 7)
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	snap := trace.Finish()
+	if snap == nil || snap.DurationNs < int64(time.Microsecond) {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	slow := tr.Slow()
+	if len(slow) != 1 || slow[0].ID != trace.ID() {
+		t.Fatalf("slow ring %v, want the finished trace", slow)
+	}
+	if len(tr.Recent()) != 0 {
+		t.Fatal("unsampled trace leaked into recent ring")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(logged) != 1 {
+		t.Fatalf("slow query logged %d times", len(logged))
+	}
+	// The span tree must carry the child and its counter.
+	asm := snap.Find("assemble")
+	if asm == nil || asm.Counters["atoms_decoded"] != 7 {
+		t.Fatalf("assemble span %+v", asm)
+	}
+	if !strings.Contains(snap.String(), "atoms_decoded=7") {
+		t.Fatalf("render missing counter:\n%s", snap.String())
+	}
+}
+
+func TestTraceFinishIdempotent(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 1})
+	trace := tr.Begin("q")
+	if trace.Finish() == nil {
+		t.Fatal("first finish returned nil")
+	}
+	if trace.Finish() != nil {
+		t.Fatal("second finish returned a snapshot")
+	}
+	if n := len(tr.Recent()); n != 1 {
+		t.Fatalf("double finish retained %d traces", n)
+	}
+}
+
+func TestBeginForced(t *testing.T) {
+	tr := NewTracer(TracerConfig{}) // fully disabled
+	trace := tr.BeginForced("analyze")
+	if trace == nil {
+		t.Fatal("forced begin returned nil")
+	}
+	if snap := trace.Finish(); snap == nil {
+		t.Fatal("forced trace produced no snapshot")
+	}
+	if n := len(tr.Recent()); n != 0 {
+		t.Fatalf("forced trace leaked into recent ring (%d)", n)
+	}
+	var nilTr *Tracer
+	if nilTr.BeginForced("x").Finish() == nil {
+		t.Fatal("forced begin on nil tracer lost the snapshot")
+	}
+}
+
+// TestTraceHammer exercises the sampler, both rings, and concurrent span
+// counter updates under -race: many goroutines begin/annotate/finish traces
+// while readers snapshot the rings.
+func TestTraceHammer(t *testing.T) {
+	tr := NewTracer(TracerConfig{
+		SampleRate:    3,
+		SlowThreshold: time.Nanosecond, // everything is "slow": maximal ring churn
+		RingSize:      8,
+		SlowRingSize:  8,
+		Logf:          func(string, ...any) {},
+	})
+	const writers, readers, perWriter = 8, 4, 200
+	stop := make(chan struct{})
+	var readerWG, writerWG sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, ts := range tr.Slow() {
+					_ = ts.String() // walk the whole tree
+				}
+				_ = tr.Recent()
+			}
+		}()
+	}
+	for i := 0; i < writers; i++ {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for j := 0; j < perWriter; j++ {
+				trace := tr.Begin("hammer")
+				sp := trace.Root().Child("stage")
+				var inner sync.WaitGroup
+				for k := 0; k < 4; k++ { // parallel workers sharing one span
+					inner.Add(1)
+					go func() {
+						defer inner.Done()
+						sp.Add(CtrAtomsDecoded, 1)
+						sp.Add(CtrCacheHits, 2)
+						sp.SetAttr("kind", "scan")
+					}()
+				}
+				inner.Wait()
+				sp.End()
+				trace.Finish()
+			}
+		}()
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	if n := len(tr.Slow()); n == 0 || n > 8 {
+		t.Fatalf("slow ring holds %d traces, want 1..8", n)
+	}
+	for _, ts := range tr.Slow() {
+		st := ts.Find("stage")
+		if st == nil {
+			t.Fatalf("trace %s missing stage span", ts.ID)
+		}
+		if st.Counters["atoms_decoded"] != 4 || st.Counters["cache_hits"] != 8 {
+			t.Fatalf("stage counters %v, want atoms_decoded=4 cache_hits=8", st.Counters)
+		}
+	}
+}
+
+func TestTraceRingOverwrite(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 1, RingSize: 4})
+	for i := 0; i < 10; i++ {
+		tr.Begin("q").Finish()
+	}
+	got := tr.Recent()
+	if len(got) != 4 {
+		t.Fatalf("ring of 4 holds %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Start.After(got[i-1].Start) {
+			t.Fatal("recent traces not newest-first")
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// TraceHandler returns an http.Handler serving retained traces from src
+// (newest first): indented span-tree text by default, structured JSON with
+// ?format=json, at most ?n=K traces. primad mounts it at /debug/slow (the
+// slow-query ring) and /debug/traces (the sampled recent ring).
+func TraceHandler(src func() []*TraceSnapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		traces := src()
+		if n, err := strconv.Atoi(req.URL.Query().Get("n")); err == nil && n > 0 && n < len(traces) {
+			traces = traces[:n]
+		}
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(traces)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if len(traces) == 0 {
+			fmt.Fprintln(w, "no traces retained")
+			return
+		}
+		for i, t := range traces {
+			if i > 0 {
+				fmt.Fprintln(w)
+			}
+			fmt.Fprint(w, t.String())
+		}
+	})
+}

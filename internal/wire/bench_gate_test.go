@@ -25,6 +25,9 @@ var gatedBenchmarks = map[string]func(b *testing.B){
 	// Wall-clock only: the insert path's allocation count varies with
 	// B-tree splits and map growth as the table accretes across runs.
 	"BenchmarkWireRoundTrip/exec_insert_wal": benchWireExecInsert,
+	// The tracing-overhead gate: a SELECT round trip walks every
+	// trace-instrumented path with tracing disabled.
+	"BenchmarkWireRoundTrip/exec_select": benchWireExecSelect,
 }
 
 func TestBenchGate(t *testing.T) {

@@ -67,7 +67,32 @@ func benchWireExecInsert(b *testing.B) {
 	}
 }
 
+// benchWireExecSelect measures a full read round trip — parse or plan-cache
+// hit, assemble, batched decode — over the wire. It walks every
+// trace-instrumented code path (executeScript, runSelect, getBatch) with
+// tracing off, so it is the gate for the disabled-tracing overhead: each
+// instrumentation site must cost one nil check.
+func benchWireExecSelect(b *testing.B) {
+	srv := benchServer(b, false)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec(`INSERT INTO item (n) VALUES (1), (2), (3), (4), (5), (6), (7), (8)`); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Exec("SELECT ALL FROM item WHERE n > 4"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkWireRoundTrip(b *testing.B) {
 	b.Run("ping", benchWirePing)
 	b.Run("exec_insert_wal", benchWireExecInsert)
+	b.Run("exec_select", benchWireExecSelect)
 }

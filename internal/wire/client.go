@@ -282,9 +282,18 @@ func (c *Client) Exec(src string) (*Response, error) {
 // A stream cut mid-way by a transport fault is retried from the start
 // (reads are idempotent); partially received molecules are discarded.
 func (c *Client) Checkout(query string) ([]MoleculeJSON, error) {
-	_, mols, err := c.do(&Request{Op: OpCheckout, MQL: query}, true)
+	mols, _, err := c.CheckoutTraced(query)
+	return mols, err
+}
+
+// CheckoutTraced is Checkout returning the server-side trace ID of the
+// request as well (empty when the server did not trace it). The ID keys the
+// server's retained span trees: quote it to Slow or /debug/slow to see where
+// the request's time went.
+func (c *Client) CheckoutTraced(query string) ([]MoleculeJSON, string, error) {
+	resp, mols, err := c.do(&Request{Op: OpCheckout, MQL: query}, true)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -293,7 +302,17 @@ func (c *Client) Checkout(query string) ([]MoleculeJSON, error) {
 			c.buffer[a.Addr] = a
 		}
 	}
-	return mols, nil
+	return mols, resp.TraceID, nil
+}
+
+// Slow fetches the server's retained slow-query traces, newest first, in one
+// idempotent round trip. n > 0 bounds the count; 0 returns the whole ring.
+func (c *Client) Slow(n int) ([]*obs.TraceSnapshot, error) {
+	resp, _, err := c.do(&Request{Op: OpSlow, N: n}, true)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Traces, nil
 }
 
 // Local returns a buffered atom without any server communication.

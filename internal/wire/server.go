@@ -193,6 +193,7 @@ func ServeListener(db *prima.DB, ln net.Listener, cfg ServerConfig) *Server {
 		OpCheckout: reg.Histogram("wire_checkout_ns"),
 		OpGetAtom:  reg.Histogram("wire_getatom_ns"),
 		OpStats:    reg.Histogram("wire_stats_ns"),
+		OpSlow:     reg.Histogram("wire_slow_ns"),
 	}
 	// Mirror the wire health counters into the database's registry so one
 	// snapshot covers the whole stack. Registration replaces any previous
@@ -426,10 +427,17 @@ func (s *Server) writeMsg(sc *srvConn, v interface{}) error {
 
 // serveRequest admits one request through the in-flight semaphore and
 // serves it; it reports false when the connection is no longer usable.
-// Ping and stats bypass admission control: they are cheap and they are how
-// an operator observes an overloaded server.
+// Ping, stats and slow bypass admission control: they are cheap and they are
+// how an operator observes an overloaded server.
+//
+// Non-diagnostic requests run under a request trace when the DB's tracer is
+// armed (sampling or a slow-query threshold): the trace ID rides back on the
+// response so a client can correlate its worst latencies with the server's
+// retained span trees. The trace finishes after the response (or the last
+// stream frame) is written, so slow-query retention sees the full
+// server-side duration including the write.
 func (s *Server) serveRequest(sc *srvConn, req *Request) bool {
-	diagnostic := req.Op == OpPing || req.Op == OpStats
+	diagnostic := req.Op == OpPing || req.Op == OpStats || req.Op == OpSlow
 	if !diagnostic {
 		if !s.acquireSlot() {
 			s.shed.Add(1)
@@ -440,12 +448,25 @@ func (s *Server) serveRequest(sc *srvConn, req *Request) bool {
 	}
 	s.requests.Add(1)
 	opStart := time.Now()
+	var tr *obs.Trace
+	if !diagnostic {
+		tr = s.db.Tracer().Begin("wire:" + req.Op)
+		tr.SetAttr("op", req.Op)
+		if req.MQL != "" {
+			tr.SetAttr("mql", req.MQL)
+		}
+	}
 	var ok bool
 	if req.Op == OpCheckout {
-		ok = s.streamCheckout(sc, req) == nil
+		ok = s.streamCheckout(sc, req, tr) == nil
 	} else {
-		ok = s.writeMsg(sc, s.safeDispatch(req)) == nil
+		resp := s.safeDispatch(req, tr)
+		if resp.TraceID == "" {
+			resp.TraceID = tr.ID()
+		}
+		ok = s.writeMsg(sc, resp) == nil
 	}
+	tr.Finish()
 	s.opNs[req.Op].ObserveSince(opStart)
 	return ok
 }
@@ -477,7 +498,7 @@ func (s *Server) acquireSlot() bool {
 // answers with an error instead of tearing the connection (or server) down.
 // Nothing has been written when dispatch panics, so the conn stays
 // synchronized.
-func (s *Server) safeDispatch(req *Request) (resp *Response) {
+func (s *Server) safeDispatch(req *Request, tr *obs.Trace) (resp *Response) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
@@ -485,7 +506,7 @@ func (s *Server) safeDispatch(req *Request) (resp *Response) {
 			resp = &Response{Error: fmt.Sprintf("internal error serving %s", req.Op)}
 		}
 	}()
-	return s.dispatch(req)
+	return s.dispatch(req, tr)
 }
 
 // streamChunk caps the number of molecules per checkout stream frame;
@@ -506,6 +527,7 @@ type rawFrame struct {
 	Molecules []json.RawMessage `json:"molecules,omitempty"`
 	Epoch     uint64            `json:"epoch,omitempty"`
 	More      bool              `json:"more,omitempty"`
+	TraceID   string            `json:"traceId,omitempty"`
 }
 
 // streamCheckout runs a SELECT through a molecule cursor and streams the
@@ -521,8 +543,8 @@ type rawFrame struct {
 // as long as the peer stays wedged. A panic mid-assembly propagates to
 // handle's recover after the deferred Close runs; the conn is torn down
 // since frames may already be on the wire.
-func (s *Server) streamCheckout(sc *srvConn, req *Request) (err error) {
-	cur, err := s.db.Query(req.MQL)
+func (s *Server) streamCheckout(sc *srvConn, req *Request, tr *obs.Trace) (err error) {
+	cur, err := s.db.QueryTraced(req.MQL, tr)
 	if err != nil {
 		return s.writeMsg(sc, &Response{Error: err.Error()})
 	}
@@ -540,6 +562,9 @@ func (s *Server) streamCheckout(sc *srvConn, req *Request) (err error) {
 		f := &rawFrame{OK: true, Molecules: pending, Epoch: epoch, More: more}
 		if !more {
 			f.Count = count
+			// The final frame names the trace: by now the whole result set
+			// has been assembled and (almost entirely) written.
+			f.TraceID = tr.ID()
 		}
 		err := s.writeMsg(sc, f)
 		pending, pendingBytes = nil, 0
@@ -606,15 +631,21 @@ func statsFromSnapshot(ms *obs.MetricsSnapshot) *StatsJSON {
 // execution; resilience tests use it to provoke handler panics.
 var testHookDispatch func(*Request)
 
-func (s *Server) dispatch(req *Request) *Response {
+func (s *Server) dispatch(req *Request, tr *obs.Trace) *Response {
 	if testHookDispatch != nil {
 		testHookDispatch(req)
 	}
 	switch req.Op {
 	case OpPing:
 		return &Response{OK: true, Message: "pong"}
+	case OpSlow:
+		traces := s.db.Tracer().Slow()
+		if req.N > 0 && len(traces) > req.N {
+			traces = traces[:req.N]
+		}
+		return &Response{OK: true, Traces: traces, Count: len(traces)}
 	case OpExec:
-		results, err := s.db.Exec(req.MQL)
+		results, err := s.db.ExecTraced(req.MQL, tr)
 		if err != nil {
 			return &Response{Error: err.Error()}
 		}

@@ -31,6 +31,7 @@ const (
 	OpCheckout = "checkout" // run a SELECT, return whole molecules
 	OpGetAtom  = "getatom"  // fetch one atom (the chatty baseline)
 	OpStats    = "stats"    // server cache/buffer statistics
+	OpSlow     = "slow"     // retained slow-query traces (newest first)
 )
 
 // Request is one client message.
@@ -38,6 +39,8 @@ type Request struct {
 	Op   string `json:"op"`
 	MQL  string `json:"mql,omitempty"`
 	Addr uint64 `json:"addr,omitempty"`
+	// N bounds a slow request's result count (0 returns the whole ring).
+	N int `json:"n,omitempty"`
 }
 
 // Response is one server message.
@@ -66,6 +69,12 @@ type Response struct {
 	// More marks a continuation frame: further frames of the same response
 	// stream follow on the connection.
 	More bool `json:"more,omitempty"`
+	// TraceID identifies the server-side trace of this request, when the
+	// server traced it (sampling hit, or a slow-query threshold is armed).
+	// Quote it to the slow op or /debug/slow to find the full span tree.
+	TraceID string `json:"traceId,omitempty"`
+	// Traces carries retained trace snapshots on slow responses.
+	Traces []*obs.TraceSnapshot `json:"traces,omitempty"`
 }
 
 // StatsJSON reports the server's cache hierarchy counters: the decoded-atom

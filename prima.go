@@ -98,6 +98,17 @@ type Config struct {
 	// WALCheckpointBytes is the log growth between automatic checkpoints
 	// (0 keeps the wal package default).
 	WALCheckpointBytes int64
+	// TraceSampleRate head-samples request tracing: every Nth traced request
+	// keeps its full span tree in the recent-trace ring (0 disables
+	// sampling; 1 traces everything).
+	TraceSampleRate int
+	// SlowQueryThreshold always retains the trace of any request at least
+	// this slow in the slow-query ring and emits one TraceLogf line per
+	// retained trace (0 disables the slow-query log).
+	SlowQueryThreshold time.Duration
+	// TraceLogf receives one structured line per slow query (nil keeps
+	// slow queries in the ring without logging).
+	TraceLogf func(format string, args ...any)
 }
 
 // DefaultAssemblyWorkers returns the default degree of parallel molecule
@@ -124,6 +135,9 @@ func Open(cfg Config) (*DB, error) {
 		WAL:                cfg.WAL,
 		GroupCommitMaxWait: cfg.GroupCommitMaxWait,
 		WALCheckpointBytes: cfg.WALCheckpointBytes,
+		TraceSampleRate:    cfg.TraceSampleRate,
+		SlowQueryThreshold: cfg.SlowQueryThreshold,
+		TraceLogf:          cfg.TraceLogf,
 	})
 	if err != nil {
 		return nil, err
@@ -158,6 +172,19 @@ func (db *DB) Exec(src string) ([]*Result, error) {
 	return db.engine.ExecuteScript(src)
 }
 
+// ExecTraced is Exec with the script's stages (parse, plan, assemble,
+// apply) recorded as child spans of tr's root. A nil trace behaves exactly
+// like Exec; the caller owns tr and decides when to Finish it.
+func (db *DB) ExecTraced(src string, tr *obs.Trace) ([]*Result, error) {
+	return db.engine.ExecuteScriptTraced(src, tr)
+}
+
+// Tracer returns the database's request tracer — the sampling/slow-query
+// retention configured by Config.TraceSampleRate and
+// Config.SlowQueryThreshold. Knobs can be adjusted at runtime via its
+// setters; Recent and Slow read the retained trace rings.
+func (db *DB) Tracer() *obs.Tracer { return db.sys.Tracer() }
+
 // ExecOne executes exactly one statement.
 func (db *DB) ExecOne(src string) (*Result, error) {
 	stmt, err := mql.ParseOne(src)
@@ -181,6 +208,22 @@ func (db *DB) Query(src string) (*Cursor, error) {
 	}
 	cur, err := plan.Open()
 	if err != nil {
+		return nil, err
+	}
+	return &Cursor{inner: cur}, nil
+}
+
+// QueryTraced is Query with the planning and assembly stages recorded on tr:
+// planning becomes a "plan" span (or a plan_cache=hit attribute), and the
+// cursor's reads and deliveries are charged to an "assemble" span that Close
+// ends. The caller owns tr — Finish it after closing the cursor so the span
+// tree covers the whole drain. A nil trace behaves exactly like Query.
+func (db *DB) QueryTraced(src string, tr *obs.Trace) (*Cursor, error) {
+	cur, err := db.engine.OpenQueryTraced(src, tr)
+	if err != nil {
+		if errors.Is(err, core.ErrNotSelect) {
+			return nil, errors.New("prima: QueryTraced requires a SELECT statement")
+		}
 		return nil, err
 	}
 	return &Cursor{inner: cur}, nil
